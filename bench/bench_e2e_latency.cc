@@ -1,0 +1,137 @@
+// Figure 11: end-to-end latency observed by a client. PRETZEL behind its
+// FrontEnd (the paper's ASP.Net front-end) vs black-box containers behind
+// the same FrontEnd (the paper's ML.Net + Clipper with a Redis front-end).
+// Reports prediction-only latency next to client-observed latency so the
+// client/server overhead is visible, as in the paper's figure.
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/flour/flour.h"
+#include "src/frontend/backends.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/runtime.h"
+
+namespace pretzel {
+namespace {
+
+struct E2eResult {
+  SampleStats prediction_only;
+  SampleStats client_observed;
+};
+
+template <typename Workload>
+E2eResult MeasurePretzel(const Workload& workload, int reqs_per_model,
+                         int64_t network_delay_us, uint64_t seed) {
+  E2eResult result;
+  ObjectStore store;
+  FlourContext ctx(&store);
+  RuntimeOptions opts;
+  opts.num_executors = 1;
+  Runtime runtime(&store, opts);
+  PretzelBackend backend(&runtime);
+  std::vector<Runtime::PlanId> ids;
+  for (const auto& spec : workload.pipelines()) {
+    auto program = ctx.FromPipeline(spec);
+    auto id = runtime.Register(*Plan(*program, spec.name));
+    ids.push_back(*id);
+    backend.AddRoute(spec.name, *id);
+  }
+  FrontEndOptions fopts;
+  fopts.network_delay_us = network_delay_us;
+  FrontEnd frontend(&backend, fopts);
+
+  Rng rng(seed);
+  for (size_t m = 0; m < ids.size(); ++m) {
+    const std::string& name = workload.pipelines()[m].name;
+    (void)runtime.Predict(ids[m], workload.SampleInput(rng));  // Warm.
+    for (int i = 0; i < reqs_per_model; ++i) {
+      const std::string input = workload.SampleInput(rng);
+      int64_t t0 = NowNs();
+      (void)runtime.Predict(ids[m], input);
+      result.prediction_only.Add(static_cast<double>(NowNs() - t0));
+      t0 = NowNs();
+      (void)frontend.Request(name, input);
+      result.client_observed.Add(static_cast<double>(NowNs() - t0));
+    }
+  }
+  return result;
+}
+
+template <typename Workload>
+E2eResult MeasureClipper(const Workload& workload, int reqs_per_model,
+                         int64_t network_delay_us, int64_t rpc_delay_us,
+                         uint64_t seed) {
+  E2eResult result;
+  ContainerOptions copts;
+  copts.rpc_delay_us = rpc_delay_us;
+  copts.container_overhead_bytes = kContainerOverheadBytes;
+  copts.blackbox.per_model_runtime_bytes = kPerModelRuntimeBytes;
+  ClipperCluster cluster(copts);
+  for (const auto& spec : workload.pipelines()) {
+    (void)cluster.Deploy(spec.name, SaveModelImage(spec));
+  }
+  ClipperBackend backend(&cluster);
+  FrontEndOptions fopts;
+  fopts.network_delay_us = network_delay_us;
+  FrontEnd frontend(&backend, fopts);
+
+  Rng rng(seed);
+  for (const auto& spec : workload.pipelines()) {
+    (void)cluster.Predict(spec.name, workload.SampleInput(rng));  // Warm.
+    for (int i = 0; i < reqs_per_model; ++i) {
+      const std::string input = workload.SampleInput(rng);
+      int64_t t0 = NowNs();
+      (void)cluster.Predict(spec.name, input);
+      result.prediction_only.Add(static_cast<double>(NowNs() - t0));
+      t0 = NowNs();
+      (void)frontend.Request(spec.name, input);
+      result.client_observed.Add(static_cast<double>(NowNs() - t0));
+    }
+  }
+  return result;
+}
+
+template <typename Workload>
+void RunCategory(const char* name, const Workload& workload, int reqs,
+                 uint64_t seed) {
+  // Network constants (documented in EXPERIMENTS.md): the FrontEnd hop is
+  // 150us each way for both systems; Clipper pays an extra in-cluster RPC
+  // hop of 100us each way, as its containers sit behind a second boundary.
+  const int64_t kFrontendDelayUs = 150;
+  const int64_t kClipperRpcUs = 100;
+  std::printf("  --- %s ---\n", name);
+  auto pretzel = MeasurePretzel(workload, reqs, kFrontendDelayUs, seed);
+  auto clipper =
+      MeasureClipper(workload, reqs, kFrontendDelayUs, kClipperRpcUs, seed);
+  PrintCdfSummary("PRETZEL (prediction)", pretzel.prediction_only);
+  PrintCdfSummary("PRETZEL (client-server)", pretzel.client_observed);
+  PrintCdfSummary("ML.Net (in-container)", clipper.prediction_only);
+  PrintCdfSummary("ML.Net+Clipper (client)", clipper.client_observed);
+  ShapeCheck(pretzel.client_observed.P99() > pretzel.prediction_only.P99(),
+             "client/server overhead dominates fast predictions (paper: 9x SA)");
+  // Medians: single-core hosts add scheduler jitter to the sleeping IO
+  // threads' tails, so P99 is unstable; the paper's P99 margin (4.3 vs
+  // 9.3ms) is structural and shows up at the median here.
+  ShapeCheck(clipper.client_observed.Median() > pretzel.client_observed.Median(),
+             "PRETZEL end-to-end beats ML.Net+Clipper (paper: 4.3 vs 9.3ms P99)");
+}
+
+}  // namespace
+}  // namespace pretzel
+
+int main(int argc, char** argv) {
+  using namespace pretzel;
+  BenchFlags flags(argc, argv);
+  PrintHeader("Figure 11", "End-to-end client latency: PRETZEL vs ML.Net+Clipper");
+  const int reqs = static_cast<int>(flags.GetInt("reqs", 10));
+
+  auto sa_opts = DefaultSaOptions(flags);
+  sa_opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 30));
+  auto sa = SaWorkload::Generate(sa_opts);
+  RunCategory("Sentiment Analysis (SA)", sa, reqs, 6001);
+
+  auto ac_opts = DefaultAcOptions(flags);
+  ac_opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 30));
+  auto ac = AcWorkload::Generate(ac_opts);
+  RunCategory("Attendee Count (AC)", ac, reqs, 6002);
+  return 0;
+}

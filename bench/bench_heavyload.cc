@@ -1,0 +1,198 @@
+// Figure 13 + reservation scheduling (Section 5.4.1): heavy-load
+// micro-benchmark. All models live in one PRETZEL instance; requests follow
+// a Zipf(alpha=2) popularity distribution; half the models are
+// latency-sensitive (batch 1), the rest arrive in batches. Reports system
+// throughput and latency-sensitive latency as offered load increases, then
+// repeats with one reserved model to show its latency stays flat.
+#include <atomic>
+#include <condition_variable>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/runtime.h"
+#include "src/workload/load_gen.h"
+
+namespace pretzel {
+namespace {
+
+struct LoadPointResult {
+  double offered_rps = 0.0;
+  double achieved_qps = 0.0;       // Total records scored per second.
+  double sensitive_mean_ms = 0.0;  // Latency-sensitive request latency.
+  double reserved_mean_ms = 0.0;   // Reserved model's latency (if any).
+};
+
+struct HeavyLoadHarness {
+  ObjectStore store;
+  std::unique_ptr<Runtime> runtime;
+  std::vector<Runtime::PlanId> ids;
+  std::vector<std::string> sample_inputs;
+  size_t reserved_model = SIZE_MAX;
+
+  void Build(const SaWorkload& sa, size_t executors, bool reserve_first) {
+    RuntimeOptions opts;
+    opts.num_executors = executors;
+    runtime = std::make_unique<Runtime>(&store, opts);
+    FlourContext ctx(&store);
+    Rng rng(5001);
+    for (size_t i = 0; i < sa.pipelines().size(); ++i) {
+      auto program = ctx.FromPipeline(sa.pipelines()[i]);
+      auto plan = Plan(*program, sa.pipelines()[i].name);
+      PlanRegistration reg;
+      if (reserve_first && i == 0) {
+        reg.reserve_cores = 1;
+        reserved_model = 0;
+      }
+      ids.push_back(*runtime->Register(*plan, reg));
+      sample_inputs.push_back(sa.SampleInput(rng));
+    }
+    // Warm every plan once.
+    for (size_t i = 0; i < ids.size(); ++i) {
+      (void)runtime->Predict(ids[i], sample_inputs[i]);
+    }
+  }
+
+  LoadPointResult RunLoad(double rps, double duration_s, size_t big_batch) {
+    auto schedule = GenerateLoadSchedule(ids.size(), rps, duration_s, 2.0, 5002);
+    std::atomic<size_t> records{0};
+    std::atomic<int64_t> sensitive_ns{0};
+    std::atomic<size_t> sensitive_count{0};
+    std::atomic<int64_t> reserved_ns{0};
+    std::atomic<size_t> reserved_count{0};
+    std::atomic<size_t> pending{schedule.size()};
+    std::mutex mu;
+    std::condition_variable cv;
+
+    const int64_t start = NowNs();
+    for (const auto& event : schedule) {
+      // Open-loop pacing.
+      const int64_t target = start + static_cast<int64_t>(event.arrival_seconds * 1e9);
+      while (NowNs() < target) {
+        std::this_thread::yield();
+      }
+      const size_t m = event.model_index;
+      const bool sensitive = m % 2 == 0;  // Half the models are batch-1.
+      const bool reserved = m == reserved_model;
+      const size_t batch = sensitive ? 1 : big_batch;
+      std::vector<std::string> inputs(batch, sample_inputs[m]);
+      const int64_t submit = NowNs();
+      Status st = runtime->PredictBatchAsync(
+          ids[m], std::move(inputs),
+          [&, submit, sensitive, reserved, batch](Status status,
+                                                  std::span<const float>) {
+            if (status.ok()) {
+              records.fetch_add(batch, std::memory_order_relaxed);
+              const int64_t lat = NowNs() - submit;
+              if (sensitive) {
+                sensitive_ns.fetch_add(lat, std::memory_order_relaxed);
+                sensitive_count.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (reserved) {
+                reserved_ns.fetch_add(lat, std::memory_order_relaxed);
+                reserved_count.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            if (pending.fetch_sub(1) == 1) {
+              std::lock_guard<std::mutex> lock(mu);
+              cv.notify_one();
+            }
+          },
+          64);
+      if (!st.ok()) {
+        pending.fetch_sub(1);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return pending.load() == 0; });
+    }
+    const double elapsed_s = static_cast<double>(NowNs() - start) / 1e9;
+
+    LoadPointResult result;
+    result.offered_rps = rps;
+    result.achieved_qps = static_cast<double>(records.load()) / elapsed_s;
+    result.sensitive_mean_ms =
+        sensitive_count.load() == 0
+            ? 0.0
+            : static_cast<double>(sensitive_ns.load()) / sensitive_count.load() / 1e6;
+    result.reserved_mean_ms =
+        reserved_count.load() == 0
+            ? 0.0
+            : static_cast<double>(reserved_ns.load()) / reserved_count.load() / 1e6;
+    return result;
+  }
+};
+
+}  // namespace
+}  // namespace pretzel
+
+int main(int argc, char** argv) {
+  using namespace pretzel;
+  BenchFlags flags(argc, argv);
+  PrintHeader("Figure 13", "Heavy load: Zipf(2) skew, throughput + latency vs load");
+
+  auto sa_opts = DefaultSaOptions(flags);
+  sa_opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 60));
+  auto sa = SaWorkload::Generate(sa_opts);
+  const size_t executors = static_cast<size_t>(flags.GetInt(
+      "executors", std::max(1u, std::thread::hardware_concurrency())));
+  const double duration = flags.GetInt("duration_ms", 1500) / 1000.0;
+  const size_t big_batch = static_cast<size_t>(flags.GetInt("big_batch", 50));
+
+  // Offered load sweep. The paper sweeps to 500 rps against 16 cores; the
+  // knee must sit inside the sweep, so scale the top end with a flag when
+  // running on bigger machines.
+  std::vector<double> loads;
+  const double max_load = static_cast<double>(flags.GetInt("max_rps", 8000));
+  for (double l = max_load / 16; l <= max_load; l *= 2) {
+    loads.push_back(l);
+  }
+
+  {
+    HeavyLoadHarness harness;
+    harness.Build(sa, executors, /*reserve_first=*/false);
+    std::printf("  %-12s %-16s %-20s\n", "offered rps", "achieved QPS",
+                "sensitive mean (ms)");
+    double first_lat = 0.0, last_lat = 0.0, best_qps = 0.0;
+    for (double rps : loads) {
+      auto r = harness.RunLoad(rps, duration, big_batch);
+      std::printf("  %-12.0f %-16.0f %-20.2f\n", r.offered_rps, r.achieved_qps,
+                  r.sensitive_mean_ms);
+      if (rps == loads.front()) {
+        first_lat = r.sensitive_mean_ms;
+      }
+      last_lat = r.sensitive_mean_ms;
+      best_qps = std::max(best_qps, r.achieved_qps);
+    }
+    ShapeCheck(best_qps > loads.front(),
+               "throughput grows with offered load before saturating");
+    ShapeCheck(last_lat >= first_lat,
+               "latency grows (gracefully) as load increases");
+  }
+
+  PrintHeader("Section 5.4.1", "Reservation scheduling: reserved model under load");
+  {
+    HeavyLoadHarness harness;
+    harness.Build(sa, executors, /*reserve_first=*/true);
+    std::printf("  %-12s %-16s %-20s %-20s\n", "offered rps", "achieved QPS",
+                "sensitive mean (ms)", "reserved mean (ms)");
+    double reserved_first = 0.0, reserved_last = 0.0, shared_last = 0.0;
+    for (double rps : loads) {
+      auto r = harness.RunLoad(rps, duration, big_batch);
+      std::printf("  %-12.0f %-16.0f %-20.2f %-20.2f\n", r.offered_rps,
+                  r.achieved_qps, r.sensitive_mean_ms, r.reserved_mean_ms);
+      if (rps == loads.front()) {
+        reserved_first = r.reserved_mean_ms;
+      }
+      reserved_last = r.reserved_mean_ms;
+      shared_last = r.sensitive_mean_ms;
+    }
+    ShapeCheck(reserved_last < shared_last || reserved_last < 4 * reserved_first,
+               "the reserved model's latency does not degrade with load "
+               "(paper: no degradation, up to 3 orders of magnitude better)");
+  }
+  return 0;
+}

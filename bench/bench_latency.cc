@@ -1,0 +1,216 @@
+// Figure 4 + Figure 5 + Figure 9: prediction latency.
+//  - Fig. 4: cold vs hot latency CDF of the black-box (ML.Net-style) server
+//    across the SA pipelines.
+//  - Fig. 5: per-operator latency breakdown of one SA pipeline under
+//    operator-at-a-time execution.
+//  - Fig. 9: PRETZEL vs black-box latency CDFs (hot and cold) on SA and AC.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/blackbox/blackbox_server.h"
+#include "src/common/clock.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/runtime.h"
+
+namespace pretzel {
+namespace {
+
+struct LatencyResult {
+  SampleStats cold;
+  SampleStats hot;
+};
+
+// Measures the black-box server: cold = first prediction (includes load),
+// hot = mean of `hot_preds` predictions after warm-up.
+template <typename Workload>
+LatencyResult MeasureBlackBox(const Workload& workload, int warmup, int hot_preds,
+                              uint64_t seed) {
+  LatencyResult result;
+  BlackBoxOptions options;
+  options.per_model_runtime_bytes = kPerModelRuntimeBytes;
+  BlackBoxServer server(options);
+  for (const auto& spec : workload.pipelines()) {
+    (void)server.AddModelImage(spec.name, SaveModelImage(spec));
+  }
+  Rng rng(seed);
+  // Inputs are pre-generated: only serving time is measured.
+  std::vector<std::string> inputs;
+  for (int i = 0; i < warmup + hot_preds; ++i) {
+    inputs.push_back(workload.SampleInput(rng));
+  }
+  for (const auto& spec : workload.pipelines()) {
+    int64_t t0 = NowNs();
+    bool was_cold = false;
+    auto r = server.Predict(spec.name, inputs[0], &was_cold);
+    if (!r.ok()) {
+      std::fprintf(stderr, "blackbox %s failed: %s\n", spec.name.c_str(),
+                   r.status().ToString().c_str());
+      continue;
+    }
+    result.cold.Add(static_cast<double>(NowNs() - t0));
+    for (int i = 0; i < warmup; ++i) {
+      (void)server.Predict(spec.name, inputs[i]);
+    }
+    t0 = NowNs();
+    for (int i = 0; i < hot_preds; ++i) {
+      (void)server.Predict(spec.name, inputs[warmup + i]);
+    }
+    result.hot.Add(static_cast<double>(NowNs() - t0) / hot_preds);
+  }
+  return result;
+}
+
+// Measures PRETZEL through the request-response engine. Plans are compiled
+// and registered off-line (the paper's two-phase deployment); cold = the
+// first prediction after registration.
+template <typename Workload>
+LatencyResult MeasurePretzel(const Workload& workload, int warmup, int hot_preds,
+                             uint64_t seed) {
+  LatencyResult result;
+  ObjectStore store;
+  FlourContext ctx(&store);
+  RuntimeOptions opts;
+  opts.num_executors = 1;
+  Runtime runtime(&store, opts);
+  std::vector<Runtime::PlanId> ids;
+  for (const auto& spec : workload.pipelines()) {
+    auto program = ctx.FromPipeline(spec);
+    auto plan = Plan(*program, spec.name);
+    auto id = runtime.Register(*plan);
+    ids.push_back(*id);
+  }
+  Rng rng(seed);
+  std::vector<std::string> inputs;
+  for (int i = 0; i < warmup + hot_preds; ++i) {
+    inputs.push_back(workload.SampleInput(rng));
+  }
+  for (size_t m = 0; m < ids.size(); ++m) {
+    int64_t t0 = NowNs();
+    auto r = runtime.Predict(ids[m], inputs[0]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "pretzel %zu failed: %s\n", m,
+                   r.status().ToString().c_str());
+      continue;
+    }
+    result.cold.Add(static_cast<double>(NowNs() - t0));
+    for (int i = 0; i < warmup; ++i) {
+      (void)runtime.Predict(ids[m], inputs[i]);
+    }
+    t0 = NowNs();
+    for (int i = 0; i < hot_preds; ++i) {
+      (void)runtime.Predict(ids[m], inputs[warmup + i]);
+    }
+    result.hot.Add(static_cast<double>(NowNs() - t0) / hot_preds);
+  }
+  return result;
+}
+
+void PrintFigure5(const SaWorkload& sa, uint64_t seed) {
+  PrintHeader("Figure 5", "Latency breakdown of one SA pipeline (operator-at-a-time)");
+  BlackBoxOptions options;
+  options.record_op_breakdown = true;
+  auto model = BlackBoxModel::Load(SaveModelImage(sa.pipelines()[0]), options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return;
+  }
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    (void)(*model)->Predict(sa.SampleInput(rng));
+  }
+  const auto& times = (*model)->op_times_ns();
+  int64_t total = 0;
+  for (int64_t t : times) {
+    total += t;
+  }
+  double linear_pct = 0.0;
+  std::map<std::string, double> shares;
+  for (size_t i = 0; i < times.size(); ++i) {
+    const auto& node = (*model)->spec().nodes[i];
+    const double pct = 100.0 * times[i] / std::max<int64_t>(total, 1);
+    shares[std::string(OpKindName(node.params->kind()))] += pct;
+    if (node.params->kind() == OpKind::kLinearBinary) {
+      linear_pct = pct;
+    }
+  }
+  for (const auto& [op, pct] : shares) {
+    std::printf("  %-20s %5.1f%%\n", op.c_str(), pct);
+  }
+  ShapeCheck(linear_pct < shares["CharNgram"] + shares["WordNgram"],
+             "the ML model is a small fraction; featurizers dominate (paper: "
+             "LogReg 0.3% vs Ngrams 57%)");
+}
+
+}  // namespace
+}  // namespace pretzel
+
+int main(int argc, char** argv) {
+  using namespace pretzel;
+  BenchFlags flags(argc, argv);
+  const int warmup = static_cast<int>(flags.GetInt("warmup", 10));
+  const int hot_preds = static_cast<int>(flags.GetInt("hot_preds", 100));
+
+  auto sa_opts = DefaultSaOptions(flags);
+  auto ac_opts = DefaultAcOptions(flags);
+  auto sa = SaWorkload::Generate(sa_opts);
+  auto ac = AcWorkload::Generate(ac_opts);
+
+  // --- Figure 4 ---
+  PrintHeader("Figure 4", "Cold vs hot latency CDF, black-box server, SA pipelines");
+  auto mlnet_sa = MeasureBlackBox(sa, warmup, hot_preds, 1001);
+  PrintCdfSummary("ML.Net SA hot", mlnet_sa.hot);
+  PrintCdfSummary("ML.Net SA cold", mlnet_sa.cold);
+  PrintCdfSeries("ML.Net SA hot", mlnet_sa.hot, 10);
+  PrintCdfSeries("ML.Net SA cold", mlnet_sa.cold, 10);
+  ShapeCheck(mlnet_sa.cold.P99() > 3.0 * mlnet_sa.hot.P99(),
+             "cold P99 is several times hot P99 (paper: 8.1ms vs 0.63ms)");
+  ShapeCheck(mlnet_sa.cold.Max() > 10.0 * mlnet_sa.hot.P99(),
+             "worst-case cold is orders off hot P99 (paper: 280ms vs 0.63ms)");
+
+  // --- Figure 5 ---
+  PrintFigure5(sa, 1002);
+
+  // --- Figure 9 ---
+  PrintHeader("Figure 9", "PRETZEL vs ML.Net latency (hot/cold), SA and AC");
+  auto pretzel_sa = MeasurePretzel(sa, warmup, hot_preds, 1001);
+  auto mlnet_ac = MeasureBlackBox(ac, warmup, hot_preds, 1003);
+  auto pretzel_ac = MeasurePretzel(ac, warmup, hot_preds, 1003);
+
+  std::printf("  [SA]\n");
+  PrintCdfSummary("PRETZEL hot", pretzel_sa.hot);
+  PrintCdfSummary("ML.Net  hot", mlnet_sa.hot);
+  PrintCdfSummary("PRETZEL cold", pretzel_sa.cold);
+  PrintCdfSummary("ML.Net  cold", mlnet_sa.cold);
+  std::printf("  [AC]\n");
+  PrintCdfSummary("PRETZEL hot", pretzel_ac.hot);
+  PrintCdfSummary("ML.Net  hot", mlnet_ac.hot);
+  PrintCdfSummary("PRETZEL cold", pretzel_ac.cold);
+  PrintCdfSummary("ML.Net  cold", mlnet_ac.cold);
+
+  const double sa_hot_speedup = mlnet_sa.hot.Median() / pretzel_sa.hot.Median();
+  const double ac_hot_speedup = mlnet_ac.hot.Median() / pretzel_ac.hot.Median();
+  const double sa_cold_speedup = mlnet_sa.cold.P99() / pretzel_sa.cold.P99();
+  const double ac_cold_speedup = mlnet_ac.cold.P99() / pretzel_ac.cold.P99();
+  std::printf("  speedups: SA hot(p50) %.1fx cold(p99) %.1fx | "
+              "AC hot(p50) %.1fx cold(p99) %.1fx\n",
+              sa_hot_speedup, sa_cold_speedup, ac_hot_speedup, ac_cold_speedup);
+  // Hot-path note: the paper's 3.2x compares against managed ML.Net
+  // (GC, virtual dispatch through .NET abstractions); our baseline is
+  // native C++ sharing PRETZEL's numeric kernels, so only the execution-
+  // model overheads (Value boxing, per-op buffers, Concat materialization)
+  // separate the two and the hot gap is structurally smaller.
+  ShapeCheck(sa_hot_speedup > 1.2,
+             "PRETZEL beats ML.Net on SA hot median (paper: 3.2x vs managed runtime)");
+  ShapeCheck(ac_hot_speedup > 0.9,
+             "PRETZEL at least matches ML.Net on AC hot median (compute-bound)");
+  ShapeCheck(sa_cold_speedup > 2.0,
+             "PRETZEL beats ML.Net on SA cold P99 (paper: 9.8x)");
+  ShapeCheck(ac_cold_speedup > 1.3,
+             "PRETZEL beats ML.Net on AC cold P99 (paper: 5.7x)");
+  const double mlnet_ratio = mlnet_sa.cold.P99() / mlnet_sa.hot.P99();
+  const double pretzel_ratio = pretzel_sa.cold.P99() / pretzel_sa.hot.P99();
+  ShapeCheck(pretzel_ratio < mlnet_ratio,
+             "PRETZEL's cold/hot gap is smaller than ML.Net's (paper: 4.2x vs 13.3x)");
+  return 0;
+}

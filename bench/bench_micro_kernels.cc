@@ -1,0 +1,162 @@
+// Google-benchmark micro-benchmarks of the compute kernels and of a full
+// prediction under both execution models. Not a paper figure by itself —
+// these are the building blocks behind Figures 4/5/9 and are useful when
+// tuning the kernels.
+#include <benchmark/benchmark.h>
+
+#include "src/blackbox/blackbox_model.h"
+#include "src/flour/flour.h"
+#include "src/ops/kernels.h"
+#include "src/oven/model_plan.h"
+#include "src/workload/ac_workload.h"
+#include "src/workload/sa_workload.h"
+
+namespace pretzel {
+namespace {
+
+const SaWorkload& GetSa() {
+  static const SaWorkload* sa = [] {
+    SaWorkloadOptions opts;
+    opts.num_pipelines = 1;
+    opts.char_dict_entries = 8000;
+    opts.word_dict_entries = 2000;
+    opts.vocabulary_size = 4000;
+    return new SaWorkload(SaWorkload::Generate(opts));
+  }();
+  return *sa;
+}
+
+const AcWorkload& GetAc() {
+  static const AcWorkload* ac = [] {
+    AcWorkloadOptions opts;
+    opts.num_pipelines = 1;
+    return new AcWorkload(AcWorkload::Generate(opts));
+  }();
+  return *ac;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Rng rng(1);
+  const std::string input = GetSa().SampleInput(rng);
+  TokenizerParams params;
+  std::string text;
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  for (auto _ : state) {
+    TokenizeInto(input, params, &text, &spans);
+    benchmark::DoNotOptimize(spans.size());
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_CharNgramScan(benchmark::State& state) {
+  Rng rng(2);
+  const auto& spec = GetSa().pipelines()[0];
+  const auto& params = static_cast<const CharNgramParams&>(*spec.nodes[1].params);
+  const std::string input = GetSa().SampleInput(rng);
+  TokenizerParams tok;
+  std::string text;
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  TokenizeInto(input, tok, &text, &spans);
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    CharNgramScan(text, spans, params, [&](uint32_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_CharNgramScan);
+
+void BM_WordNgramScan(benchmark::State& state) {
+  Rng rng(3);
+  const auto& spec = GetSa().pipelines()[0];
+  const auto& params = static_cast<const WordNgramParams&>(*spec.nodes[2].params);
+  const std::string input = GetSa().SampleInput(rng);
+  TokenizerParams tok;
+  std::string text;
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  TokenizeInto(input, tok, &text, &spans);
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    WordNgramScan(text, spans, params, [&](uint32_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_WordNgramScan);
+
+void BM_ForestEval(benchmark::State& state) {
+  Rng rng(4);
+  Forest forest = BuildRandomForest(64, 40, 6, rng);
+  std::vector<float> features(40);
+  for (auto& f : features) {
+    f = static_cast<float>(rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Eval(features));
+  }
+}
+BENCHMARK(BM_ForestEval);
+
+void BM_BlackBoxPredictSa(benchmark::State& state) {
+  const auto& spec = GetSa().pipelines()[0];
+  auto model = BlackBoxModel::Load(SaveModelImage(spec), BlackBoxOptions());
+  Rng rng(5);
+  const std::string input = GetSa().SampleInput(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*model)->Predict(input));
+  }
+}
+BENCHMARK(BM_BlackBoxPredictSa);
+
+void BM_PretzelPredictSa(benchmark::State& state) {
+  static ObjectStore store;
+  FlourContext ctx(&store);
+  auto program = ctx.FromPipeline(GetSa().pipelines()[0]);
+  auto plan = Plan(*program, "sa");
+  VectorPool pool;
+  ExecContext exec(&pool);
+  Rng rng(5);
+  const std::string input = GetSa().SampleInput(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutePlan(**plan, input, exec));
+  }
+}
+BENCHMARK(BM_PretzelPredictSa);
+
+void BM_BlackBoxPredictAc(benchmark::State& state) {
+  const auto& spec = GetAc().pipelines()[0];
+  auto model = BlackBoxModel::Load(SaveModelImage(spec), BlackBoxOptions());
+  Rng rng(6);
+  const std::string input = GetAc().SampleInput(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*model)->Predict(input));
+  }
+}
+BENCHMARK(BM_BlackBoxPredictAc);
+
+void BM_PretzelPredictAc(benchmark::State& state) {
+  static ObjectStore store;
+  FlourContext ctx(&store);
+  auto program = ctx.FromPipeline(GetAc().pipelines()[0]);
+  auto plan = Plan(*program, "ac");
+  VectorPool pool;
+  ExecContext exec(&pool);
+  Rng rng(6);
+  const std::string input = GetAc().SampleInput(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutePlan(**plan, input, exec));
+  }
+}
+BENCHMARK(BM_PretzelPredictAc);
+
+void BM_ColdLoadSa(benchmark::State& state) {
+  const std::string image = SaveModelImage(GetSa().pipelines()[0]);
+  for (auto _ : state) {
+    auto model = BlackBoxModel::Load(image, BlackBoxOptions());
+    benchmark::DoNotOptimize(model.ok());
+  }
+}
+BENCHMARK(BM_ColdLoadSa);
+
+}  // namespace
+}  // namespace pretzel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Optimizer-rule ablations (design choices of Section 4.1.2): hot SA latency
+// and plan shape with individual Oven rules disabled. Quantifies what each
+// rewrite buys: linear push-through-Concat (the signature SA optimization),
+// stage merging / CSE, and singleton inlining. Also reports plan compilation
+// cost (the off-line phase is cheap enough to run at deployment).
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+
+namespace pretzel {
+namespace {
+
+struct AblationPoint {
+  double hot_ns = 0.0;
+  double stages = 0.0;        // Mean alive stages per plan.
+  double compile_ms = 0.0;    // Total compile time of the suite.
+};
+
+AblationPoint Measure(const SaWorkload& sa, const OptimizerOptions& opts,
+                      int hot_preds, uint64_t seed) {
+  AblationPoint point;
+  ObjectStore store;
+  FlourContext ctx(&store);
+  CompileOptions copts;
+  copts.optimizer = opts;
+
+  std::vector<std::shared_ptr<ModelPlan>> plans;
+  const int64_t c0 = NowNs();
+  for (const auto& spec : sa.pipelines()) {
+    auto program = ctx.FromPipeline(spec);
+    auto plan = CompilePlan(*program, spec.name, copts);
+    if (plan.ok()) {
+      point.stages += static_cast<double>((*plan)->NumStages());
+      plans.push_back(*plan);
+    }
+  }
+  point.compile_ms = static_cast<double>(NowNs() - c0) / 1e6;
+  point.stages /= static_cast<double>(plans.size());
+
+  Rng rng(seed);
+  std::vector<std::string> inputs;
+  for (int i = 0; i < hot_preds; ++i) {
+    inputs.push_back(sa.SampleInput(rng));
+  }
+  VectorPool pool;
+  ExecContext exec(&pool);
+  // Warm.
+  for (const auto& plan : plans) {
+    (void)ExecutePlan(*plan, inputs[0], exec);
+  }
+  SampleStats per_pred;
+  for (const auto& plan : plans) {
+    const int64_t t0 = NowNs();
+    for (const auto& input : inputs) {
+      (void)ExecutePlan(*plan, input, exec);
+    }
+    per_pred.Add(static_cast<double>(NowNs() - t0) / hot_preds);
+  }
+  point.hot_ns = per_pred.Mean();
+  return point;
+}
+
+}  // namespace
+}  // namespace pretzel
+
+int main(int argc, char** argv) {
+  using namespace pretzel;
+  BenchFlags flags(argc, argv);
+  PrintHeader("Optimizer ablations",
+              "Effect of individual Oven rules on SA plans (Section 4.1.2)");
+  auto sa_opts = DefaultSaOptions(flags);
+  sa_opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 60));
+  auto sa = SaWorkload::Generate(sa_opts);
+  const int hot_preds = static_cast<int>(flags.GetInt("hot_preds", 50));
+
+  OptimizerOptions full;
+  OptimizerOptions no_push = full;
+  no_push.enable_linear_push = false;
+  OptimizerOptions no_merge = full;
+  no_merge.enable_stage_merge = false;
+  OptimizerOptions no_inline = full;
+  no_inline.enable_inline = false;
+
+  // Untimed warm pass (page in the shared dictionaries).
+  (void)Measure(sa, full, 5, 9000);
+
+  struct Row {
+    const char* name;
+    OptimizerOptions opts;
+  } rows[] = {
+      {"full optimizer", full},
+      {"no linear push", no_push},
+      {"no stage merge", no_merge},
+      {"no inlining", no_inline},
+  };
+  AblationPoint base;
+  std::printf("  %-18s %-12s %-14s %-12s %-10s\n", "configuration", "stages",
+              "hot latency", "compile", "vs full");
+  for (const auto& row : rows) {
+    auto point = Measure(sa, row.opts, hot_preds, 9001);
+    if (row.name == rows[0].name) {
+      base = point;
+    }
+    std::printf("  %-18s %-12.1f %-14s %-12.1fms %.2fx\n", row.name, point.stages,
+                FormatDurationNs(point.hot_ns).c_str(), point.compile_ms,
+                point.hot_ns / base.hot_ns);
+  }
+
+  auto no_push_point = Measure(sa, no_push, hot_preds, 9001);
+  ShapeCheck(no_push_point.hot_ns > base.hot_ns,
+             "pushing the linear model through Concat speeds up SA plans "
+             "(paper: 'several times faster than the ML.Net version')");
+  ShapeCheck(no_push_point.stages > base.stages,
+             "without the push, plans keep the Concat (+ model) stages");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared helpers for the figure/table reproduction harnesses: a small flag
+// parser, standard workload scales, and table printing. Every bench binary
+// prints the rows/series of its paper figure plus SHAPE-CHECK lines that
+// verify the qualitative claims (who wins, by roughly what factor).
+//
+// Scale note: the paper's pipelines carry 59-83 MB n-gram dictionaries; the
+// 250-copies baselines would need >> 32 GB here, so dictionaries are scaled
+// down by default (--char_entries, --pipelines). Experiments report ratios,
+// which the scaling preserves; see EXPERIMENTS.md.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/blackbox/blackbox_model.h"
+#include "src/clipper/container.h"
+#include "src/common/stats.h"
+#include "src/workload/ac_workload.h"
+#include "src/workload/sa_workload.h"
+
+namespace pretzel {
+
+// ---------------------------------------------------------------------------
+// Flags: --name=value (integers) parsed from argv.
+
+class BenchFlags {
+ public:
+  BenchFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        continue;
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        flags_.emplace_back(arg + 2, "1");
+      } else {
+        flags_.emplace_back(std::string(arg + 2, eq - arg - 2), eq + 1);
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    for (const auto& [k, v] : flags_) {
+      if (k == name) {
+        return std::atoll(v.c_str());
+      }
+    }
+    return def;
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    return GetInt(name, def ? 1 : 0) != 0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+};
+
+// ---------------------------------------------------------------------------
+// Standard workload scales.
+
+inline SaWorkloadOptions DefaultSaOptions(const BenchFlags& flags) {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 250));
+  opts.char_dict_entries = static_cast<size_t>(flags.GetInt("char_entries", 8000));
+  opts.word_dict_entries = static_cast<size_t>(flags.GetInt("word_entries", 2000));
+  opts.vocabulary_size = static_cast<size_t>(flags.GetInt("vocab", 4000));
+  return opts;
+}
+
+inline AcWorkloadOptions DefaultAcOptions(const BenchFlags& flags) {
+  AcWorkloadOptions opts;
+  opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 250));
+  opts.featurizer_trees = static_cast<size_t>(flags.GetInt("feat_trees", 48));
+  opts.featurizer_depth = static_cast<size_t>(flags.GetInt("feat_depth", 7));
+  opts.final_trees = static_cast<size_t>(flags.GetInt("final_trees", 24));
+  opts.final_depth = static_cast<size_t>(flags.GetInt("final_depth", 5));
+  return opts;
+}
+
+// Memory constants for the baseline emulations (scaled with the workload;
+// rationale in EXPERIMENTS.md).
+inline constexpr size_t kPerModelRuntimeBytes = 512ull << 10;   // ML.Net runtime/model.
+inline constexpr size_t kContainerOverheadBytes = 2ull << 20;   // Docker overhead.
+
+// ---------------------------------------------------------------------------
+// Output helpers.
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n  %s\n", experiment, description);
+  std::printf("  host: %u hardware threads\n", std::thread::hardware_concurrency());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintCdfSummary(const char* label, const SampleStats& stats) {
+  std::printf("  %-28s n=%-7zu p50=%-10s p99=%-10s worst=%s\n", label,
+              stats.count(), FormatDurationNs(stats.Median()).c_str(),
+              FormatDurationNs(stats.P99()).c_str(),
+              FormatDurationNs(stats.Max()).c_str());
+}
+
+inline void PrintCdfSeries(const char* label, const SampleStats& stats,
+                           size_t points = 20) {
+  std::printf("  CDF %s:\n", label);
+  for (const auto& [value, frac] : stats.Cdf(points)) {
+    std::printf("    %6.2f%%  %s\n", frac * 100.0, FormatDurationNs(value).c_str());
+  }
+}
+
+// A qualitative claim from the paper, verified against measured data.
+inline bool ShapeCheck(bool condition, const char* claim) {
+  std::printf("  SHAPE-CHECK %-4s %s\n", condition ? "PASS" : "FAIL", claim);
+  return condition;
+}
+
+}  // namespace pretzel
+
+#endif  // BENCH_BENCH_UTIL_H_

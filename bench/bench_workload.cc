@@ -1,0 +1,104 @@
+// Table 1 + Figure 3: workload characterization. Prints the pipeline suite
+// characteristics (input kind, size ranges) and the operator-sharing
+// histogram across the SA pipelines with per-version sizes, mirroring the
+// published figure.
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/ops/op_kind.h"
+
+namespace pretzel {
+namespace {
+
+void PrintTable1(const SaWorkload& sa, const AcWorkload& ac) {
+  PrintHeader("Table 1", "Characteristics of pipelines in experiments");
+  auto size_range = [](const std::vector<PipelineSpec>& specs) {
+    size_t lo = SIZE_MAX, hi = 0, sum = 0;
+    for (const auto& s : specs) {
+      const size_t b = s.ParameterBytes();
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+      sum += b;
+    }
+    return std::tuple<size_t, size_t, size_t>(lo, hi, sum / specs.size());
+  };
+  auto [sa_lo, sa_hi, sa_mean] = size_range(sa.pipelines());
+  auto [ac_lo, ac_hi, ac_mean] = size_range(ac.pipelines());
+  std::printf("  %-12s | %-28s | %-28s\n", "", "Sentiment Analysis (SA)",
+              "Attendee Count (AC)");
+  std::printf("  %-12s | %-28s | %-28s\n", "Input", "Plain text (variable length)",
+              "Structured text (40 dims)");
+  std::printf("  %-12s | %s - %s (mean %s)%-4s | %s - %s (mean %s)\n", "Size",
+              FormatBytes(sa_lo).c_str(), FormatBytes(sa_hi).c_str(),
+              FormatBytes(sa_mean).c_str(), "",
+              FormatBytes(ac_lo).c_str(), FormatBytes(ac_hi).c_str(),
+              FormatBytes(ac_mean).c_str());
+  std::printf("  %-12s | %-28s | %-28s\n", "Featurizers",
+              "N-grams with dictionaries", "PCA, KMeans, TreeFeaturizer");
+  std::printf("  (paper: SA 50-100MB mean 70MB, AC 10KB-20MB mean 9MB;\n"
+              "   sizes here are scaled down, ratios preserved)\n\n");
+}
+
+void PrintFigure3(const SaWorkload& sa) {
+  PrintHeader("Figure 3", "Operator sharing across SA pipelines (count x size)");
+  // Group each operator position by content checksum.
+  struct VersionInfo {
+    int count = 0;
+    size_t bytes = 0;
+  };
+  std::map<std::string, std::map<uint64_t, VersionInfo>> by_op;
+  for (const auto& spec : sa.pipelines()) {
+    for (const auto& node : spec.nodes) {
+      const std::string op(OpKindName(node.params->kind()));
+      auto& v = by_op[op][node.params->ContentChecksum()];
+      v.count++;
+      v.bytes = node.params->HeapBytes();
+    }
+  }
+  for (const auto& [op, versions] : by_op) {
+    std::vector<VersionInfo> sorted;
+    for (const auto& [ck, info] : versions) {
+      sorted.push_back(info);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const VersionInfo& a, const VersionInfo& b) {
+                return a.count > b.count;
+              });
+    std::printf("  %-20s %zu version(s):", op.c_str(), sorted.size());
+    size_t shown = 0;
+    for (const auto& v : sorted) {
+      if (shown++ == 8) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf("  %dx %s", v.count, FormatBytes(v.bytes).c_str());
+    }
+    std::printf("\n");
+  }
+
+  const auto& tok = by_op["Tokenizer"];
+  const auto& cn = by_op["CharNgram"];
+  const auto& wn = by_op["WordNgram"];
+  const auto& lr = by_op["LinearBinary"];
+  ShapeCheck(tok.size() == 1, "Tokenizer shared (same params) by all pipelines");
+  ShapeCheck(cn.size() >= 2 && cn.size() <= 8,
+             "CharNgram has only a handful of versions (paper: 7)");
+  ShapeCheck(wn.size() >= 2 && wn.size() <= 8,
+             "WordNgram has only a handful of versions (paper: 6)");
+  ShapeCheck(lr.size() == sa.pipelines().size(),
+             "Linear model weights are unique per pipeline (never shared)");
+}
+
+}  // namespace
+}  // namespace pretzel
+
+int main(int argc, char** argv) {
+  pretzel::BenchFlags flags(argc, argv);
+  auto sa = pretzel::SaWorkload::Generate(pretzel::DefaultSaOptions(flags));
+  auto ac = pretzel::AcWorkload::Generate(pretzel::DefaultAcOptions(flags));
+  pretzel::PrintTable1(sa, ac);
+  pretzel::PrintFigure3(sa);
+  return 0;
+}
