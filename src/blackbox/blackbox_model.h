@@ -1,0 +1,62 @@
+// BlackBoxModel: the ML.Net-style baseline. Each model is loaded from a
+// serialized image with NO cross-model sharing (every load deserializes
+// every dictionary), executes operator-at-a-time with per-operator boxed
+// buffers, and carries a per-model runtime overhead. The numeric kernels
+// are the same ones PRETZEL plans call, so figure comparisons isolate the
+// execution model, not kernel quality.
+#ifndef PRETZEL_BLACKBOX_BLACKBOX_MODEL_H_
+#define PRETZEL_BLACKBOX_BLACKBOX_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ops/params.h"
+#include "src/store/model_loader.h"
+
+namespace pretzel {
+
+struct BlackBoxOptions {
+  // Emulated per-model runtime footprint (the managed runtime + model host
+  // ML.Net keeps resident per loaded model); see EXPERIMENTS.md.
+  size_t per_model_runtime_bytes = 0;
+  // Record per-operator wall time (Figure 5's latency breakdown).
+  bool record_op_breakdown = false;
+};
+
+class BlackBoxModel {
+ public:
+  // Full deserialization of every operator in the image — the black-box
+  // cold-start cost.
+  static Result<std::unique_ptr<BlackBoxModel>> Load(const std::string& image,
+                                                     const BlackBoxOptions& options);
+
+  // Operator-at-a-time execution with freshly allocated (boxed) buffers per
+  // operator, as a runtime without whole-pipeline visibility must run.
+  Result<float> Predict(const std::string& input);
+
+  // Explicit byte accounting: private parameters + per-model runtime.
+  size_t MemoryBytes() const {
+    return spec_.ParameterBytes() + options_.per_model_runtime_bytes;
+  }
+
+  const PipelineSpec& spec() const { return spec_; }
+  // Cumulative per-node execution time, index-aligned with spec().nodes.
+  const std::vector<int64_t>& op_times_ns() const { return op_times_ns_; }
+
+ private:
+  BlackBoxModel(PipelineSpec spec, const BlackBoxOptions& options);
+
+  Result<float> PredictText(const std::string& input);
+  Result<float> PredictDense(const std::string& input);
+
+  PipelineSpec spec_;
+  BlackBoxOptions options_;
+  std::vector<int64_t> op_times_ns_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_BLACKBOX_BLACKBOX_MODEL_H_

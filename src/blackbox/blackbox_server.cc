@@ -1,0 +1,67 @@
+#include "src/blackbox/blackbox_server.h"
+
+namespace pretzel {
+
+Status BlackBoxServer::AddModelImage(const std::string& name, std::string image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = models_.try_emplace(name);
+  if (!inserted) {
+    return Status::InvalidArgument("model already registered: " + name);
+  }
+  it->second.image = std::move(image);
+  names_.push_back(name);
+  return Status::OK();
+}
+
+Result<float> BlackBoxServer::Predict(const std::string& name,
+                                      const std::string& input, bool* was_cold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound(name);
+  }
+  Entry& entry = it->second;
+  if (was_cold != nullptr) {
+    *was_cold = entry.model == nullptr;
+  }
+  if (entry.model == nullptr) {
+    auto model = BlackBoxModel::Load(entry.image, options_);
+    if (!model.ok()) {
+      return model.status();
+    }
+    entry.model = std::move(*model);
+  }
+  return entry.model->Predict(input);
+}
+
+std::vector<std::string> BlackBoxServer::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
+Result<std::unique_ptr<BlackBoxModel>> BlackBoxServer::CreateReplica(
+    const std::string& name) const {
+  std::string image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      return Status::NotFound(name);
+    }
+    image = it->second.image;
+  }
+  return BlackBoxModel::Load(image, options_);
+}
+
+size_t BlackBoxServer::LoadedMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, entry] : models_) {
+    if (entry.model != nullptr) {
+      total += entry.model->MemoryBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace pretzel

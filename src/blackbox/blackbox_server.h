@@ -1,0 +1,53 @@
+// BlackBoxServer: the ML.Net-style serving host. Models are registered as
+// images and loaded lazily on first prediction (the cold-start Figure 4
+// measures); every loaded model is private, and per-thread scaling requires
+// explicit replicas (private parameter copies — the baseline Figure 12
+// shows failing to share cache).
+#ifndef PRETZEL_BLACKBOX_BLACKBOX_SERVER_H_
+#define PRETZEL_BLACKBOX_BLACKBOX_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blackbox/blackbox_model.h"
+
+namespace pretzel {
+
+class BlackBoxServer {
+ public:
+  explicit BlackBoxServer(const BlackBoxOptions& options) : options_(options) {}
+
+  Status AddModelImage(const std::string& name, std::string image);
+
+  // Lazily loads on first use; *was_cold reports whether this call paid the
+  // load.
+  Result<float> Predict(const std::string& name, const std::string& input,
+                        bool* was_cold = nullptr);
+
+  std::vector<std::string> ModelNames() const;
+
+  // A fresh private copy of the model (deserialized from the image), for
+  // per-thread replication.
+  Result<std::unique_ptr<BlackBoxModel>> CreateReplica(const std::string& name) const;
+
+  // Explicit byte accounting over all currently loaded models.
+  size_t LoadedMemoryBytes() const;
+
+ private:
+  struct Entry {
+    std::string image;
+    std::unique_ptr<BlackBoxModel> model;  // Null until first prediction.
+  };
+
+  const BlackBoxOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> models_;
+  std::vector<std::string> names_;  // Registration order.
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_BLACKBOX_BLACKBOX_SERVER_H_

@@ -1,0 +1,68 @@
+#include "src/clipper/container.h"
+
+#include "src/common/clock.h"
+
+namespace pretzel {
+
+Result<std::unique_ptr<Container>> Container::Deploy(
+    std::string name, const std::string& image, const ContainerOptions& options) {
+  auto model = BlackBoxModel::Load(image, options.blackbox);
+  if (!model.ok()) {
+    return model.status();
+  }
+  return std::unique_ptr<Container>(
+      new Container(std::move(name), std::move(*model), options));
+}
+
+Result<float> Container::Predict(const std::string& input) {
+  // The container's single handler thread reads the RPC, predicts, and
+  // writes the reply — all serialized.
+  std::lock_guard<std::mutex> lock(handler_mu_);
+  SleepUs(options_.rpc_delay_us);
+  Result<float> result = model_->Predict(input);
+  SleepUs(options_.rpc_delay_us);
+  return result;
+}
+
+Status ClipperCluster::Deploy(const std::string& name, const std::string& image) {
+  auto container = Container::Deploy(name, image, options_);
+  if (!container.ok()) {
+    return container.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = containers_.try_emplace(name, std::move(*container));
+  if (!inserted) {
+    return Status::InvalidArgument("container already deployed: " + name);
+  }
+  return Status::OK();
+}
+
+Result<float> ClipperCluster::Predict(const std::string& name,
+                                      const std::string& input) {
+  Container* container = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = containers_.find(name);
+    if (it == containers_.end()) {
+      return Status::NotFound(name);
+    }
+    container = it->second.get();
+  }
+  return container->Predict(input);
+}
+
+size_t ClipperCluster::NumContainers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return containers_.size();
+}
+
+size_t ClipperCluster::TotalMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, container] : containers_) {
+    total += container->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace pretzel

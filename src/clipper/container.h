@@ -1,0 +1,75 @@
+// Clipper-style container emulation: one black-box model per container,
+// reached over an in-cluster RPC hop, handled by the container's single
+// request thread. The per-container memory overhead and the serialized
+// request handling are the two structural costs the paper's ML.Net+Clipper
+// baseline pays (Figures 8, 11, 14).
+#ifndef PRETZEL_CLIPPER_CONTAINER_H_
+#define PRETZEL_CLIPPER_CONTAINER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blackbox/blackbox_model.h"
+
+namespace pretzel {
+
+struct ContainerOptions {
+  // One-way in-cluster RPC latency between the serving tier and the
+  // container (the paper's second network boundary).
+  int64_t rpc_delay_us = 100;
+  // Per-container image/runtime overhead (Docker + serving shim).
+  size_t container_overhead_bytes = 0;
+  BlackBoxOptions blackbox;
+};
+
+// A deployed model container. Requests serialize through the container's
+// single handler thread: the RPC read, the prediction, and the RPC write
+// are all handled by that one thread, which is what saturates under a
+// skewed load.
+class Container {
+ public:
+  static Result<std::unique_ptr<Container>> Deploy(std::string name,
+                                                   const std::string& image,
+                                                   const ContainerOptions& options);
+
+  Result<float> Predict(const std::string& input);
+
+  size_t MemoryBytes() const {
+    return model_->MemoryBytes() + options_.container_overhead_bytes;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  Container(std::string name, std::unique_ptr<BlackBoxModel> model,
+            const ContainerOptions& options)
+      : name_(std::move(name)), model_(std::move(model)), options_(options) {}
+
+  const std::string name_;
+  std::unique_ptr<BlackBoxModel> model_;
+  const ContainerOptions options_;
+  std::mutex handler_mu_;  // The container's single request handler.
+};
+
+// The container fleet: one container per deployed model.
+class ClipperCluster {
+ public:
+  explicit ClipperCluster(const ContainerOptions& options) : options_(options) {}
+
+  Status Deploy(const std::string& name, const std::string& image);
+  Result<float> Predict(const std::string& name, const std::string& input);
+
+  size_t NumContainers() const;
+  size_t TotalMemoryBytes() const;
+
+ private:
+  const ContainerOptions options_;
+  mutable std::mutex mu_;  // Guards the route table, not request handling.
+  std::unordered_map<std::string, std::unique_ptr<Container>> containers_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_CLIPPER_CONTAINER_H_

@@ -1,0 +1,27 @@
+// Monotonic nanosecond clock used by every measurement path.
+#ifndef PRETZEL_COMMON_CLOCK_H_
+#define PRETZEL_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace pretzel {
+
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Sleep helper for the emulated network/RPC hops. sleep_for overshoots by the
+// scheduler quantum on loaded hosts, which both emulated systems pay equally.
+inline void SleepUs(int64_t us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_CLOCK_H_

@@ -1,0 +1,66 @@
+// Deterministic, fast PRNG (splitmix64 core). Workload generation and the
+// benches need repeatable streams across runs and platforms, so std::mt19937
+// distributions (implementation-defined sequences for some distributions) are
+// avoided in favour of explicit arithmetic.
+#ifndef PRETZEL_COMMON_RNG_H_
+#define PRETZEL_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace pretzel {
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(SplitMix64(seed ^ 0x1234567890abcdefull)) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double Uniform01() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  // Standard normal via Box-Muller (one value per call; the spare is kept).
+  double Normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = Uniform01();
+    double u2 = Uniform01();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_RNG_H_

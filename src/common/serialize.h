@@ -1,0 +1,29 @@
+// POD framing helpers shared by the params and model-image serializers.
+#ifndef PRETZEL_COMMON_SERIALIZE_H_
+#define PRETZEL_COMMON_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace pretzel {
+
+template <typename T>
+inline void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Advances *p past the value on success; leaves it untouched on truncation.
+template <typename T>
+inline bool ReadPod(const char** p, const char* end, T* out) {
+  if (static_cast<size_t>(end - *p) < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(out, *p, sizeof(T));
+  *p += sizeof(T);
+  return true;
+}
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_SERIALIZE_H_

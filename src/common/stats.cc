@@ -1,0 +1,98 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pretzel {
+
+void SampleStats::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double SampleStats::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double SampleStats::Percentile(double pct) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  pct = std::min(100.0, std::max(0.0, pct));
+  // Nearest-rank: smallest value with at least pct% of the sample at or
+  // below it.
+  const double rank = pct / 100.0 * static_cast<double>(sorted_.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) {
+    --idx;
+  }
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+std::vector<std::pair<double, double>> SampleStats::Cdf(size_t points) const {
+  std::vector<std::pair<double, double>> cdf;
+  EnsureSorted();
+  if (sorted_.empty() || points == 0) {
+    return cdf;
+  }
+  cdf.reserve(points);
+  for (size_t j = 1; j <= points; ++j) {
+    const double frac = static_cast<double>(j) / static_cast<double>(points);
+    cdf.emplace_back(Percentile(frac * 100.0), frac);
+  }
+  return cdf;
+}
+
+std::string FormatDurationNs(double ns) {
+  char buf[64];
+  const double abs = std::fabs(ns);
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  } else if (bytes < (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / (1ull << 10));
+  } else if (bytes < (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", b / (1ull << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", b / (1ull << 30));
+  }
+  return buf;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,69 @@
+// Minimal Status / Result<T> error plumbing shared by every layer. Modeled
+// on absl::Status but header-only and dependency-free: a Status is either OK
+// or carries a message; a Result<T> is a Status or a value.
+#ifndef PRETZEL_COMMON_STATUS_H_
+#define PRETZEL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace pretzel {
+
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  static Status OK() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+  static Status NotFound(std::string message) {
+    return Error("not found: " + std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Error("invalid argument: " + std::move(message));
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const { return ok_ ? "OK" : message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+  T&& operator*() && { return std::move(value_); }
+
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_STATUS_H_

@@ -1,0 +1,19 @@
+#include "src/flour/flour.h"
+
+namespace pretzel {
+
+std::unique_ptr<LogicalProgram> FlourContext::FromPipeline(
+    const PipelineSpec& spec) {
+  auto program = std::make_unique<LogicalProgram>();
+  program->source_name = spec.name;
+  program->store = store_;
+  program->ops.reserve(spec.nodes.size());
+  for (const auto& node : spec.nodes) {
+    LogicalOp op;
+    op.params = store_ != nullptr ? store_->Intern(node.params) : node.params;
+    program->ops.push_back(std::move(op));
+  }
+  return program;
+}
+
+}  // namespace pretzel

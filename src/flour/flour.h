@@ -1,0 +1,55 @@
+// Flour: the logical pipeline API. A FlourContext turns a PipelineSpec into
+// a LogicalProgram whose operator parameters have been interned through the
+// Object Store — after this point every downstream layer (Oven, Runtime)
+// references shared immutable state, never private copies.
+#ifndef PRETZEL_FLOUR_FLOUR_H_
+#define PRETZEL_FLOUR_FLOUR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ops/params.h"
+#include "src/store/object_store.h"
+
+namespace pretzel {
+
+struct LogicalOp {
+  std::shared_ptr<const OpParams> params;
+};
+
+// A validated, store-interned operator DAG (linear chain with implicit
+// branch/join structure derived from operator kinds, matching the two
+// pipeline families the workloads emit).
+struct LogicalProgram {
+  std::string source_name;
+  std::vector<LogicalOp> ops;
+  ObjectStore* store = nullptr;
+
+  size_t ParameterBytes() const {
+    size_t total = 0;
+    for (const auto& op : ops) {
+      total += op.params->HeapBytes();
+    }
+    return total;
+  }
+};
+
+class FlourContext {
+ public:
+  explicit FlourContext(ObjectStore* store) : store_(store) {}
+
+  // Builds a logical program, interning every operator's parameters into
+  // the context's Object Store.
+  std::unique_ptr<LogicalProgram> FromPipeline(const PipelineSpec& spec);
+
+  ObjectStore* store() const { return store_; }
+
+ private:
+  ObjectStore* store_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_FLOUR_FLOUR_H_

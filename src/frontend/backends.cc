@@ -1,0 +1,29 @@
+#include "src/frontend/backends.h"
+
+namespace pretzel {
+
+void PretzelBackend::AddRoute(const std::string& name, Runtime::PlanId id) {
+  std::unique_lock lock(mu_);
+  routes_[name] = id;
+}
+
+Result<float> PretzelBackend::Predict(const std::string& name,
+                                      const std::string& input) {
+  Runtime::PlanId id;
+  {
+    std::shared_lock lock(mu_);
+    auto it = routes_.find(name);
+    if (it == routes_.end()) {
+      return Status::NotFound(name);
+    }
+    id = it->second;
+  }
+  return runtime_->Predict(id, input);
+}
+
+Result<float> ClipperBackend::Predict(const std::string& name,
+                                      const std::string& input) {
+  return cluster_->Predict(name, input);
+}
+
+}  // namespace pretzel

@@ -1,0 +1,44 @@
+// Concrete FrontEnd backends: PRETZEL's in-process Runtime and the
+// ML.Net+Clipper container cluster, so the two systems are compared behind
+// the same client-facing tier (Figures 11 and 14).
+#ifndef PRETZEL_FRONTEND_BACKENDS_H_
+#define PRETZEL_FRONTEND_BACKENDS_H_
+
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/clipper/container.h"
+#include "src/frontend/frontend.h"
+#include "src/runtime/runtime.h"
+
+namespace pretzel {
+
+class PretzelBackend : public Backend {
+ public:
+  explicit PretzelBackend(Runtime* runtime) : runtime_(runtime) {}
+
+  // Routes are added during deployment, before serving starts.
+  void AddRoute(const std::string& name, Runtime::PlanId id);
+
+  Result<float> Predict(const std::string& name, const std::string& input) override;
+
+ private:
+  Runtime* runtime_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Runtime::PlanId> routes_;
+};
+
+class ClipperBackend : public Backend {
+ public:
+  explicit ClipperBackend(ClipperCluster* cluster) : cluster_(cluster) {}
+
+  Result<float> Predict(const std::string& name, const std::string& input) override;
+
+ private:
+  ClipperCluster* cluster_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_FRONTEND_BACKENDS_H_

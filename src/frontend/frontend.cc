@@ -1,0 +1,68 @@
+#include "src/frontend/frontend.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+
+namespace pretzel {
+
+FrontEnd::FrontEnd(Backend* backend, const FrontEndOptions& options)
+    : backend_(backend), options_(options) {
+  const size_t threads = std::max<size_t>(1, options_.num_io_threads);
+  io_threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    io_threads_.emplace_back([this] { IoLoop(); });
+  }
+}
+
+FrontEnd::~FrontEnd() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : io_threads_) {
+    thread.join();
+  }
+}
+
+Result<float> FrontEnd::Request(const std::string& name,
+                                const std::string& input) {
+  SleepUs(options_.network_delay_us);  // Client -> frontend.
+  Result<float> result = backend_->Predict(name, input);
+  SleepUs(options_.network_delay_us);  // Frontend -> client.
+  return result;
+}
+
+void FrontEnd::RequestAsync(const std::string& name, const std::string& input,
+                            std::function<void(Result<float>)> callback) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(PendingRequest{name, input, std::move(callback)});
+  }
+  cv_.notify_one();
+}
+
+void FrontEnd::IoLoop() {
+  while (true) {
+    PendingRequest request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) {
+          return;
+        }
+        continue;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    SleepUs(options_.network_delay_us);
+    Result<float> result = backend_->Predict(request.name, request.input);
+    SleepUs(options_.network_delay_us);
+    request.callback(std::move(result));
+  }
+}
+
+}  // namespace pretzel

@@ -1,0 +1,69 @@
+// FrontEnd: the client-facing serving tier (the paper's ASP.Net front-end).
+// Every request pays an emulated client<->frontend network hop each way;
+// asynchronous requests are handled by a small IO thread pool, which is the
+// concurrency limit a real HTTP tier would impose.
+#ifndef PRETZEL_FRONTEND_FRONTEND_H_
+#define PRETZEL_FRONTEND_FRONTEND_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pretzel {
+
+// Anything that can answer a named prediction request.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual Result<float> Predict(const std::string& name,
+                                const std::string& input) = 0;
+};
+
+struct FrontEndOptions {
+  int64_t network_delay_us = 150;  // One-way client <-> frontend hop.
+  size_t num_io_threads = 2;
+};
+
+class FrontEnd {
+ public:
+  FrontEnd(Backend* backend, const FrontEndOptions& options);
+  ~FrontEnd();
+
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  // Synchronous request on the caller's thread (hop + predict + hop).
+  Result<float> Request(const std::string& name, const std::string& input);
+
+  // Queues the request for the IO pool; the callback fires from an IO
+  // thread after the response hop.
+  void RequestAsync(const std::string& name, const std::string& input,
+                    std::function<void(Result<float>)> callback);
+
+ private:
+  struct PendingRequest {
+    std::string name;
+    std::string input;
+    std::function<void(Result<float>)> callback;
+  };
+
+  void IoLoop();
+
+  Backend* backend_;
+  const FrontEndOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> io_threads_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_FRONTEND_FRONTEND_H_

@@ -1,0 +1,160 @@
+#include "src/ops/kernels.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace pretzel {
+
+void HashDict::Reserve(size_t expected_entries) {
+  size_t cap = 16;
+  // Keep load factor under ~0.7.
+  while (cap * 7 / 10 < expected_entries + 1) {
+    cap <<= 1;
+  }
+  slots_.assign(cap, Slot{});
+  mask_ = cap - 1;
+  size_ = 0;
+}
+
+bool HashDict::Insert(uint64_t key, uint32_t id) {
+  if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+    // Grow: rebuild with doubled capacity.
+    std::vector<Slot> old = std::move(slots_);
+    Reserve(std::max<size_t>(size_ * 2, 16));
+    for (const Slot& s : old) {
+      if (s.key != kEmpty) {
+        Insert(s.key, s.id);
+      }
+    }
+  }
+  size_t i = Mix(key) & mask_;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.key == key) {
+      return false;
+    }
+    if (s.key == kEmpty) {
+      s.key = key;
+      s.id = id;
+      ++size_;
+      return true;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void TokenizeText(const std::string& input, std::string* text,
+                  std::vector<std::pair<uint32_t, uint32_t>>* spans) {
+  text->clear();
+  spans->clear();
+  text->reserve(input.size());
+  uint32_t token_begin = 0;
+  bool in_token = false;
+  for (const char raw : input) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (!in_token) {
+        token_begin = static_cast<uint32_t>(text->size());
+        in_token = true;
+      }
+      text->push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      if (in_token) {
+        spans->emplace_back(token_begin, static_cast<uint32_t>(text->size()));
+        in_token = false;
+      }
+      // Normalize separators to a single space so char n-grams can cross
+      // word boundaries the way ML.Net's char n-grams do.
+      if (!text->empty() && text->back() != ' ') {
+        text->push_back(' ');
+      }
+    }
+  }
+  if (in_token) {
+    spans->emplace_back(token_begin, static_cast<uint32_t>(text->size()));
+  }
+}
+
+void MatVec(const float* matrix, size_t out_dim, size_t in_dim, const float* in,
+            float* out) {
+  for (size_t r = 0; r < out_dim; ++r) {
+    const float* row = matrix + r * in_dim;
+    float acc = 0.0f;
+    for (size_t c = 0; c < in_dim; ++c) {
+      acc += row[c] * in[c];
+    }
+    out[r] = acc;
+  }
+}
+
+void KMeansTransform(const float* centroids, size_t k, size_t dim,
+                     const float* in, float* out) {
+  for (size_t i = 0; i < k; ++i) {
+    const float* c = centroids + i * dim;
+    float d2 = 0.0f;
+    for (size_t j = 0; j < dim; ++j) {
+      const float d = in[j] - c[j];
+      d2 += d * d;
+    }
+    out[i] = -d2;
+  }
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+size_t ParseDenseInput(const std::string& input, std::vector<float>* out) {
+  out->clear();
+  const char* p = input.c_str();
+  const char* end = p + input.size();
+  while (p < end) {
+    char* next = nullptr;
+    const float v = std::strtof(p, &next);
+    if (next == p) {
+      ++p;
+      continue;
+    }
+    out->push_back(v);
+    p = next;
+    while (p < end && (*p == ',' || *p == ' ')) {
+      ++p;
+    }
+  }
+  return out->size();
+}
+
+namespace {
+
+int32_t BuildTree(Forest* forest, size_t features, size_t depth, Rng& rng) {
+  TreeNode node;
+  if (depth == 0) {
+    node.feature = -1;
+    node.value = static_cast<float>(rng.Normal()) * 0.25f;
+    forest->nodes.push_back(node);
+    return static_cast<int32_t>(forest->nodes.size() - 1);
+  }
+  node.feature = static_cast<int16_t>(rng.UniformInt(features));
+  node.threshold = static_cast<float>(rng.Normal());
+  forest->nodes.push_back(node);
+  const int32_t idx = static_cast<int32_t>(forest->nodes.size() - 1);
+  const int32_t left = BuildTree(forest, features, depth - 1, rng);
+  const int32_t right = BuildTree(forest, features, depth - 1, rng);
+  forest->nodes[idx].left = left;
+  forest->nodes[idx].right = right;
+  return idx;
+}
+
+}  // namespace
+
+Forest BuildRandomForest(size_t trees, size_t features, size_t depth, Rng& rng) {
+  Forest forest;
+  forest.num_features = features;
+  forest.roots.reserve(trees);
+  forest.nodes.reserve(trees * ((size_t{1} << (depth + 1)) - 1));
+  for (size_t t = 0; t < trees; ++t) {
+    forest.roots.push_back(BuildTree(&forest, features, depth, rng));
+  }
+  return forest;
+}
+
+}  // namespace pretzel

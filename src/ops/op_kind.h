@@ -1,0 +1,46 @@
+// Logical operator vocabulary shared by Flour programs, Oven plans, the
+// workload generators, and the black-box baseline.
+#ifndef PRETZEL_OPS_OP_KIND_H_
+#define PRETZEL_OPS_OP_KIND_H_
+
+namespace pretzel {
+
+enum class OpKind {
+  kTokenizer,       // Text -> lowercased token spans.
+  kCharNgram,       // Token stream -> char n-gram dictionary hits.
+  kWordNgram,       // Token stream -> word n-gram dictionary hits.
+  kConcat,          // Branch outputs -> one feature space.
+  kLinearBinary,    // Features -> calibrated binary score.
+  kPca,             // Dense input -> projection.
+  kKMeans,          // Dense input -> centroid distance features.
+  kTreeFeaturizer,  // Dense input -> per-tree margin features.
+  kForest,          // Dense features -> tree-ensemble score.
+};
+
+inline const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kTokenizer:
+      return "Tokenizer";
+    case OpKind::kCharNgram:
+      return "CharNgram";
+    case OpKind::kWordNgram:
+      return "WordNgram";
+    case OpKind::kConcat:
+      return "Concat";
+    case OpKind::kLinearBinary:
+      return "LinearBinary";
+    case OpKind::kPca:
+      return "Pca";
+    case OpKind::kKMeans:
+      return "KMeans";
+    case OpKind::kTreeFeaturizer:
+      return "TreeFeaturizer";
+    case OpKind::kForest:
+      return "Forest";
+  }
+  return "Unknown";
+}
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_OPS_OP_KIND_H_

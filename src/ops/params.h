@@ -1,0 +1,178 @@
+// Typed, immutable operator parameters plus the PipelineSpec they hang off.
+// Parameters are the unit of sharing in PRETZEL: every params object carries
+// a content checksum, and the Object Store interns params by checksum so
+// pipelines built from the same dictionaries/models share one copy.
+#ifndef PRETZEL_OPS_PARAMS_H_
+#define PRETZEL_OPS_PARAMS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ops/kernels.h"
+#include "src/ops/op_kind.h"
+
+namespace pretzel {
+
+class OpParams {
+ public:
+  virtual ~OpParams() = default;
+
+  OpKind kind() const { return kind_; }
+  // Stable content hash: identical logical content (regardless of how the
+  // object was built — generated or deserialized) yields the same checksum.
+  uint64_t ContentChecksum() const { return checksum_; }
+  // Resident parameter memory, excluding sizeof(*this).
+  virtual size_t HeapBytes() const = 0;
+  // Appends the serialized body (no kind/length framing) to `out`.
+  virtual void Serialize(std::string* out) const = 0;
+
+ protected:
+  explicit OpParams(OpKind kind) : kind_(kind) {}
+  void set_checksum(uint64_t ck) { checksum_ = ck == 0 ? 1 : ck; }
+
+ private:
+  OpKind kind_;
+  uint64_t checksum_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+
+struct TokenizerParams : public OpParams {
+  TokenizerParams();
+  size_t HeapBytes() const override { return 64; }  // Nominal tables.
+  void Serialize(std::string* out) const override;
+};
+
+struct CharNgramParams : public OpParams {
+  HashDict dict;
+  NgramScanConfig scan;
+
+  CharNgramParams() : OpParams(OpKind::kCharNgram) {}
+  // Recomputes the checksum from content; call once after filling `dict`.
+  void Finalize();
+  size_t HeapBytes() const override { return dict.HeapBytes(); }
+  void Serialize(std::string* out) const override;
+};
+
+struct WordNgramParams : public OpParams {
+  HashDict dict;
+  NgramScanConfig scan;
+
+  WordNgramParams() : OpParams(OpKind::kWordNgram) {}
+  void Finalize();
+  size_t HeapBytes() const override { return dict.HeapBytes(); }
+  void Serialize(std::string* out) const override;
+};
+
+struct ConcatParams : public OpParams {
+  ConcatParams();
+  size_t HeapBytes() const override { return 0; }
+  void Serialize(std::string* out) const override;
+};
+
+struct LinearBinaryParams : public OpParams {
+  std::vector<float> weights;  // One weight per concatenated feature id.
+  float bias = 0.0f;
+
+  LinearBinaryParams() : OpParams(OpKind::kLinearBinary) {}
+  void Finalize();
+  size_t HeapBytes() const override { return weights.capacity() * sizeof(float); }
+  void Serialize(std::string* out) const override;
+};
+
+struct PcaParams : public OpParams {
+  uint32_t in_dim = 0;
+  uint32_t out_dim = 0;
+  std::vector<float> matrix;  // Row-major out_dim x in_dim.
+
+  PcaParams() : OpParams(OpKind::kPca) {}
+  void Finalize();
+  size_t HeapBytes() const override { return matrix.capacity() * sizeof(float); }
+  void Serialize(std::string* out) const override;
+};
+
+struct KMeansParams : public OpParams {
+  uint32_t dim = 0;
+  uint32_t k = 0;
+  std::vector<float> centroids;  // Row-major k x dim.
+
+  KMeansParams() : OpParams(OpKind::kKMeans) {}
+  void Finalize();
+  size_t HeapBytes() const override { return centroids.capacity() * sizeof(float); }
+  void Serialize(std::string* out) const override;
+};
+
+struct TreeFeaturizerParams : public OpParams {
+  Forest forest;  // One output feature per tree.
+
+  TreeFeaturizerParams() : OpParams(OpKind::kTreeFeaturizer) {}
+  void Finalize();
+  size_t HeapBytes() const override { return forest.HeapBytes(); }
+  void Serialize(std::string* out) const override;
+};
+
+struct ForestParams : public OpParams {
+  Forest forest;  // Summed margins -> score.
+
+  ForestParams() : OpParams(OpKind::kForest) {}
+  void Finalize();
+  size_t HeapBytes() const override { return forest.HeapBytes(); }
+  void Serialize(std::string* out) const override;
+};
+
+// Body-only deserialization; the caller strips any framing first.
+Result<std::shared_ptr<OpParams>> DeserializeOpParams(OpKind kind,
+                                                      const char* data,
+                                                      size_t len);
+
+// ---------------------------------------------------------------------------
+// A logical pipeline: named sequence of operators. This is the unit the
+// workload generators emit, model images serialize, and Flour consumes.
+
+struct PipelineNodeSpec {
+  std::shared_ptr<const OpParams> params;
+};
+
+struct PipelineSpec {
+  std::string name;
+  std::vector<PipelineNodeSpec> nodes;
+
+  size_t ParameterBytes() const {
+    size_t total = 0;
+    for (const auto& node : nodes) {
+      total += node.params->HeapBytes();
+    }
+    return total;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Kernel entry points in terms of params (the names the harnesses use).
+
+inline void TokenizeInto(const std::string& input, const TokenizerParams&,
+                         std::string* text,
+                         std::vector<std::pair<uint32_t, uint32_t>>* spans) {
+  TokenizeText(input, text, spans);
+}
+
+template <typename Fn>
+inline void CharNgramScan(const std::string& text,
+                          const std::vector<std::pair<uint32_t, uint32_t>>&,
+                          const CharNgramParams& params, Fn&& fn) {
+  ScanCharNgrams(text, params.dict, params.scan, static_cast<Fn&&>(fn));
+}
+
+template <typename Fn>
+inline void WordNgramScan(const std::string& text,
+                          const std::vector<std::pair<uint32_t, uint32_t>>& spans,
+                          const WordNgramParams& params, Fn&& fn) {
+  ScanWordNgrams(text, spans, params.dict, params.scan, static_cast<Fn&&>(fn));
+}
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_OPS_PARAMS_H_

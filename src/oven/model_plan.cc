@@ -1,0 +1,219 @@
+#include "src/oven/model_plan.h"
+
+#include <algorithm>
+
+namespace pretzel {
+
+const char* StageKindName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kTokenize:
+      return "Tokenize";
+    case StageKind::kCharScan:
+      return "CharScan";
+    case StageKind::kWordScan:
+      return "WordScan";
+    case StageKind::kConcat:
+      return "Concat";
+    case StageKind::kLinear:
+      return "Linear";
+    case StageKind::kBias:
+      return "Bias";
+    case StageKind::kFusedFeaturize:
+      return "FusedFeaturize";
+    case StageKind::kFusedSaScore:
+      return "FusedSaScore";
+    case StageKind::kParse:
+      return "Parse";
+    case StageKind::kPca:
+      return "Pca";
+    case StageKind::kKMeans:
+      return "KMeans";
+    case StageKind::kTreeFeaturize:
+      return "TreeFeaturize";
+    case StageKind::kForest:
+      return "Forest";
+    case StageKind::kFusedAcFeaturize:
+      return "FusedAcFeaturize";
+  }
+  return "Unknown";
+}
+
+size_t ModelPlan::ParameterBytes() const {
+  size_t total = 0;
+  for (const auto& op : ops_) {
+    total += op.params->HeapBytes();
+  }
+  return total;
+}
+
+size_t ModelPlan::OverheadBytes() const {
+  size_t total = 256 + stages_.capacity() * sizeof(PlanStage) +
+                 ops_.capacity() * sizeof(LogicalOp);
+  if (bound_done_) {
+    total += (text_.char_weights.capacity() + text_.word_weights.capacity()) *
+             sizeof(float);
+    total += dense_.bound_final.HeapBytes();
+  }
+  return total;
+}
+
+void ModelPlan::EnsureBound() const {
+  std::call_once(bind_once_, [this] { BindLocked(); });
+}
+
+void ModelPlan::BindLocked() const {
+  if (family_ == Family::kText) {
+    // Split the linear model's weights along the concat boundary so each
+    // scan branch owns a contiguous weight array.
+    const auto* lin = text_.linear;
+    if (lin != nullptr) {
+      const size_t char_dim = text_.char_dim;
+      const size_t word_dim =
+          std::min(text_.word_dim, lin->weights.size() > char_dim
+                                       ? lin->weights.size() - char_dim
+                                       : 0);
+      text_.char_weights.assign(
+          lin->weights.begin(),
+          lin->weights.begin() +
+              static_cast<ptrdiff_t>(std::min(char_dim, lin->weights.size())));
+      text_.char_weights.resize(char_dim, 0.0f);
+      text_.word_weights.assign(
+          lin->weights.begin() +
+              static_cast<ptrdiff_t>(std::min(char_dim, lin->weights.size())),
+          lin->weights.begin() +
+              static_cast<ptrdiff_t>(
+                  std::min(char_dim + word_dim, lin->weights.size())));
+      text_.word_weights.resize(text_.word_dim, 0.0f);
+      text_.bias = lin->bias;
+    }
+  } else {
+    // Lay the final model out contiguously for this plan.
+    if (dense_.final_forest != nullptr) {
+      dense_.bound_final = dense_.final_forest->forest;
+    }
+  }
+  bound_done_ = true;
+}
+
+namespace {
+
+template <typename T>
+const T* FindParams(const std::vector<LogicalOp>& ops, OpKind kind) {
+  for (const auto& op : ops) {
+    if (op.params->kind() == kind) {
+      return static_cast<const T*>(op.params.get());
+    }
+  }
+  return nullptr;
+}
+
+bool HasKind(const std::vector<LogicalOp>& ops, OpKind kind) {
+  for (const auto& op : ops) {
+    if (op.params->kind() == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ModelPlan>> CompilePlan(const LogicalProgram& program,
+                                               const std::string& name,
+                                               const CompileOptions& options) {
+  if (program.ops.empty()) {
+    return Status::InvalidArgument("empty program");
+  }
+  auto plan = std::make_shared<ModelPlan>();
+  plan->name_ = name;
+  plan->ops_ = program.ops;
+  const auto& ops = plan->ops_;
+  const OptimizerOptions& opt = options.optimizer;
+
+  if (ops.front().params->kind() == OpKind::kTokenizer) {
+    // --- Text family: Tokenizer -> CharNgram -> WordNgram -> Concat ->
+    // LinearBinary. ---
+    plan->family_ = ModelPlan::Family::kText;
+    auto& bound = plan->text_;
+    bound.tokenizer = FindParams<TokenizerParams>(ops, OpKind::kTokenizer);
+    bound.char_ngram = FindParams<CharNgramParams>(ops, OpKind::kCharNgram);
+    bound.word_ngram = FindParams<WordNgramParams>(ops, OpKind::kWordNgram);
+    bound.linear = FindParams<LinearBinaryParams>(ops, OpKind::kLinearBinary);
+    if (bound.char_ngram == nullptr || bound.word_ngram == nullptr ||
+        bound.linear == nullptr) {
+      return Status::InvalidArgument("unsupported text pipeline shape: " + name);
+    }
+    bound.char_dim = bound.char_ngram->dict.size();
+    bound.word_dim = bound.word_ngram->dict.size();
+
+    const bool push = opt.enable_linear_push && HasKind(ops, OpKind::kConcat);
+    auto& stages = plan->stages_;
+    if (push) {
+      // Concat and the model stage disappear; scans accumulate the dot
+      // product through the split weights; a trailing Bias stage finishes
+      // the score.
+      stages = {{StageKind::kTokenize},
+                {StageKind::kCharScan, /*weights_pushed=*/true},
+                {StageKind::kWordScan, /*weights_pushed=*/true},
+                {StageKind::kBias}};
+      if (opt.enable_stage_merge) {
+        stages = {{StageKind::kFusedSaScore}, {StageKind::kBias}};
+      }
+      if (opt.enable_inline && stages.size() > 1 &&
+          stages.back().kind == StageKind::kBias) {
+        stages.pop_back();
+        stages.back().inlined_bias = true;
+      }
+    } else {
+      stages = {{StageKind::kTokenize},
+                {StageKind::kCharScan},
+                {StageKind::kWordScan},
+                {StageKind::kConcat},
+                {StageKind::kLinear}};
+      if (opt.enable_stage_merge) {
+        stages = {{StageKind::kFusedFeaturize},
+                  {StageKind::kConcat},
+                  {StageKind::kLinear}};
+      }
+    }
+  } else {
+    // --- Dense family: Pca | KMeans | TreeFeaturizer -> Concat -> Forest. ---
+    plan->family_ = ModelPlan::Family::kDense;
+    auto& bound = plan->dense_;
+    bound.pca = FindParams<PcaParams>(ops, OpKind::kPca);
+    bound.kmeans = FindParams<KMeansParams>(ops, OpKind::kKMeans);
+    bound.tree_feat = FindParams<TreeFeaturizerParams>(ops, OpKind::kTreeFeaturizer);
+    bound.final_forest = FindParams<ForestParams>(ops, OpKind::kForest);
+    if (bound.pca == nullptr || bound.kmeans == nullptr ||
+        bound.tree_feat == nullptr || bound.final_forest == nullptr) {
+      return Status::InvalidArgument("unsupported dense pipeline shape: " + name);
+    }
+    bound.pca_off = 0;
+    bound.kmeans_off = bound.pca->out_dim;
+    bound.tree_off = bound.kmeans_off + bound.kmeans->k;
+    bound.feature_dim = bound.tree_off + bound.tree_feat->forest.roots.size();
+
+    auto& stages = plan->stages_;
+    stages = {{StageKind::kParse},   {StageKind::kPca},
+              {StageKind::kKMeans},  {StageKind::kTreeFeaturize},
+              {StageKind::kConcat},  {StageKind::kForest}};
+    if (opt.enable_stage_merge) {
+      // Featurizers write disjoint slices of one feature buffer, so the
+      // Concat materialization disappears with the merge.
+      stages = {{StageKind::kParse},
+                {StageKind::kFusedAcFeaturize},
+                {StageKind::kForest}};
+      if (opt.enable_inline && stages.back().kind == StageKind::kForest) {
+        stages.pop_back();
+        stages.back().inlined_forest = true;
+      }
+    }
+  }
+
+  if (options.aot_compile) {
+    plan->EnsureBound();
+  }
+  return plan;
+}
+
+}  // namespace pretzel

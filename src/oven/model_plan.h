@@ -1,0 +1,156 @@
+// Oven: compiles a Flour LogicalProgram into a ModelPlan — a short list of
+// fused physical stages plus bound (pre-materialized) parameter state.
+// Rewrite rules (Section 4.1.2 of the paper):
+//  - linear push-through-Concat: the final linear model's weight vector is
+//    split along the concat boundaries so each featurizer branch accumulates
+//    its partial dot product directly — the Concat and model stages vanish
+//    and no feature vector is ever materialized (the signature SA rewrite);
+//  - stage merging: compatible adjacent/parallel operators collapse into
+//    one fused stage (tokenize+scans for text, featurizers+concat for dense);
+//  - singleton inlining: trailing trivial stages (bias/score) fold into
+//    their predecessor.
+// AOT compilation: with aot_compile (default) stage binding — materializing
+// the split weight arrays and plan-local final-model layout — happens at
+// Plan() time; without it, binding is deferred to the first prediction,
+// which is exactly the cold-latency inflation the ablation bench measures.
+#ifndef PRETZEL_OVEN_MODEL_PLAN_H_
+#define PRETZEL_OVEN_MODEL_PLAN_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/flour/flour.h"
+#include "src/oven/subplan_cache.h"
+#include "src/runtime/exec_context.h"
+
+namespace pretzel {
+
+struct OptimizerOptions {
+  bool enable_linear_push = true;
+  bool enable_stage_merge = true;
+  bool enable_inline = true;
+};
+
+struct CompileOptions {
+  bool aot_compile = true;
+  OptimizerOptions optimizer;
+};
+
+enum class StageKind {
+  // Text family.
+  kTokenize,
+  kCharScan,
+  kWordScan,
+  kConcat,
+  kLinear,
+  kBias,
+  kFusedFeaturize,  // Tokenize + both scans, materializing sparse ids.
+  kFusedSaScore,    // Tokenize + both scans with pushed weights (no sparse vec).
+  // Dense family.
+  kParse,
+  kPca,
+  kKMeans,
+  kTreeFeaturize,
+  kForest,
+  kFusedAcFeaturize,  // All dense featurizers writing one buffer (Concat-free).
+};
+
+const char* StageKindName(StageKind kind);
+
+struct PlanStage {
+  StageKind kind;
+  bool weights_pushed = false;  // Scan stages: accumulate dot instead of ids.
+  bool inlined_bias = false;    // Bias/score folded into this stage.
+  bool inlined_forest = false;  // Final forest folded into this stage.
+};
+
+class ModelPlan {
+ public:
+  const std::string& name() const { return name_; }
+  size_t NumStages() const { return stages_.size(); }
+
+  // Unique parameter bytes referenced by this plan (what a private copy
+  // would cost; the Object Store makes much of it shared).
+  size_t ParameterBytes() const;
+  // Plan-private bytes: stage metadata plus bound arrays.
+  size_t OverheadBytes() const;
+
+  bool IsBound() const { return bound_done_; }
+
+  // --- Implementation surface for the executor (src/runtime) and tests. ---
+
+  enum class Family { kText, kDense };
+
+  struct BoundText {
+    const TokenizerParams* tokenizer = nullptr;
+    const CharNgramParams* char_ngram = nullptr;
+    const WordNgramParams* word_ngram = nullptr;
+    const LinearBinaryParams* linear = nullptr;
+    // Branch weight arrays, materialized at bind time (the AOT work): the
+    // linear model split along the concat boundary.
+    std::vector<float> char_weights;
+    std::vector<float> word_weights;
+    float bias = 0.0f;
+    size_t char_dim = 0;
+    size_t word_dim = 0;
+  };
+
+  struct BoundDense {
+    const PcaParams* pca = nullptr;
+    const KMeansParams* kmeans = nullptr;
+    const TreeFeaturizerParams* tree_feat = nullptr;
+    const ForestParams* final_forest = nullptr;
+    // Plan-local copy of the final model, laid out contiguously at bind
+    // time (the AOT work for dense plans).
+    Forest bound_final;
+    size_t pca_off = 0, kmeans_off = 0, tree_off = 0;
+    size_t feature_dim = 0;
+  };
+
+  Family family() const { return family_; }
+  const std::vector<PlanStage>& stages() const { return stages_; }
+  const std::vector<LogicalOp>& ops() const { return ops_; }
+  const BoundText& bound_text() const { return text_; }
+  const BoundDense& bound_dense() const { return dense_; }
+
+  // Idempotent, thread-safe. Called at compile time under AOT, else by the
+  // executor on the first prediction.
+  void EnsureBound() const;
+
+ private:
+  friend Result<std::shared_ptr<ModelPlan>> CompilePlan(
+      const LogicalProgram& program, const std::string& name,
+      const CompileOptions& options);
+
+  void BindLocked() const;
+
+  std::string name_;
+  Family family_ = Family::kText;
+  std::vector<LogicalOp> ops_;  // Keeps shared params alive.
+  std::vector<PlanStage> stages_;
+
+  // Bound state is logically part of plan construction; with deferred
+  // binding it materializes on the first prediction, hence mutable + once.
+  mutable std::once_flag bind_once_;
+  mutable bool bound_done_ = false;
+  mutable BoundText text_;
+  mutable BoundDense dense_;
+};
+
+// Compiles with explicit options.
+Result<std::shared_ptr<ModelPlan>> CompilePlan(const LogicalProgram& program,
+                                               const std::string& name,
+                                               const CompileOptions& options);
+
+// Default compile: full optimizer, AOT on.
+inline Result<std::shared_ptr<ModelPlan>> Plan(const LogicalProgram& program,
+                                               const std::string& name) {
+  return CompilePlan(program, name, CompileOptions{});
+}
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_OVEN_MODEL_PLAN_H_

@@ -1,0 +1,68 @@
+#include "src/oven/subplan_cache.h"
+
+namespace pretzel {
+
+bool SubPlanCache::Lookup(uint64_t key, std::vector<uint32_t>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  out->assign(it->second.ids.begin(), it->second.ids.end());
+  return true;
+}
+
+void SubPlanCache::Insert(uint64_t key, const std::vector<uint32_t>& ids) {
+  const size_t bytes = EntryBytes(ids);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > byte_budget_) {
+    return;  // Oversized entries would evict the whole cache for one input.
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    size_bytes_ -= EntryBytes(it->second.ids);
+    it->second.ids = ids;
+    size_bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    lru_.push_front(key);
+    Entry entry;
+    entry.ids = ids;
+    entry.lru_it = lru_.begin();
+    entries_.emplace(key, std::move(entry));
+    size_bytes_ += bytes;
+    ++stats_.insertions;
+  }
+  EvictToBudgetLocked();
+}
+
+void SubPlanCache::EvictToBudgetLocked() {
+  while (size_bytes_ > byte_budget_ && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    size_bytes_ -= EntryBytes(it->second.ids);
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+size_t SubPlanCache::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t SubPlanCache::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_bytes_;
+}
+
+SubPlanCache::Stats SubPlanCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pretzel

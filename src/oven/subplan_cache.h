@@ -1,0 +1,69 @@
+// SubPlanCache: materialization cache for sub-plan results (Section 4.2 of
+// the paper). Popular inputs repeat across the many similar pipelines of one
+// service; featurization output depends only on (input, dictionary version),
+// so pipelines sharing a dictionary replay each other's scans. Entries are
+// dictionary-hit id lists keyed by a 64-bit (input, params-checksum) hash,
+// bounded by a byte budget with LRU eviction.
+#ifndef PRETZEL_OVEN_SUBPLAN_CACHE_H_
+#define PRETZEL_OVEN_SUBPLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace pretzel {
+
+class SubPlanCache {
+ public:
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit SubPlanCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  SubPlanCache(const SubPlanCache&) = delete;
+  SubPlanCache& operator=(const SubPlanCache&) = delete;
+
+  // On hit, copies the materialized ids into *out (clearing it first) and
+  // returns true. The copy is cheap (a few hundred bytes) and keeps the
+  // entry safely evictable.
+  bool Lookup(uint64_t key, std::vector<uint32_t>* out);
+
+  // Inserts (or refreshes) an entry, then evicts LRU entries until the
+  // budget holds. Entries larger than the whole budget are not admitted.
+  void Insert(uint64_t key, const std::vector<uint32_t>& ids);
+
+  size_t NumEntries() const;
+  size_t SizeBytes() const;
+  size_t byte_budget() const { return byte_budget_; }
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::vector<uint32_t> ids;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  static size_t EntryBytes(const std::vector<uint32_t>& ids) {
+    // Payload + map/list bookkeeping.
+    return ids.size() * sizeof(uint32_t) + 64;
+  }
+
+  void EvictToBudgetLocked();
+
+  const size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // Front = most recent.
+  size_t size_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_OVEN_SUBPLAN_CACHE_H_

@@ -1,0 +1,330 @@
+#include "src/runtime/exec_context.h"
+
+#include <algorithm>
+
+#include "src/ops/kernels.h"
+#include "src/oven/model_plan.h"
+#include "src/oven/subplan_cache.h"
+
+namespace pretzel {
+
+std::vector<float> VectorPool::AcquireFloats(size_t size) {
+  if (options_.pooling_enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_floats_.empty()) {
+      std::vector<float> v = std::move(free_floats_.back());
+      free_floats_.pop_back();
+      v.resize(size);
+      return v;
+    }
+  }
+  return std::vector<float>(size);
+}
+
+void VectorPool::ReleaseFloats(std::vector<float> v) {
+  if (!options_.pooling_enabled) {
+    return;  // Dropped; the next acquire allocates.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_floats_.size() < 64) {
+    free_floats_.push_back(std::move(v));
+  }
+}
+
+void ExecContext::ReleaseScratch() {
+  std::string().swap(text);
+  std::vector<std::pair<uint32_t, uint32_t>>().swap(spans);
+  std::vector<uint32_t>().swap(char_ids);
+  std::vector<uint32_t>().swap(word_ids);
+  std::vector<uint32_t>().swap(concat_ids);
+  std::vector<uint32_t>().swap(cache_ids);
+  std::vector<float>().swap(char_vals);
+  std::vector<float>().swap(word_vals);
+  std::vector<float>().swap(concat_vals);
+  std::vector<uint32_t>().swap(raw_hits);
+  std::vector<float>().swap(dense_in);
+  std::vector<float>().swap(pca_out);
+  std::vector<float>().swap(kmeans_out);
+  std::vector<float>().swap(tree_out);
+  std::vector<float>().swap(features);
+}
+
+std::unique_ptr<ExecContext> ExecContextPool::Acquire() {
+  if (reuse_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<ExecContext> ctx = std::move(free_.back());
+      free_.pop_back();
+      return ctx;
+    }
+  }
+  return std::make_unique<ExecContext>(pool_);
+}
+
+void ExecContextPool::Release(std::unique_ptr<ExecContext> ctx) {
+  if (!reuse_enabled_ || ctx == nullptr) {
+    return;  // Destroyed: the next acquire builds a cold context.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() < 256) {
+    free_.push_back(std::move(ctx));
+  }
+}
+
+namespace {
+
+// Cache keys tie a materialized scan to (input content, dictionary version).
+inline uint64_t InputHash(const std::string& input) {
+  return ContentHash64(input.data(), input.size(), 0xF00D);
+}
+
+// Builds the operator-contract output of a scan: a sparse feature vector
+// with count values (sorted ids + parallel counts). Unpushed plans must pay
+// this materialization; the linear-push rewrite removes it entirely.
+void MaterializeCounts(std::vector<uint32_t>& raw_hits,
+                       std::vector<uint32_t>* ids, std::vector<float>* vals) {
+  std::sort(raw_hits.begin(), raw_hits.end());
+  ids->clear();
+  vals->clear();
+  for (size_t i = 0; i < raw_hits.size();) {
+    size_t j = i;
+    while (j < raw_hits.size() && raw_hits[j] == raw_hits[i]) {
+      ++j;
+    }
+    ids->push_back(raw_hits[i]);
+    vals->push_back(static_cast<float>(j - i));
+    i = j;
+  }
+}
+
+Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
+                          ExecContext& ctx) {
+  const ModelPlan::BoundText& b = plan.bound_text();
+  SubPlanCache* cache = ctx.subplan_cache;
+  const uint64_t input_hash = cache != nullptr ? InputHash(input) : 0;
+
+  bool tokenized = false;
+  const auto tokenize_once = [&] {
+    if (!tokenized) {
+      TokenizeText(input, &ctx.text, &ctx.spans);
+      tokenized = true;
+    }
+  };
+
+  // Runs one scan branch. With the weights pushed, returns the partial dot
+  // product; otherwise materializes hit ids into *ids_out. Either way the
+  // sub-plan cache (when attached) short-circuits tokenize + scan for
+  // (input, dictionary) pairs another pipeline already materialized.
+  const auto run_branch = [&](bool is_char, bool pushed, double* acc,
+                              std::vector<uint32_t>* ids_out) {
+    const uint64_t key =
+        is_char ? input_hash ^ b.char_ngram->ContentChecksum()
+                : input_hash ^ b.word_ngram->ContentChecksum();
+    const float* weights =
+        is_char ? b.char_weights.data() : b.word_weights.data();
+    if (pushed && cache == nullptr) {
+      // Fully fused: accumulate during the scan, no ids materialized.
+      tokenize_once();
+      if (is_char) {
+        ScanCharNgrams(ctx.text, b.char_ngram->dict, b.char_ngram->scan,
+                       [&](uint32_t id) { *acc += weights[id]; });
+      } else {
+        ScanWordNgrams(ctx.text, ctx.spans, b.word_ngram->dict,
+                       b.word_ngram->scan,
+                       [&](uint32_t id) { *acc += weights[id]; });
+      }
+      return;
+    }
+    std::vector<uint32_t>* ids = pushed ? &ctx.cache_ids : ids_out;
+    if (cache != nullptr && cache->Lookup(key, ids)) {
+      if (pushed) {
+        for (const uint32_t id : *ids) {
+          *acc += weights[id];
+        }
+      }
+      return;
+    }
+    tokenize_once();
+    ids->clear();
+    if (is_char) {
+      ScanCharNgrams(ctx.text, b.char_ngram->dict, b.char_ngram->scan,
+                     [&](uint32_t id) { ids->push_back(id); });
+    } else {
+      ScanWordNgrams(ctx.text, ctx.spans, b.word_ngram->dict,
+                     b.word_ngram->scan,
+                     [&](uint32_t id) { ids->push_back(id); });
+    }
+    if (cache != nullptr) {
+      cache->Insert(key, *ids);
+    }
+    if (pushed) {
+      for (const uint32_t id : *ids) {
+        *acc += weights[id];
+      }
+    }
+  };
+
+  double acc = 0.0;
+  float score = 0.0f;
+  for (const PlanStage& stage : plan.stages()) {
+    switch (stage.kind) {
+      case StageKind::kTokenize:
+        tokenize_once();
+        break;
+      case StageKind::kCharScan:
+        if (stage.weights_pushed) {
+          run_branch(/*is_char=*/true, /*pushed=*/true, &acc, &ctx.raw_hits);
+        } else {
+          run_branch(/*is_char=*/true, /*pushed=*/false, &acc, &ctx.raw_hits);
+          MaterializeCounts(ctx.raw_hits, &ctx.char_ids, &ctx.char_vals);
+        }
+        break;
+      case StageKind::kWordScan:
+        if (stage.weights_pushed) {
+          run_branch(/*is_char=*/false, /*pushed=*/true, &acc, &ctx.raw_hits);
+        } else {
+          run_branch(/*is_char=*/false, /*pushed=*/false, &acc, &ctx.raw_hits);
+          MaterializeCounts(ctx.raw_hits, &ctx.word_ids, &ctx.word_vals);
+        }
+        if (stage.inlined_bias) {
+          score = Sigmoid(static_cast<float>(acc) + b.bias);
+        }
+        break;
+      case StageKind::kFusedSaScore:
+        run_branch(/*is_char=*/true, /*pushed=*/true, &acc, &ctx.raw_hits);
+        run_branch(/*is_char=*/false, /*pushed=*/true, &acc, &ctx.raw_hits);
+        if (stage.inlined_bias) {
+          score = Sigmoid(static_cast<float>(acc) + b.bias);
+        }
+        break;
+      case StageKind::kFusedFeaturize:
+        run_branch(/*is_char=*/true, /*pushed=*/false, &acc, &ctx.raw_hits);
+        MaterializeCounts(ctx.raw_hits, &ctx.char_ids, &ctx.char_vals);
+        run_branch(/*is_char=*/false, /*pushed=*/false, &acc, &ctx.raw_hits);
+        MaterializeCounts(ctx.raw_hits, &ctx.word_ids, &ctx.word_vals);
+        break;
+      case StageKind::kConcat: {
+        // Materialize the concatenated sparse feature vector — both
+        // parallel arrays (the copy the linear push removes).
+        ctx.concat_ids.clear();
+        ctx.concat_vals.clear();
+        ctx.concat_ids.reserve(ctx.char_ids.size() + ctx.word_ids.size());
+        ctx.concat_vals.reserve(ctx.char_ids.size() + ctx.word_ids.size());
+        ctx.concat_ids.insert(ctx.concat_ids.end(), ctx.char_ids.begin(),
+                              ctx.char_ids.end());
+        ctx.concat_vals.insert(ctx.concat_vals.end(), ctx.char_vals.begin(),
+                               ctx.char_vals.end());
+        const uint32_t offset = static_cast<uint32_t>(b.char_dim);
+        for (size_t w = 0; w < ctx.word_ids.size(); ++w) {
+          ctx.concat_ids.push_back(ctx.word_ids[w] + offset);
+          ctx.concat_vals.push_back(ctx.word_vals[w]);
+        }
+        break;
+      }
+      case StageKind::kLinear: {
+        const std::vector<float>& w = b.linear->weights;
+        for (size_t f = 0; f < ctx.concat_ids.size(); ++f) {
+          const uint32_t id = ctx.concat_ids[f];
+          if (id < w.size()) {
+            acc += static_cast<double>(w[id]) * ctx.concat_vals[f];
+          }
+        }
+        score = Sigmoid(static_cast<float>(acc) + b.bias);
+        break;
+      }
+      case StageKind::kBias:
+        score = Sigmoid(static_cast<float>(acc) + b.bias);
+        break;
+      default:
+        return Status::Error("unexpected stage in text plan");
+    }
+  }
+  return score;
+}
+
+Result<float> ExecuteDense(const ModelPlan& plan, const std::string& input,
+                           ExecContext& ctx) {
+  const ModelPlan::BoundDense& b = plan.bound_dense();
+  float score = 0.0f;
+  for (const PlanStage& stage : plan.stages()) {
+    switch (stage.kind) {
+      case StageKind::kParse:
+        ParseDenseInput(input, &ctx.dense_in);
+        // Every featurizer branch reads the parsed vector; validate against
+        // the widest consumer once, up front.
+        if (ctx.dense_in.size() < b.pca->in_dim ||
+            ctx.dense_in.size() < b.kmeans->dim ||
+            ctx.dense_in.size() < b.tree_feat->forest.num_features) {
+          return Status::InvalidArgument("dense input narrower than pipeline");
+        }
+        break;
+      case StageKind::kPca:
+        ctx.pca_out.resize(b.pca->out_dim);
+        MatVec(b.pca->matrix.data(), b.pca->out_dim, b.pca->in_dim,
+               ctx.dense_in.data(), ctx.pca_out.data());
+        break;
+      case StageKind::kKMeans:
+        ctx.kmeans_out.resize(b.kmeans->k);
+        KMeansTransform(b.kmeans->centroids.data(), b.kmeans->k, b.kmeans->dim,
+                        ctx.dense_in.data(), ctx.kmeans_out.data());
+        break;
+      case StageKind::kTreeFeaturize: {
+        const Forest& forest = b.tree_feat->forest;
+        ctx.tree_out.resize(forest.roots.size());
+        for (size_t t = 0; t < forest.roots.size(); ++t) {
+          ctx.tree_out[t] = forest.EvalTree(t, ctx.dense_in.data());
+        }
+        break;
+      }
+      case StageKind::kConcat:
+        ctx.features.clear();
+        ctx.features.reserve(b.feature_dim);
+        ctx.features.insert(ctx.features.end(), ctx.pca_out.begin(),
+                            ctx.pca_out.end());
+        ctx.features.insert(ctx.features.end(), ctx.kmeans_out.begin(),
+                            ctx.kmeans_out.end());
+        ctx.features.insert(ctx.features.end(), ctx.tree_out.begin(),
+                            ctx.tree_out.end());
+        break;
+      case StageKind::kForest:
+        score = b.bound_final.Eval(ctx.features.data());
+        break;
+      case StageKind::kFusedAcFeaturize: {
+        // Branches write disjoint slices of one buffer: no Concat copy.
+        ctx.features.resize(b.feature_dim);
+        float* out = ctx.features.data();
+        MatVec(b.pca->matrix.data(), b.pca->out_dim, b.pca->in_dim,
+               ctx.dense_in.data(), out + b.pca_off);
+        KMeansTransform(b.kmeans->centroids.data(), b.kmeans->k, b.kmeans->dim,
+                        ctx.dense_in.data(), out + b.kmeans_off);
+        const Forest& forest = b.tree_feat->forest;
+        for (size_t t = 0; t < forest.roots.size(); ++t) {
+          out[b.tree_off + t] = forest.EvalTree(t, ctx.dense_in.data());
+        }
+        if (stage.inlined_forest) {
+          score = b.bound_final.Eval(ctx.features.data());
+        }
+        break;
+      }
+      default:
+        return Status::Error("unexpected stage in dense plan");
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+Result<float> ExecutePlan(const ModelPlan& plan, const std::string& input,
+                          ExecContext& ctx) {
+  plan.EnsureBound();
+  Result<float> result = plan.family() == ModelPlan::Family::kText
+                             ? ExecuteText(plan, input, ctx)
+                             : ExecuteDense(plan, input, ctx);
+  if (ctx.pool != nullptr && !ctx.pool->pooling_enabled()) {
+    ctx.ReleaseScratch();
+  }
+  return result;
+}
+
+}  // namespace pretzel

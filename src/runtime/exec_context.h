@@ -1,0 +1,105 @@
+// Per-executor execution state: pooled buffers (VectorPool), the reusable
+// scratch an in-flight prediction writes through (ExecContext), a context
+// pool, and the plan executor entry point. Keeping every buffer here is what
+// makes the hot path allocation-free (Section 5.2.1's "vector pooling"
+// ablation toggles exactly this).
+#ifndef PRETZEL_RUNTIME_EXEC_CONTEXT_H_
+#define PRETZEL_RUNTIME_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pretzel {
+
+class ModelPlan;
+class SubPlanCache;
+
+class VectorPool {
+ public:
+  struct Options {
+    // When false, buffers are released after every prediction, putting
+    // allocation back on the data path (the no-pooling ablation).
+    bool pooling_enabled = true;
+  };
+
+  VectorPool() = default;
+  explicit VectorPool(const Options& options) : options_(options) {}
+
+  bool pooling_enabled() const { return options_.pooling_enabled; }
+
+  // Free-listed float buffers for callers that need transient vectors
+  // outside an ExecContext (batch assembly and tests).
+  std::vector<float> AcquireFloats(size_t size);
+  void ReleaseFloats(std::vector<float> v);
+
+ private:
+  Options options_;
+  std::mutex mu_;
+  std::vector<std::vector<float>> free_floats_;
+};
+
+// All scratch an executing prediction touches. Reused across predictions
+// (warm buffers, zero allocation); a fresh context models the unpooled path.
+struct ExecContext {
+  explicit ExecContext(VectorPool* p) : pool(p) {}
+
+  VectorPool* pool = nullptr;
+  // Optional sub-plan materialization cache (bench/figure 10). Not owned.
+  SubPlanCache* subplan_cache = nullptr;
+
+  // Text-family scratch.
+  std::string text;
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  std::vector<uint32_t> char_ids;
+  std::vector<uint32_t> word_ids;
+  std::vector<uint32_t> concat_ids;
+  std::vector<uint32_t> cache_ids;
+  // Materialized sparse feature vectors (unpushed plans): parallel
+  // id/count arrays per branch and for the concatenated space.
+  std::vector<float> char_vals;
+  std::vector<float> word_vals;
+  std::vector<float> concat_vals;
+  std::vector<uint32_t> raw_hits;
+  // Dense-family scratch.
+  std::vector<float> dense_in;
+  std::vector<float> pca_out;
+  std::vector<float> kmeans_out;
+  std::vector<float> tree_out;
+  std::vector<float> features;
+
+  // Drops buffer capacity (the no-pooling path calls this after every
+  // prediction).
+  void ReleaseScratch();
+};
+
+// Hands out ExecContexts; with reuse enabled, released contexts keep their
+// warm buffers and are handed out again.
+class ExecContextPool {
+ public:
+  ExecContextPool(VectorPool* pool, bool reuse_enabled)
+      : pool_(pool), reuse_enabled_(reuse_enabled) {}
+
+  std::unique_ptr<ExecContext> Acquire();
+  void Release(std::unique_ptr<ExecContext> ctx);
+
+ private:
+  VectorPool* pool_;
+  const bool reuse_enabled_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ExecContext>> free_;
+};
+
+// Executes one prediction through a compiled plan. Binds the plan first if
+// compilation deferred it (no-AOT). Thread-safe across distinct contexts.
+Result<float> ExecutePlan(const ModelPlan& plan, const std::string& input,
+                          ExecContext& ctx);
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_RUNTIME_EXEC_CONTEXT_H_

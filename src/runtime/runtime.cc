@@ -1,0 +1,230 @@
+#include "src/runtime/runtime.h"
+
+#include <algorithm>
+
+namespace pretzel {
+
+// One logical batch request. Executors decrement `remaining` as they finish
+// sub-ranges; the last one out invokes the callback.
+struct Runtime::BatchJob {
+  std::shared_ptr<ModelPlan> plan;
+  std::vector<std::string> inputs;
+  std::vector<float> results;
+  std::atomic<size_t> remaining{0};
+  BatchCallback callback;
+
+  std::mutex error_mu;
+  Status first_error;  // OK unless some record failed.
+};
+
+Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
+    : store_(store),
+      options_([&] {
+        RuntimeOptions o = options;
+        o.num_executors = std::max<size_t>(1, o.num_executors);
+        return o;
+      }()),
+      caller_contexts_(&caller_pool_, /*reuse_enabled=*/true) {
+  queues_.push_back(std::make_unique<WorkQueue>());  // Shared queue.
+  WorkQueue* shared = queues_[0].get();
+  threads_.reserve(options_.num_executors);
+  for (size_t i = 0; i < options_.num_executors; ++i) {
+    threads_.emplace_back([this, shared] { ExecutorLoop(shared); });
+  }
+}
+
+Runtime::~Runtime() {
+  stop_.store(true);
+  {
+    std::shared_lock lock(registry_mu_);
+    for (const auto& queue : queues_) {
+      std::lock_guard<std::mutex> qlock(queue->mu);
+      queue->cv.notify_all();
+    }
+  }
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
+                                          const PlanRegistration& registration) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("null plan");
+  }
+  std::unique_lock lock(registry_mu_);
+  const PlanId id = plans_.size();
+  plans_.push_back(plan);
+  if (registration.reserve_cores > 0) {
+    const size_t cores = std::min(registration.reserve_cores,
+                                  options_.max_reserved_cores_per_plan);
+    queues_.push_back(std::make_unique<WorkQueue>());
+    WorkQueue* queue = queues_.back().get();
+    reserved_queue_[id] = queue;
+    reservations_.push_back(Reservation{id, cores});
+    // Dedicated executors are extra threads: reserving never shrinks the
+    // shared pool.
+    for (size_t i = 0; i < cores; ++i) {
+      threads_.emplace_back([this, queue] { ExecutorLoop(queue); });
+    }
+  }
+  return id;
+}
+
+std::shared_ptr<ModelPlan> Runtime::GetPlan(PlanId id) const {
+  std::shared_lock lock(registry_mu_);
+  return id < plans_.size() ? plans_[id] : nullptr;
+}
+
+Runtime::WorkQueue* Runtime::QueueForPlan(PlanId id, size_t* parallelism) const {
+  std::shared_lock lock(registry_mu_);
+  auto it = reserved_queue_.find(id);
+  if (it == reserved_queue_.end()) {
+    *parallelism = options_.num_executors;
+    return queues_[0].get();
+  }
+  // Reserved plans are served by their dedicated executors, so sub-batches
+  // should fan across those, not the shared pool.
+  *parallelism = 1;
+  for (const Reservation& r : reservations_) {
+    if (r.plan_id == id) {
+      *parallelism = std::max<size_t>(1, r.num_cores);
+      break;
+    }
+  }
+  return it->second;
+}
+
+Result<float> Runtime::Predict(PlanId id, const std::string& input) {
+  std::shared_ptr<ModelPlan> plan = GetPlan(id);
+  if (plan == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  std::unique_ptr<ExecContext> ctx = caller_contexts_.Acquire();
+  Result<float> result = ExecutePlan(*plan, input, *ctx);
+  caller_contexts_.Release(std::move(ctx));
+  return result;
+}
+
+Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
+                                  BatchCallback callback, size_t max_batch) {
+  std::shared_ptr<ModelPlan> plan = GetPlan(id);
+  if (plan == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  if (callback == nullptr) {
+    return Status::InvalidArgument("null callback");
+  }
+  if (inputs.empty()) {
+    callback(Status::OK(), {});
+    return Status::OK();
+  }
+  auto job = std::make_shared<BatchJob>();
+  job->plan = std::move(plan);
+  job->inputs = std::move(inputs);
+  job->results.assign(job->inputs.size(), 0.0f);
+  job->remaining.store(job->inputs.size());
+  job->callback = std::move(callback);
+
+  // Sub-batch size: fill every executor that serves this plan, but never
+  // exceed max_batch.
+  size_t parallelism = 1;
+  WorkQueue* queue = QueueForPlan(id, &parallelism);
+  const size_t n = job->inputs.size();
+  size_t chunk = (n + parallelism - 1) / parallelism;
+  if (max_batch > 0) {
+    chunk = std::min(chunk, max_batch);
+  }
+  chunk = std::max<size_t>(1, chunk);
+  {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      WorkItem item;
+      item.job = job;
+      item.begin = begin;
+      item.end = std::min(n, begin + chunk);
+      queue->items.push_back(std::move(item));
+    }
+  }
+  queue->cv.notify_all();
+  return Status::OK();
+}
+
+Result<std::vector<float>> Runtime::PredictBatch(
+    PlanId id, const std::vector<std::string>& inputs, size_t max_batch) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::vector<float> scores;
+  Status submit = PredictBatchAsync(
+      id, inputs,
+      [&](Status s, std::span<const float> results) {
+        std::lock_guard<std::mutex> lock(mu);
+        status = std::move(s);
+        scores.assign(results.begin(), results.end());
+        done = true;
+        cv.notify_one();
+      },
+      max_batch);
+  if (!submit.ok()) {
+    return submit;
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  if (!status.ok()) {
+    return status;
+  }
+  return scores;
+}
+
+void Runtime::ExecutorLoop(WorkQueue* queue) {
+  // Executor-private pooled state: the paper's per-core ExecContext.
+  VectorPool pool;
+  ExecContext ctx(&pool);
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue->mu);
+      queue->cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !queue->items.empty();
+      });
+      if (queue->items.empty()) {
+        if (stop_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      item = std::move(queue->items.front());
+      queue->items.pop_front();
+    }
+    BatchJob& job = *item.job;
+    for (size_t i = item.begin; i < item.end; ++i) {
+      Result<float> r = ExecutePlan(*job.plan, job.inputs[i], ctx);
+      if (r.ok()) {
+        job.results[i] = *r;
+      } else {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (job.first_error.ok()) {
+          job.first_error = r.status();
+        }
+      }
+    }
+    const size_t count = item.end - item.begin;
+    if (job.remaining.fetch_sub(count) == count) {
+      Status status;
+      {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        status = job.first_error;
+      }
+      job.callback(status, std::span<const float>(job.results));
+    }
+  }
+}
+
+std::vector<Reservation> Runtime::reservations() const {
+  std::shared_lock lock(registry_mu_);
+  return reservations_;
+}
+
+}  // namespace pretzel

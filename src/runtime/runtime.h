@@ -1,0 +1,122 @@
+// Runtime: the serving engine. Registered plans share one process and one
+// Object Store; a pool of executor threads (one ExecContext each, so hot
+// paths stay allocation-free) drains batch work from FIFO queues.
+//
+// Scheduling model:
+//  - Predict() executes inline on the calling thread (a synchronous single
+//    prediction gains nothing from a queue hop);
+//  - PredictBatch/PredictBatchAsync split work into sub-batches and fan them
+//    across the executors;
+//  - a registration may reserve cores (Section 5.4.1): reserved plans get
+//    dedicated executors draining a dedicated queue, so their latency is
+//    isolated from everyone else's load.
+#ifndef PRETZEL_RUNTIME_RUNTIME_H_
+#define PRETZEL_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/exec_context.h"
+#include "src/store/object_store.h"
+
+namespace pretzel {
+
+struct RuntimeOptions {
+  size_t num_executors = 1;
+  // Hard cap on dedicated executors one registration may reserve.
+  size_t max_reserved_cores_per_plan = 4;
+};
+
+struct PlanRegistration {
+  // > 0: dedicate this many executors to the plan. Dedicated executors are
+  // additional threads so reservations never starve the shared pool.
+  size_t reserve_cores = 0;
+};
+
+// A granted reservation: which plan owns which dedicated executors.
+struct Reservation {
+  size_t plan_id = 0;
+  size_t num_cores = 0;
+};
+
+class Runtime {
+ public:
+  using PlanId = size_t;
+  using BatchCallback = std::function<void(Status, std::span<const float>)>;
+
+  Runtime(ObjectStore* store, const RuntimeOptions& options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Result<PlanId> Register(std::shared_ptr<ModelPlan> plan,
+                          const PlanRegistration& registration = {});
+
+  // Synchronous single prediction, executed inline on the caller's thread.
+  Result<float> Predict(PlanId id, const std::string& input);
+
+  // Splits `inputs` into sub-batches of at most `max_batch` records, fans
+  // them across the executors, and returns the scores in input order.
+  Result<std::vector<float>> PredictBatch(PlanId id,
+                                          const std::vector<std::string>& inputs,
+                                          size_t max_batch);
+
+  // Asynchronous batch: returns after enqueueing; `callback` fires exactly
+  // once, from an executor thread, with scores in input order.
+  Status PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
+                           BatchCallback callback, size_t max_batch);
+
+  size_t num_executors() const { return options_.num_executors; }
+  std::vector<Reservation> reservations() const;
+  ObjectStore* store() const { return store_; }
+
+ private:
+  struct BatchJob;
+  struct WorkItem {
+    std::shared_ptr<BatchJob> job;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+  struct WorkQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<WorkItem> items;
+  };
+
+  void ExecutorLoop(WorkQueue* queue);
+  std::shared_ptr<ModelPlan> GetPlan(PlanId id) const;
+  // Returns the queue serving `id` and how many executors drain it.
+  WorkQueue* QueueForPlan(PlanId id, size_t* parallelism) const;
+
+  ObjectStore* store_;
+  const RuntimeOptions options_;
+
+  mutable std::shared_mutex registry_mu_;
+  std::vector<std::shared_ptr<ModelPlan>> plans_;
+  std::vector<Reservation> reservations_;
+  std::vector<std::unique_ptr<WorkQueue>> queues_;  // [0] = shared.
+  std::unordered_map<PlanId, WorkQueue*> reserved_queue_;
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+
+  // Contexts for inline (caller-thread) predictions.
+  VectorPool caller_pool_;
+  ExecContextPool caller_contexts_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_RUNTIME_RUNTIME_H_

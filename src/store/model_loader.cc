@@ -1,0 +1,104 @@
+#include "src/store/model_loader.h"
+
+#include <cstring>
+
+#include "src/common/serialize.h"
+
+namespace pretzel {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'M', 'I', '1'};
+
+}  // namespace
+
+std::string SaveModelImage(const PipelineSpec& spec) {
+  std::string image;
+  image.append(kMagic, sizeof(kMagic));
+  AppendPod(&image, static_cast<uint32_t>(spec.name.size()));
+  image.append(spec.name);
+  AppendPod(&image, static_cast<uint32_t>(spec.nodes.size()));
+  std::string body;
+  for (const auto& node : spec.nodes) {
+    body.clear();
+    node.params->Serialize(&body);
+    AppendPod(&image, static_cast<uint32_t>(node.params->kind()));
+    AppendPod(&image, node.params->ContentChecksum());
+    AppendPod(&image, static_cast<uint64_t>(body.size()));
+    image.append(body);
+  }
+  return image;
+}
+
+namespace {
+
+// Shared frame walker; `store` is null for the black-box path.
+Result<PipelineSpec> LoadImpl(const std::string& image, ObjectStore* store) {
+  const char* p = image.data();
+  const char* end = p + image.size();
+  if (image.size() < sizeof(kMagic) ||
+      std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad model image magic");
+  }
+  p += sizeof(kMagic);
+  uint32_t name_len = 0;
+  if (!ReadPod(&p, end, &name_len) ||
+      static_cast<size_t>(end - p) < name_len) {
+    return Status::InvalidArgument("bad model image header");
+  }
+  PipelineSpec spec;
+  spec.name.assign(p, name_len);
+  p += name_len;
+  uint32_t num_nodes = 0;
+  if (!ReadPod(&p, end, &num_nodes)) {
+    return Status::InvalidArgument("bad model image node count");
+  }
+  spec.nodes.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    uint32_t kind_raw = 0;
+    uint64_t checksum = 0;
+    uint64_t body_len = 0;
+    if (!ReadPod(&p, end, &kind_raw) || !ReadPod(&p, end, &checksum) ||
+        !ReadPod(&p, end, &body_len) ||
+        static_cast<size_t>(end - p) < body_len) {
+      return Status::InvalidArgument("bad model image node frame");
+    }
+    const OpKind kind = static_cast<OpKind>(kind_raw);
+    std::shared_ptr<const OpParams> params;
+    if (store != nullptr) {
+      // The checksum in the frame lets the store skip the body entirely.
+      params = store->Lookup(checksum);
+    }
+    if (params == nullptr) {
+      auto loaded = DeserializeOpParams(kind, p, body_len);
+      if (!loaded.ok()) {
+        return loaded.status();
+      }
+      params = std::move(*loaded);
+      if (params->ContentChecksum() != checksum) {
+        return Status::InvalidArgument("checksum mismatch in model image");
+      }
+      if (store != nullptr) {
+        params = store->Intern(std::move(params));
+      }
+    }
+    p += body_len;
+    spec.nodes.push_back(PipelineNodeSpec{std::move(params)});
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<PipelineSpec> LoadModelImage(const std::string& image) {
+  return LoadImpl(image, nullptr);
+}
+
+Result<PipelineSpec> LoadModelImageWithStore(const std::string& image,
+                                             ObjectStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null store");
+  }
+  return LoadImpl(image, store);
+}
+
+}  // namespace pretzel

@@ -1,0 +1,33 @@
+// Model images: the serialized form a pipeline ships in (the stand-in for
+// ML.Net's model.zip). Two load paths exist on purpose:
+//  - LoadModelImage: full deserialization of every operator (what a
+//    black-box runtime must do per model).
+//  - LoadModelImageWithStore: PRETZEL's off-line phase — parameter blobs
+//    whose checksum is already resident in the Object Store are never
+//    deserialized again, which is where both the memory sharing and the
+//    fast suite-load times come from.
+#ifndef PRETZEL_STORE_MODEL_LOADER_H_
+#define PRETZEL_STORE_MODEL_LOADER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ops/params.h"
+#include "src/store/object_store.h"
+
+namespace pretzel {
+
+// Serializes a pipeline into a self-contained image string.
+std::string SaveModelImage(const PipelineSpec& spec);
+
+// Black-box path: deserializes every operator body.
+Result<PipelineSpec> LoadModelImage(const std::string& image);
+
+// PRETZEL path: interns each operator through the store, skipping the
+// deserialization of blobs whose checksum is already resident.
+Result<PipelineSpec> LoadModelImageWithStore(const std::string& image,
+                                             ObjectStore* store);
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_STORE_MODEL_LOADER_H_

@@ -1,0 +1,53 @@
+#include "src/store/object_store.h"
+
+#include <mutex>
+
+namespace pretzel {
+
+std::shared_ptr<const OpParams> ObjectStore::Intern(
+    std::shared_ptr<const OpParams> params) {
+  std::unique_lock lock(mu_);
+  ++stats_.interns;
+  if (!options_.dedup_enabled) {
+    undeduped_.push_back(params);
+    return params;
+  }
+  auto [it, inserted] = by_checksum_.try_emplace(params->ContentChecksum(), params);
+  if (!inserted) {
+    ++stats_.hits;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const OpParams> ObjectStore::Lookup(uint64_t checksum) const {
+  std::shared_lock lock(mu_);
+  if (!options_.dedup_enabled) {
+    return nullptr;
+  }
+  auto it = by_checksum_.find(checksum);
+  return it == by_checksum_.end() ? nullptr : it->second;
+}
+
+size_t ObjectStore::TotalBytes() const {
+  std::shared_lock lock(mu_);
+  size_t total = 0;
+  for (const auto& [ck, params] : by_checksum_) {
+    total += params->HeapBytes();
+  }
+  for (const auto& params : undeduped_) {
+    total += params->HeapBytes();
+  }
+  return total;
+}
+
+size_t ObjectStore::NumObjects() const {
+  std::shared_lock lock(mu_);
+  return by_checksum_.size() + undeduped_.size();
+}
+
+ObjectStore::Stats ObjectStore::GetStats() const {
+  std::shared_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,64 @@
+// ObjectStore: the shared-state layer. Operator parameters are interned by
+// content checksum so every pipeline referencing the same dictionary/model
+// shares one immutable copy. Reads vastly outnumber writes (writes happen
+// only in the off-line deployment phase), so the store is a checksum-keyed
+// map behind a shared_mutex; entries are immutable shared_ptrs, which keeps
+// the hot path allocation-free and lock-free once a plan holds its params.
+#ifndef PRETZEL_STORE_OBJECT_STORE_H_
+#define PRETZEL_STORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ops/params.h"
+
+namespace pretzel {
+
+class ObjectStore {
+ public:
+  struct Options {
+    // When false, Intern never dedups: every call registers a private copy
+    // (the paper's "PRETZEL without Object Store" configuration).
+    bool dedup_enabled = true;
+  };
+
+  struct Stats {
+    uint64_t interns = 0;  // Total Intern calls.
+    uint64_t hits = 0;     // Calls resolved to an existing object.
+  };
+
+  ObjectStore() : ObjectStore(Options{}) {}
+  explicit ObjectStore(const Options& options) : options_(options) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // Returns the canonical object for this content: the already-resident
+  // object with the same checksum when dedup is on, else `params` itself
+  // (which becomes resident).
+  std::shared_ptr<const OpParams> Intern(std::shared_ptr<const OpParams> params);
+
+  // Checksum probe; null when absent or dedup is off.
+  std::shared_ptr<const OpParams> Lookup(uint64_t checksum) const;
+
+  // Resident parameter bytes across all stored objects (each canonical
+  // object counted once).
+  size_t TotalBytes() const;
+  size_t NumObjects() const;
+  Stats GetStats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const OpParams>> by_checksum_;
+  std::vector<std::shared_ptr<const OpParams>> undeduped_;  // dedup off.
+  Stats stats_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_STORE_OBJECT_STORE_H_

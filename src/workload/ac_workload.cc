@@ -1,0 +1,93 @@
+#include "src/workload/ac_workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace pretzel {
+
+AcWorkload AcWorkload::Generate(const AcWorkloadOptions& options) {
+  AcWorkload workload;
+  workload.input_dim_ = options.input_dim;
+
+  const auto versions = [&](size_t v) {
+    return std::max<size_t>(1, std::min(v, options.num_pipelines));
+  };
+  const size_t pca_versions = versions(options.pca_versions);
+  const size_t kmeans_versions = versions(options.kmeans_versions);
+  const size_t featurizer_versions = versions(options.featurizer_versions);
+
+  std::vector<std::shared_ptr<PcaParams>> pcas;
+  for (size_t v = 0; v < pca_versions; ++v) {
+    auto pca = std::make_shared<PcaParams>();
+    pca->in_dim = static_cast<uint32_t>(options.input_dim);
+    pca->out_dim = static_cast<uint32_t>(options.pca_dim);
+    pca->matrix.resize(options.pca_dim * options.input_dim);
+    Rng rng(options.seed ^ (0xACA10000ull + v));
+    for (float& m : pca->matrix) {
+      m = static_cast<float>(rng.Normal()) * 0.2f;
+    }
+    pca->Finalize();
+    pcas.push_back(std::move(pca));
+  }
+  std::vector<std::shared_ptr<KMeansParams>> kmeanses;
+  for (size_t v = 0; v < kmeans_versions; ++v) {
+    auto km = std::make_shared<KMeansParams>();
+    km->dim = static_cast<uint32_t>(options.input_dim);
+    km->k = static_cast<uint32_t>(options.kmeans_k);
+    km->centroids.resize(options.kmeans_k * options.input_dim);
+    Rng rng(options.seed ^ (0xACA20000ull + v));
+    for (float& c : km->centroids) {
+      c = static_cast<float>(rng.Normal());
+    }
+    km->Finalize();
+    kmeanses.push_back(std::move(km));
+  }
+  std::vector<std::shared_ptr<TreeFeaturizerParams>> featurizers;
+  for (size_t v = 0; v < featurizer_versions; ++v) {
+    auto tf = std::make_shared<TreeFeaturizerParams>();
+    Rng rng(options.seed ^ (0xACA30000ull + v));
+    tf->forest = BuildRandomForest(options.featurizer_trees, options.input_dim,
+                                   options.featurizer_depth, rng);
+    tf->Finalize();
+    featurizers.push_back(std::move(tf));
+  }
+  auto concat = std::make_shared<ConcatParams>();
+
+  const size_t feature_dim =
+      options.pca_dim + options.kmeans_k + options.featurizer_trees;
+  workload.pipelines_.reserve(options.num_pipelines);
+  for (size_t i = 0; i < options.num_pipelines; ++i) {
+    auto final_forest = std::make_shared<ForestParams>();
+    Rng rng(options.seed ^ (0xACF00000ull + i));
+    final_forest->forest = BuildRandomForest(options.final_trees, feature_dim,
+                                             options.final_depth, rng);
+    final_forest->Finalize();
+
+    PipelineSpec spec;
+    spec.name = "ac_" + std::to_string(i);
+    spec.nodes = {{pcas[i % pca_versions]},
+                  {kmeanses[i % kmeans_versions]},
+                  {featurizers[i % featurizer_versions]},
+                  {concat},
+                  {std::move(final_forest)}};
+    workload.pipelines_.push_back(std::move(spec));
+  }
+  return workload;
+}
+
+std::string AcWorkload::SampleInput(Rng& rng) const {
+  std::string input;
+  input.reserve(input_dim_ * 8);
+  char buf[32];
+  for (size_t i = 0; i < input_dim_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.3f", rng.Normal());
+    if (!input.empty()) {
+      input.push_back(',');
+    }
+    input.append(buf);
+  }
+  return input;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,47 @@
+// Attendee-Count pipeline suite (the paper's 250 AC pipelines): structured
+// 40-dimension input, Pca | KMeans | TreeFeaturizer -> Concat -> Forest.
+// Featurizers are shared across a few versions; the final tree ensemble is
+// unique per pipeline.
+#ifndef PRETZEL_WORKLOAD_AC_WORKLOAD_H_
+#define PRETZEL_WORKLOAD_AC_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ops/params.h"
+
+namespace pretzel {
+
+struct AcWorkloadOptions {
+  size_t num_pipelines = 250;
+  size_t featurizer_trees = 48;
+  size_t featurizer_depth = 7;
+  size_t final_trees = 24;
+  size_t final_depth = 5;
+  size_t input_dim = 40;
+  size_t pca_dim = 16;
+  size_t kmeans_k = 8;
+  size_t pca_versions = 3;
+  size_t kmeans_versions = 3;
+  size_t featurizer_versions = 5;
+  uint64_t seed = 0xAC2024;
+};
+
+class AcWorkload {
+ public:
+  static AcWorkload Generate(const AcWorkloadOptions& options);
+
+  const std::vector<PipelineSpec>& pipelines() const { return pipelines_; }
+
+  // A structured input: input_dim comma-separated floats.
+  std::string SampleInput(Rng& rng) const;
+
+ private:
+  size_t input_dim_ = 40;
+  std::vector<PipelineSpec> pipelines_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_WORKLOAD_AC_WORKLOAD_H_

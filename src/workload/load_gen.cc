@@ -1,0 +1,55 @@
+#include "src/workload/load_gen.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace pretzel {
+
+std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
+                                            double duration_s, double zipf_alpha,
+                                            uint64_t seed) {
+  std::vector<LoadEvent> schedule;
+  if (num_models == 0 || rps <= 0.0 || duration_s <= 0.0) {
+    return schedule;
+  }
+  Rng rng(seed);
+
+  // Zipf CDF over model ranks.
+  std::vector<double> cdf(num_models);
+  double total = 0.0;
+  for (size_t i = 0; i < num_models; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_alpha);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) {
+    c /= total;
+  }
+
+  schedule.reserve(static_cast<size_t>(rps * duration_s * 1.1) + 8);
+  double t = 0.0;
+  while (true) {
+    double u = rng.Uniform01();
+    if (u < 1e-12) {
+      u = 1e-12;
+    }
+    t += -std::log(u) / rps;  // Exponential inter-arrival.
+    if (t >= duration_s) {
+      break;
+    }
+    const double z = rng.Uniform01();
+    size_t lo = 0, hi = num_models - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < z) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    schedule.push_back(LoadEvent{t, lo});
+  }
+  return schedule;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,25 @@
+// Open-loop load schedules: Poisson arrivals at a target rate with model
+// popularity drawn from a Zipf distribution (the paper's heavy-load setup:
+// Zipf(2) over the pipeline suite).
+#ifndef PRETZEL_WORKLOAD_LOAD_GEN_H_
+#define PRETZEL_WORKLOAD_LOAD_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pretzel {
+
+struct LoadEvent {
+  double arrival_seconds = 0.0;  // Offset from schedule start.
+  size_t model_index = 0;
+};
+
+// Events sorted by arrival time covering [0, duration_s).
+std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
+                                            double duration_s, double zipf_alpha,
+                                            uint64_t seed);
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_WORKLOAD_LOAD_GEN_H_

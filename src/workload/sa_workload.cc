@@ -1,0 +1,146 @@
+#include "src/workload/sa_workload.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace pretzel {
+namespace {
+
+// The dictionaries must key the exact hashes the scan kernels compute, so
+// versions are built by scanning a synthetic corpus the same way the
+// tokenizer + scan pipeline would.
+std::string BuildCorpus(const std::vector<std::string>& vocabulary,
+                        size_t start_word) {
+  std::string corpus;
+  corpus.reserve(vocabulary.size() * 8);
+  for (size_t i = 0; i < vocabulary.size(); ++i) {
+    const std::string& word = vocabulary[(start_word + i) % vocabulary.size()];
+    if (!corpus.empty()) {
+      corpus.push_back(' ');
+    }
+    corpus.append(word);
+  }
+  return corpus;
+}
+
+std::shared_ptr<CharNgramParams> BuildCharDict(
+    const std::vector<std::string>& vocabulary, size_t entries, size_t version) {
+  auto params = std::make_shared<CharNgramParams>();
+  const std::string corpus = BuildCorpus(vocabulary, version * 997);
+  params->dict.Reserve(entries);
+  uint32_t next_id = 0;
+  for (size_t begin = 0; begin < corpus.size() && next_id < entries; ++begin) {
+    for (uint32_t n = params->scan.min_n;
+         n <= params->scan.max_n && begin + n <= corpus.size() && next_id < entries;
+         ++n) {
+      if (params->dict.Insert(CharNgramKey(corpus, begin, n), next_id)) {
+        ++next_id;
+      }
+    }
+  }
+  params->Finalize();
+  return params;
+}
+
+std::shared_ptr<WordNgramParams> BuildWordDict(
+    const std::vector<std::string>& vocabulary, size_t entries, size_t version) {
+  auto params = std::make_shared<WordNgramParams>();
+  const std::string corpus = BuildCorpus(vocabulary, version * 1499);
+  std::string text;
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  TokenizeText(corpus, &text, &spans);
+  params->dict.Reserve(entries);
+  uint32_t next_id = 0;
+  uint64_t prev_key = 0;
+  for (size_t t = 0; t < spans.size() && next_id < entries; ++t) {
+    const uint64_t key = WordKey(text, spans[t].first, spans[t].second);
+    // Unigrams for three quarters of the budget, bigrams for the rest, so
+    // both orders appear in every version.
+    if (next_id < entries * 3 / 4) {
+      if (params->dict.Insert(key, next_id)) {
+        ++next_id;
+      }
+    } else if (t > 0) {
+      if (params->dict.Insert(WordBigramKey(prev_key, key), next_id)) {
+        ++next_id;
+      }
+    }
+    prev_key = key;
+  }
+  params->Finalize();
+  return params;
+}
+
+}  // namespace
+
+SaWorkload SaWorkload::Generate(const SaWorkloadOptions& options) {
+  SaWorkload workload;
+  Rng rng(options.seed);
+
+  workload.vocabulary_.reserve(options.vocabulary_size);
+  for (size_t i = 0; i < options.vocabulary_size; ++i) {
+    const size_t len = 3 + rng.UniformInt(7);
+    std::string word;
+    word.reserve(len);
+    for (size_t c = 0; c < len; ++c) {
+      word.push_back(static_cast<char>('a' + rng.UniformInt(26)));
+    }
+    workload.vocabulary_.push_back(std::move(word));
+  }
+
+  const size_t char_versions =
+      std::max<size_t>(1, std::min(options.char_versions, options.num_pipelines));
+  const size_t word_versions =
+      std::max<size_t>(1, std::min(options.word_versions, options.num_pipelines));
+
+  auto tokenizer = std::make_shared<TokenizerParams>();
+  auto concat = std::make_shared<ConcatParams>();
+  std::vector<std::shared_ptr<CharNgramParams>> char_dicts;
+  for (size_t v = 0; v < char_versions; ++v) {
+    char_dicts.push_back(
+        BuildCharDict(workload.vocabulary_, options.char_dict_entries, v));
+  }
+  std::vector<std::shared_ptr<WordNgramParams>> word_dicts;
+  for (size_t v = 0; v < word_versions; ++v) {
+    word_dicts.push_back(
+        BuildWordDict(workload.vocabulary_, options.word_dict_entries, v));
+  }
+
+  workload.pipelines_.reserve(options.num_pipelines);
+  for (size_t i = 0; i < options.num_pipelines; ++i) {
+    const auto& char_dict = char_dicts[i % char_versions];
+    const auto& word_dict = word_dicts[i % word_versions];
+    auto linear = std::make_shared<LinearBinaryParams>();
+    // One weight per concatenated feature; unique per pipeline (the paper:
+    // model weights are never shared).
+    const size_t dim = char_dict->dict.size() + word_dict->dict.size();
+    linear->weights.resize(dim);
+    Rng wrng(options.seed ^ (0xBEEF0000ull + i));
+    for (float& w : linear->weights) {
+      w = static_cast<float>(wrng.Normal()) * 0.05f;
+    }
+    linear->bias = static_cast<float>(wrng.Normal()) * 0.1f;
+    linear->Finalize();
+
+    PipelineSpec spec;
+    spec.name = "sa_" + std::to_string(i);
+    spec.nodes = {{tokenizer}, {char_dict}, {word_dict}, {concat}, {linear}};
+    workload.pipelines_.push_back(std::move(spec));
+  }
+  return workload;
+}
+
+std::string SaWorkload::SampleInput(Rng& rng) const {
+  const size_t num_words = 8 + rng.UniformInt(23);
+  std::string input;
+  input.reserve(num_words * 8);
+  for (size_t i = 0; i < num_words; ++i) {
+    if (!input.empty()) {
+      input.push_back(' ');
+    }
+    input.append(vocabulary_[rng.UniformInt(vocabulary_.size())]);
+  }
+  return input;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,43 @@
+// Sentiment-Analysis pipeline suite (the paper's 250 SA pipelines): text
+// input, Tokenizer -> CharNgram -> WordNgram -> Concat -> LinearBinary.
+// Sharing structure mirrors Figure 3: one tokenizer version everywhere, a
+// handful of char/word dictionary versions (A/B-tested variants of one
+// service), and per-pipeline linear weights that are never shared.
+#ifndef PRETZEL_WORKLOAD_SA_WORKLOAD_H_
+#define PRETZEL_WORKLOAD_SA_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ops/params.h"
+
+namespace pretzel {
+
+struct SaWorkloadOptions {
+  size_t num_pipelines = 250;
+  size_t char_dict_entries = 8000;  // Paper scale: millions; see EXPERIMENTS.md.
+  size_t word_dict_entries = 2000;
+  size_t vocabulary_size = 4000;
+  size_t char_versions = 7;  // Distinct dictionary versions (paper: 7).
+  size_t word_versions = 6;  // (paper: 6).
+  uint64_t seed = 0x5A5A2024;
+};
+
+class SaWorkload {
+ public:
+  static SaWorkload Generate(const SaWorkloadOptions& options);
+
+  const std::vector<PipelineSpec>& pipelines() const { return pipelines_; }
+
+  // A plain-text input: a variable-length sentence over the vocabulary.
+  std::string SampleInput(Rng& rng) const;
+
+ private:
+  std::vector<PipelineSpec> pipelines_;
+  std::vector<std::string> vocabulary_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_WORKLOAD_SA_WORKLOAD_H_

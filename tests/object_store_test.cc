@@ -1,0 +1,105 @@
+// ObjectStore interning + model image round-trips: dedup on/off, checksum
+// stability across serialize/deserialize, and cross-pipeline sharing.
+#include "src/store/object_store.h"
+
+#include "src/store/model_loader.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+SaWorkload SmallSa(size_t pipelines) {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = pipelines;
+  opts.char_dict_entries = 500;
+  opts.word_dict_entries = 150;
+  opts.vocabulary_size = 300;
+  return SaWorkload::Generate(opts);
+}
+
+void TestInterning() {
+  auto sa = SmallSa(8);
+  ObjectStore store;
+  // Pipelines 0 and 7 share the char dict (7 versions, i % 7).
+  auto a = store.Intern(sa.pipelines()[0].nodes[1].params);
+  const size_t bytes_after_one = store.TotalBytes();
+  auto b = store.Intern(sa.pipelines()[7].nodes[1].params);
+  CHECK(a.get() == b.get());
+  CHECK_EQ(store.TotalBytes(), bytes_after_one);  // No double count.
+  CHECK_EQ(store.GetStats().hits, uint64_t{1});
+
+  // Linear weights are unique per pipeline: both stay resident.
+  store.Intern(sa.pipelines()[0].nodes[4].params);
+  const size_t with_one_linear = store.TotalBytes();
+  store.Intern(sa.pipelines()[1].nodes[4].params);
+  CHECK(store.TotalBytes() > with_one_linear);
+
+  // Dedup off: same content, two residents.
+  ObjectStore::Options no_dedup;
+  no_dedup.dedup_enabled = false;
+  ObjectStore private_store(no_dedup);
+  auto p1 = private_store.Intern(sa.pipelines()[0].nodes[1].params);
+  auto p2 = private_store.Intern(sa.pipelines()[7].nodes[1].params);
+  CHECK_EQ(private_store.NumObjects(), size_t{2});
+  CHECK(private_store.Lookup(p1->ContentChecksum()) == nullptr);
+  (void)p2;
+}
+
+void TestImageRoundTrip() {
+  auto sa = SmallSa(2);
+  const PipelineSpec& spec = sa.pipelines()[0];
+  const std::string image = SaveModelImage(spec);
+
+  // Black-box path: full deserialization, checksums preserved.
+  auto loaded = LoadModelImage(image);
+  CHECK(loaded.ok());
+  CHECK(loaded->name == spec.name);
+  CHECK_EQ(loaded->nodes.size(), spec.nodes.size());
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    CHECK_EQ(loaded->nodes[i].params->ContentChecksum(),
+             spec.nodes[i].params->ContentChecksum());
+    CHECK(loaded->nodes[i].params.get() != spec.nodes[i].params.get());
+  }
+
+  // Corrupt magic rejected.
+  std::string bad = image;
+  bad[0] = 'X';
+  CHECK(!LoadModelImage(bad).ok());
+}
+
+void TestStoreSharing() {
+  // Enough pipelines that dictionary versions (7 char / 6 word) are heavily
+  // reused; sharing is invisible when pipelines ~ versions.
+  auto sa = SmallSa(40);
+  ObjectStore store;
+  // Loading pipelines 0 and 7 (same char dict version) through the store
+  // must share the dictionary object.
+  auto s0 = LoadModelImageWithStore(SaveModelImage(sa.pipelines()[0]), &store);
+  const size_t bytes_one = store.TotalBytes();
+  auto s7 = LoadModelImageWithStore(SaveModelImage(sa.pipelines()[7]), &store);
+  CHECK(s0.ok() && s7.ok());
+  CHECK(s0->nodes[1].params.get() == s7->nodes[1].params.get());
+  // Only pipeline 7's unique pieces grew the store: its linear weights and
+  // its word dict version (7 % 6 = 1, different from pipeline 0's), but NOT
+  // the shared char dict.
+  const size_t linear_bytes = sa.pipelines()[7].nodes[4].params->HeapBytes();
+  const size_t word_bytes = sa.pipelines()[7].nodes[2].params->HeapBytes();
+  CHECK(store.TotalBytes() <= bytes_one + linear_bytes + word_bytes + 64);
+
+  // Suite-wide: resident bytes far below the sum of private copies.
+  size_t private_sum = 0;
+  for (const auto& spec : sa.pipelines()) {
+    private_sum += spec.ParameterBytes();
+    (void)LoadModelImageWithStore(SaveModelImage(spec), &store);
+  }
+  CHECK_MSG(store.TotalBytes() * 2 < private_sum,
+            "store %zu vs private %zu", store.TotalBytes(), private_sum);
+}
+
+int main() {
+  TestInterning();
+  TestImageRoundTrip();
+  TestStoreSharing();
+  std::printf("object_store_test: PASS\n");
+  return 0;
+}

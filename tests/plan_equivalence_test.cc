@@ -1,0 +1,95 @@
+// The load-bearing correctness test: every optimizer configuration of every
+// PRETZEL plan must score exactly like the operator-at-a-time black-box
+// execution of the same pipeline, for both workload families.
+#include <string>
+#include <vector>
+
+#include "src/blackbox/blackbox_model.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/exec_context.h"
+#include "src/workload/ac_workload.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+template <typename Workload>
+void CheckFamily(const Workload& workload, uint64_t seed,
+                 size_t expect_full_stages, bool push_applies) {
+  ObjectStore store;
+  FlourContext flour(&store);
+  VectorPool pool;
+  ExecContext ctx(&pool);
+
+  OptimizerOptions full;
+  OptimizerOptions no_push = full;
+  no_push.enable_linear_push = false;
+  OptimizerOptions no_merge = full;
+  no_merge.enable_stage_merge = false;
+  OptimizerOptions no_inline = full;
+  no_inline.enable_inline = false;
+  OptimizerOptions none;
+  none.enable_linear_push = false;
+  none.enable_stage_merge = false;
+  none.enable_inline = false;
+  const std::vector<OptimizerOptions> configs = {full, no_push, no_merge,
+                                                 no_inline, none};
+
+  Rng rng(seed);
+  for (const auto& spec : workload.pipelines()) {
+    auto model = BlackBoxModel::Load(SaveModelImage(spec), BlackBoxOptions());
+    CHECK(model.ok());
+    auto program = flour.FromPipeline(spec);
+
+    std::vector<std::shared_ptr<ModelPlan>> plans;
+    for (size_t c = 0; c < configs.size(); ++c) {
+      CompileOptions copts;
+      copts.optimizer = configs[c];
+      copts.aot_compile = c % 2 == 0;  // Exercise both binding modes.
+      auto plan = CompilePlan(*program, spec.name, copts);
+      CHECK(plan.ok());
+      plans.push_back(*plan);
+    }
+    // The full optimizer collapses the plan; disabling rewrites keeps more
+    // stages alive.
+    CHECK_EQ(plans[0]->NumStages(), expect_full_stages);
+    if (push_applies) {  // The linear push only exists for linear finals.
+      CHECK(plans[1]->NumStages() > plans[0]->NumStages());
+    }
+    CHECK(plans[4]->NumStages() > plans[0]->NumStages());
+
+    for (int i = 0; i < 5; ++i) {
+      const std::string input = workload.SampleInput(rng);
+      auto expected = (*model)->Predict(input);
+      CHECK(expected.ok());
+      for (const auto& plan : plans) {
+        auto got = ExecutePlan(*plan, input, ctx);
+        CHECK(got.ok());
+        CHECK_NEAR(*got, *expected, 1e-5);
+      }
+    }
+  }
+}
+
+int main() {
+  SaWorkloadOptions sa_opts;
+  sa_opts.num_pipelines = 8;
+  sa_opts.char_dict_entries = 600;
+  sa_opts.word_dict_entries = 200;
+  sa_opts.vocabulary_size = 400;
+  CheckFamily(SaWorkload::Generate(sa_opts), 1234, /*expect_full_stages=*/1,
+              /*push_applies=*/true);
+
+  AcWorkloadOptions ac_opts;
+  ac_opts.num_pipelines = 6;
+  ac_opts.featurizer_trees = 12;
+  ac_opts.featurizer_depth = 5;
+  ac_opts.final_trees = 8;
+  ac_opts.final_depth = 4;
+  CheckFamily(AcWorkload::Generate(ac_opts), 5678, /*expect_full_stages=*/2,
+              /*push_applies=*/false);
+
+  std::printf("plan_equivalence_test: PASS\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Runtime: registration, inline predict, batch fan-out ordering, async
+// completion, error propagation, and reservations.
+#include "src/runtime/runtime.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+int main() {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = 4;
+  opts.char_dict_entries = 500;
+  opts.word_dict_entries = 150;
+  opts.vocabulary_size = 300;
+  auto sa = SaWorkload::Generate(opts);
+
+  ObjectStore store;
+  FlourContext flour(&store);
+  RuntimeOptions ropts;
+  ropts.num_executors = 2;
+  Runtime runtime(&store, ropts);
+
+  std::vector<Runtime::PlanId> ids;
+  for (size_t i = 0; i < sa.pipelines().size(); ++i) {
+    auto program = flour.FromPipeline(sa.pipelines()[i]);
+    auto plan = Plan(*program, sa.pipelines()[i].name);
+    CHECK(plan.ok());
+    PlanRegistration reg;
+    if (i == 0) {
+      reg.reserve_cores = 1;  // Reserved plan: dedicated executor.
+    }
+    auto id = runtime.Register(*plan, reg);
+    CHECK(id.ok());
+    ids.push_back(*id);
+  }
+  CHECK_EQ(runtime.reservations().size(), size_t{1});
+  CHECK_EQ(runtime.reservations()[0].plan_id, ids[0]);
+
+  // Inline predict matches direct plan execution.
+  VectorPool pool;
+  ExecContext ctx(&pool);
+  Rng rng(7);
+  {
+    auto program = flour.FromPipeline(sa.pipelines()[1]);
+    auto plan = Plan(*program, "direct");
+    const std::string input = sa.SampleInput(rng);
+    auto direct = ExecutePlan(**plan, input, ctx);
+    auto served = runtime.Predict(ids[1], input);
+    CHECK(direct.ok() && served.ok());
+    CHECK_NEAR(*served, *direct, 1e-6);
+  }
+
+  // Unknown plan id fails cleanly.
+  CHECK(!runtime.Predict(9999, "x").ok());
+
+  // Batch: scores come back in input order, equal to one-at-a-time scores.
+  {
+    std::vector<std::string> inputs;
+    for (int i = 0; i < 37; ++i) {
+      inputs.push_back(sa.SampleInput(rng));
+    }
+    auto batch = runtime.PredictBatch(ids[2], inputs, /*max_batch=*/8);
+    CHECK(batch.ok());
+    CHECK_EQ(batch->size(), inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      auto single = runtime.Predict(ids[2], inputs[i]);
+      CHECK(single.ok());
+      CHECK_NEAR((*batch)[i], *single, 1e-6);
+    }
+    // Empty batch completes immediately.
+    auto empty = runtime.PredictBatch(ids[2], {}, 8);
+    CHECK(empty.ok());
+    CHECK(empty->empty());
+  }
+
+  // Async: callback fires exactly once, including for the reserved plan.
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<int> fired{0};
+    int pending = 2;
+    for (const Runtime::PlanId id : {ids[0], ids[3]}) {
+      std::vector<std::string> inputs(5, sa.SampleInput(rng));
+      Status st = runtime.PredictBatchAsync(
+          id, std::move(inputs),
+          [&](Status status, std::span<const float> results) {
+            CHECK(status.ok());
+            CHECK_EQ(results.size(), size_t{5});
+            fired.fetch_add(1);
+            std::lock_guard<std::mutex> lock(mu);
+            if (--pending == 0) {
+              cv.notify_one();
+            }
+          },
+          2);
+      CHECK(st.ok());
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+    CHECK_EQ(fired.load(), 2);
+  }
+
+  std::printf("runtime_test: PASS\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// SampleStats: percentiles, median, P99, CDF shape, and formatting.
+#include "src/common/stats.h"
+
+#include "tests/test_util.h"
+
+using pretzel::FormatBytes;
+using pretzel::FormatDurationNs;
+using pretzel::SampleStats;
+
+int main() {
+  // Empty sample: all queries well-defined.
+  SampleStats empty;
+  CHECK(empty.empty());
+  CHECK_EQ(empty.count(), size_t{0});
+  CHECK_EQ(empty.Median(), 0.0);
+  CHECK_EQ(empty.P99(), 0.0);
+  CHECK(empty.Cdf(10).empty());
+
+  // 1..100 in shuffled-ish order: exact percentiles are known.
+  SampleStats stats;
+  for (int i = 100; i >= 1; --i) {
+    stats.Add(static_cast<double>(i));
+  }
+  CHECK_EQ(stats.count(), size_t{100});
+  CHECK_NEAR(stats.Mean(), 50.5, 1e-9);
+  CHECK_NEAR(stats.Median(), 50.0, 1e-9);  // Nearest-rank: ceil(0.5*100)=50.
+  CHECK_NEAR(stats.P99(), 99.0, 1e-9);
+  CHECK_NEAR(stats.Percentile(0.0), 1.0, 1e-9);
+  CHECK_NEAR(stats.Percentile(100.0), 100.0, 1e-9);
+  CHECK_NEAR(stats.Percentile(10.0), 10.0, 1e-9);
+  CHECK_NEAR(stats.Min(), 1.0, 1e-9);
+  CHECK_NEAR(stats.Max(), 100.0, 1e-9);
+
+  // Incremental add invalidates the sorted cache.
+  stats.Add(1000.0);
+  CHECK_NEAR(stats.Max(), 1000.0, 1e-9);
+
+  // CDF: monotone in both coordinates, ends at (max, 1.0).
+  const auto cdf = stats.Cdf(20);
+  CHECK_EQ(cdf.size(), size_t{20});
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    CHECK(cdf[i].first >= cdf[i - 1].first);
+    CHECK(cdf[i].second > cdf[i - 1].second);
+  }
+  CHECK_NEAR(cdf.back().first, 1000.0, 1e-9);
+  CHECK_NEAR(cdf.back().second, 1.0, 1e-9);
+
+  // Formatting: unit selection.
+  CHECK(FormatDurationNs(412.0) == "412ns");
+  CHECK(FormatDurationNs(3180.0) == "3.18us");
+  CHECK(FormatDurationNs(7.42e6) == "7.42ms");
+  CHECK(FormatDurationNs(1.25e9) == "1.25s");
+  CHECK(FormatBytes(512) == "512B");
+  CHECK(FormatBytes(64ull << 10) == "64.0KB");
+  CHECK(FormatBytes(3ull << 20) == "3.00MB");
+  CHECK(FormatBytes(2ull << 30) == "2.00GB");
+
+  std::printf("stats_test: PASS\n");
+  return 0;
+}

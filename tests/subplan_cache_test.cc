@@ -1,0 +1,116 @@
+// SubPlanCache: hit/miss accounting, byte-budget LRU eviction, and the
+// disabled (null-cache) execution path.
+#include "src/oven/subplan_cache.h"
+
+#include <vector>
+
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/exec_context.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+void TestAccounting() {
+  SubPlanCache cache(1ull << 20);
+  std::vector<uint32_t> ids = {1, 2, 3, 4};
+  std::vector<uint32_t> out;
+
+  CHECK(!cache.Lookup(42, &out));
+  cache.Insert(42, ids);
+  CHECK(cache.Lookup(42, &out));
+  CHECK_EQ(out.size(), ids.size());
+  CHECK(out == ids);
+  CHECK(!cache.Lookup(43, &out));
+
+  const auto stats = cache.GetStats();
+  CHECK_EQ(stats.lookups, uint64_t{3});
+  CHECK_EQ(stats.hits, uint64_t{1});
+  CHECK_EQ(stats.insertions, uint64_t{1});
+  CHECK_EQ(cache.NumEntries(), size_t{1});
+  CHECK(cache.SizeBytes() > ids.size() * sizeof(uint32_t));
+
+  // Re-inserting the same key replaces, not duplicates.
+  cache.Insert(42, std::vector<uint32_t>{9, 9});
+  CHECK_EQ(cache.NumEntries(), size_t{1});
+  CHECK(cache.Lookup(42, &out));
+  CHECK_EQ(out.size(), size_t{2});
+}
+
+void TestEviction() {
+  // Each entry: 100 ids * 4B + 64B bookkeeping = 464B. Budget fits ~4.
+  SubPlanCache cache(2000);
+  std::vector<uint32_t> ids(100, 7);
+  for (uint64_t k = 1; k <= 10; ++k) {
+    cache.Insert(k, ids);
+    CHECK(cache.SizeBytes() <= cache.byte_budget());
+  }
+  CHECK_EQ(cache.NumEntries(), size_t{4});
+  CHECK(cache.GetStats().evictions == 6);
+  std::vector<uint32_t> out;
+  // Oldest keys evicted, newest resident.
+  CHECK(!cache.Lookup(1, &out));
+  CHECK(cache.Lookup(10, &out));
+
+  // LRU refresh: touching an old entry protects it from the next eviction.
+  CHECK(cache.Lookup(7, &out));
+  cache.Insert(11, ids);
+  CHECK(cache.Lookup(7, &out));
+  CHECK(!cache.Lookup(8, &out));
+
+  // Oversized entries are rejected outright.
+  SubPlanCache tiny(100);
+  tiny.Insert(1, ids);
+  CHECK_EQ(tiny.NumEntries(), size_t{0});
+}
+
+// Executing plans with and without a cache attached must agree; a cache at
+// budget 0 (always evicting) must not change results either.
+void TestExecutionPaths() {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = 6;
+  opts.char_dict_entries = 600;
+  opts.word_dict_entries = 200;
+  opts.vocabulary_size = 400;
+  auto sa = SaWorkload::Generate(opts);
+
+  ObjectStore store;
+  FlourContext ctx(&store);
+  VectorPool pool;
+  ExecContext no_cache_ctx(&pool);
+  ExecContext cache_ctx(&pool);
+  SubPlanCache cache(1ull << 20);
+  cache_ctx.subplan_cache = &cache;
+  ExecContext zero_ctx(&pool);
+  SubPlanCache zero_cache(0);
+  zero_ctx.subplan_cache = &zero_cache;
+
+  Rng rng(99);
+  for (const auto& spec : sa.pipelines()) {
+    auto program = ctx.FromPipeline(spec);
+    auto plan = Plan(*program, spec.name);
+    CHECK(plan.ok());
+    for (int i = 0; i < 5; ++i) {
+      const std::string input = sa.SampleInput(rng);
+      auto a = ExecutePlan(**plan, input, no_cache_ctx);
+      auto b = ExecutePlan(**plan, input, cache_ctx);   // Cold then warm.
+      auto b2 = ExecutePlan(**plan, input, cache_ctx);  // Cached replay.
+      auto c = ExecutePlan(**plan, input, zero_ctx);
+      CHECK(a.ok() && b.ok() && b2.ok() && c.ok());
+      CHECK_NEAR(*a, *b, 1e-5);
+      CHECK_NEAR(*a, *b2, 1e-5);
+      CHECK_NEAR(*a, *c, 1e-5);
+    }
+  }
+  CHECK(cache.GetStats().hits > 0);
+  CHECK_EQ(zero_cache.NumEntries(), size_t{0});
+}
+
+int main() {
+  TestAccounting();
+  TestEviction();
+  TestExecutionPaths();
+  std::printf("subplan_cache_test: PASS\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Workload generators: deterministic regeneration, Figure-3 sharing
+// structure (version counts), and input sanity for both families.
+#include <set>
+
+#include "src/workload/ac_workload.h"
+#include "src/workload/load_gen.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+void TestSaStructure() {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = 30;
+  opts.char_dict_entries = 500;
+  opts.word_dict_entries = 150;
+  opts.vocabulary_size = 300;
+  auto sa = SaWorkload::Generate(opts);
+  CHECK_EQ(sa.pipelines().size(), size_t{30});
+
+  std::set<uint64_t> tokenizer_versions, char_versions, word_versions,
+      linear_versions;
+  for (const auto& spec : sa.pipelines()) {
+    CHECK_EQ(spec.nodes.size(), size_t{5});
+    CHECK(spec.nodes[0].params->kind() == OpKind::kTokenizer);
+    CHECK(spec.nodes[1].params->kind() == OpKind::kCharNgram);
+    CHECK(spec.nodes[2].params->kind() == OpKind::kWordNgram);
+    CHECK(spec.nodes[3].params->kind() == OpKind::kConcat);
+    CHECK(spec.nodes[4].params->kind() == OpKind::kLinearBinary);
+    tokenizer_versions.insert(spec.nodes[0].params->ContentChecksum());
+    char_versions.insert(spec.nodes[1].params->ContentChecksum());
+    word_versions.insert(spec.nodes[2].params->ContentChecksum());
+    linear_versions.insert(spec.nodes[4].params->ContentChecksum());
+    CHECK(spec.ParameterBytes() > 0);
+  }
+  CHECK_EQ(tokenizer_versions.size(), size_t{1});   // Shared everywhere.
+  CHECK_EQ(char_versions.size(), size_t{7});        // Paper: 7 versions.
+  CHECK_EQ(word_versions.size(), size_t{6});        // Paper: 6 versions.
+  CHECK_EQ(linear_versions.size(), size_t{30});     // Never shared.
+
+  // Deterministic: same options -> identical checksums.
+  auto again = SaWorkload::Generate(opts);
+  for (size_t i = 0; i < sa.pipelines().size(); ++i) {
+    for (size_t n = 0; n < 5; ++n) {
+      CHECK_EQ(sa.pipelines()[i].nodes[n].params->ContentChecksum(),
+               again.pipelines()[i].nodes[n].params->ContentChecksum());
+    }
+  }
+
+  // Inputs: non-empty, variable length.
+  Rng rng(1);
+  std::set<size_t> lengths;
+  for (int i = 0; i < 20; ++i) {
+    const std::string input = sa.SampleInput(rng);
+    CHECK(!input.empty());
+    lengths.insert(input.size());
+  }
+  CHECK(lengths.size() > 5);
+}
+
+void TestAcStructure() {
+  AcWorkloadOptions opts;
+  opts.num_pipelines = 12;
+  opts.featurizer_trees = 8;
+  opts.featurizer_depth = 4;
+  opts.final_trees = 6;
+  opts.final_depth = 3;
+  auto ac = AcWorkload::Generate(opts);
+  CHECK_EQ(ac.pipelines().size(), size_t{12});
+
+  std::set<uint64_t> featurizer_versions, final_versions;
+  for (const auto& spec : ac.pipelines()) {
+    CHECK_EQ(spec.nodes.size(), size_t{5});
+    CHECK(spec.nodes[0].params->kind() == OpKind::kPca);
+    CHECK(spec.nodes[4].params->kind() == OpKind::kForest);
+    featurizer_versions.insert(spec.nodes[2].params->ContentChecksum());
+    final_versions.insert(spec.nodes[4].params->ContentChecksum());
+  }
+  CHECK_EQ(featurizer_versions.size(), size_t{5});
+  CHECK_EQ(final_versions.size(), size_t{12});  // Unique final model.
+
+  // Inputs parse to exactly input_dim floats.
+  Rng rng(2);
+  std::vector<float> values;
+  ParseDenseInput(ac.SampleInput(rng), &values);
+  CHECK_EQ(values.size(), opts.input_dim);
+}
+
+void TestLoadSchedule() {
+  auto schedule = GenerateLoadSchedule(20, 1000.0, 0.5, 2.0, 42);
+  CHECK(!schedule.empty());
+  // Roughly rps * duration events (Poisson, generous tolerance).
+  CHECK(schedule.size() > 300 && schedule.size() < 800);
+  size_t head_hits = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    CHECK(schedule[i].model_index < 20);
+    CHECK(schedule[i].arrival_seconds >= 0.0 &&
+          schedule[i].arrival_seconds < 0.5);
+    if (i > 0) {
+      CHECK(schedule[i].arrival_seconds >= schedule[i - 1].arrival_seconds);
+    }
+    head_hits += schedule[i].model_index == 0 ? 1 : 0;
+  }
+  // Zipf(2): the head model draws the majority of traffic.
+  CHECK(head_hits > schedule.size() / 3);
+}
+
+int main() {
+  TestSaStructure();
+  TestAcStructure();
+  TestLoadSchedule();
+  std::printf("workload_test: PASS\n");
+  return 0;
+}
