@@ -44,16 +44,23 @@ LoadPoint DriveLoad(FrontEnd& frontend, const std::vector<std::string>& names,
     }
     const size_t m = event.model_index;
     const int64_t submit = NowNs();
-    frontend.RequestAsync(names[m], inputs[m], [&, submit](Result<float> r) {
-      if (r.ok()) {
-        completed.fetch_add(1, std::memory_order_relaxed);
-        total_ns.fetch_add(NowNs() - submit, std::memory_order_relaxed);
-      }
+    Status admitted = frontend.RequestAsync(
+        names[m], inputs[m], [&, submit](Result<float> r) {
+          if (r.ok()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+            total_ns.fetch_add(NowNs() - submit, std::memory_order_relaxed);
+          }
+          if (pending.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(mu);
+            cv.notify_one();
+          }
+        });
+    if (!admitted.ok()) {  // Backpressure drop: no callback will fire.
       if (pending.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_one();
       }
-    });
+    }
   }
   {
     std::unique_lock<std::mutex> lock(mu);

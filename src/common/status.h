@@ -10,30 +10,51 @@
 
 namespace pretzel {
 
+enum class StatusCode {
+  kOk,
+  kError,
+  kNotFound,
+  kInvalidArgument,
+  kResourceExhausted,
+};
+
 class Status {
  public:
   Status() = default;  // OK.
 
   static Status OK() { return Status(); }
   static Status Error(std::string message) {
+    return Make(StatusCode::kError, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Make(StatusCode::kNotFound, "not found: " + std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Make(StatusCode::kInvalidArgument,
+                "invalid argument: " + std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Make(StatusCode::kResourceExhausted,
+                "resource exhausted: " + std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  const std::string& message() const { return message_; }
+  std::string ToString() const { return ok() ? "OK" : message_; }
+
+ private:
+  static Status Make(StatusCode code, std::string message) {
     Status s;
-    s.ok_ = false;
+    s.code_ = code;
     s.message_ = std::move(message);
     return s;
   }
-  static Status NotFound(std::string message) {
-    return Error("not found: " + std::move(message));
-  }
-  static Status InvalidArgument(std::string message) {
-    return Error("invalid argument: " + std::move(message));
-  }
 
-  bool ok() const { return ok_; }
-  const std::string& message() const { return message_; }
-  std::string ToString() const { return ok_ ? "OK" : message_; }
-
- private:
-  bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

@@ -7,18 +7,36 @@ void PretzelBackend::AddRoute(const std::string& name, Runtime::PlanId id) {
   routes_[name] = id;
 }
 
+Result<Runtime::PlanId> PretzelBackend::Route(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = routes_.find(name);
+  if (it == routes_.end()) {
+    return Status::NotFound(name);
+  }
+  return it->second;
+}
+
 Result<float> PretzelBackend::Predict(const std::string& name,
                                       const std::string& input) {
-  Runtime::PlanId id;
-  {
-    std::shared_lock lock(mu_);
-    auto it = routes_.find(name);
-    if (it == routes_.end()) {
-      return Status::NotFound(name);
-    }
-    id = it->second;
+  Result<Runtime::PlanId> id = Route(name);
+  if (!id.ok()) {
+    return id.status();
   }
-  return runtime_->Predict(id, input);
+  return runtime_->Predict(*id, input);
+}
+
+void PretzelBackend::PredictAsync(const std::string& name,
+                                  const std::string& input,
+                                  std::function<void(Result<float>)> callback) {
+  Result<Runtime::PlanId> id = Route(name);
+  if (!id.ok()) {
+    callback(id.status());
+    return;
+  }
+  Status submitted = runtime_->PredictAsync(*id, input, callback);
+  if (!submitted.ok()) {
+    callback(submitted);
+  }
 }
 
 Result<float> ClipperBackend::Predict(const std::string& name,

@@ -23,7 +23,14 @@ class PretzelBackend : public Backend {
 
   Result<float> Predict(const std::string& name, const std::string& input) override;
 
+  // Rides the Runtime's event scheduler (coalescible single-prediction
+  // event) instead of blocking the calling IO thread.
+  void PredictAsync(const std::string& name, const std::string& input,
+                    std::function<void(Result<float>)> callback) override;
+
  private:
+  Result<Runtime::PlanId> Route(const std::string& name) const;
+
   Runtime* runtime_;
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, Runtime::PlanId> routes_;

@@ -17,7 +17,10 @@ FrontEnd::FrontEnd(Backend* backend, const FrontEndOptions& options)
 
 FrontEnd::~FrontEnd() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Drain first: admitted requests may still be in flight inside an async
+    // backend, whose completion will call back into this FrontEnd.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,18 +37,51 @@ Result<float> FrontEnd::Request(const std::string& name,
   return result;
 }
 
-void FrontEnd::RequestAsync(const std::string& name, const std::string& input,
-                            std::function<void(Result<float>)> callback) {
+Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
+                              std::function<void(Result<float>)> callback) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(PendingRequest{name, input, std::move(callback)});
+    if (stop_) {
+      return Status::Error("frontend shutting down");
+    }
+    if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "frontend over " + std::to_string(options_.max_pending) +
+          " pending requests");
+    }
+    ++pending_;
+    Work work;
+    work.name = name;
+    work.input = input;
+    work.callback = std::move(callback);
+    queue_.push_back(std::move(work));
   }
-  cv_.notify_one();
+  // notify_all: the draining destructor waits on this cv too, and a
+  // notify_one it consumes (its predicate being false) would strand the
+  // queued work with every worker asleep.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
+                                 Result<float> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Work work;
+    work.is_completion = true;
+    work.callback = std::move(callback);
+    work.result = std::move(result);
+    // Completions jump the queue: finishing in-flight work beats admitting
+    // more of the backlog.
+    queue_.push_front(std::move(work));
+  }
+  cv_.notify_all();  // See RequestAsync: the drain waiter shares this cv.
 }
 
 void FrontEnd::IoLoop() {
   while (true) {
-    PendingRequest request;
+    Work work;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -55,13 +91,29 @@ void FrontEnd::IoLoop() {
         }
         continue;
       }
-      request = std::move(queue_.front());
+      work = std::move(queue_.front());
       queue_.pop_front();
     }
-    SleepUs(options_.network_delay_us);
-    Result<float> result = backend_->Predict(request.name, request.input);
-    SleepUs(options_.network_delay_us);
-    request.callback(std::move(result));
+    if (work.is_completion) {
+      SleepUs(options_.network_delay_us);  // Frontend -> client.
+      work.callback(std::move(work.result));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_;
+      }
+      cv_.notify_all();  // Admission and the draining destructor both wait.
+      continue;
+    }
+    SleepUs(options_.network_delay_us);  // Client -> frontend.
+    // Hand off to the backend's async path; the completion re-enters the IO
+    // queue so the response hop never runs on a backend executor thread.
+    auto callback = std::move(work.callback);
+    backend_->PredictAsync(work.name, work.input,
+                           [this, callback = std::move(callback)](
+                               Result<float> result) mutable {
+                             EnqueueCompletion(std::move(callback),
+                                               std::move(result));
+                           });
   }
 }
 

@@ -1,11 +1,16 @@
 // FrontEnd: the client-facing serving tier (the paper's ASP.Net front-end).
-// Every request pays an emulated client<->frontend network hop each way;
-// asynchronous requests are handled by a small IO thread pool, which is the
-// concurrency limit a real HTTP tier would impose.
+// Every request pays an emulated client<->frontend network hop each way.
+// Asynchronous requests are admitted into a bounded queue (backpressure:
+// over max_pending they fail fast with ResourceExhausted instead of growing
+// memory without limit), handed to the backend's async path — which for the
+// PRETZEL backend rides the Runtime's event scheduler rather than blocking
+// an IO thread — and completed by the IO pool, which pays the response hop.
 #ifndef PRETZEL_FRONTEND_FRONTEND_H_
 #define PRETZEL_FRONTEND_FRONTEND_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -23,16 +28,27 @@ class Backend {
   virtual ~Backend() = default;
   virtual Result<float> Predict(const std::string& name,
                                 const std::string& input) = 0;
+  // Asynchronous entry point. The default blocks the calling thread on the
+  // sync path; scheduler-backed backends override it to enqueue instead.
+  // `callback` must be invoked exactly once, from any thread.
+  virtual void PredictAsync(const std::string& name, const std::string& input,
+                            std::function<void(Result<float>)> callback) {
+    callback(Predict(name, input));
+  }
 };
 
 struct FrontEndOptions {
   int64_t network_delay_us = 150;  // One-way client <-> frontend hop.
   size_t num_io_threads = 2;
+  // Cap on admitted-but-uncompleted async requests; 0 = unbounded.
+  // RequestAsync over the cap fails fast with ResourceExhausted.
+  size_t max_pending = 0;
 };
 
 class FrontEnd {
  public:
   FrontEnd(Backend* backend, const FrontEndOptions& options);
+  // Drains all admitted async requests before stopping the IO pool.
   ~FrontEnd();
 
   FrontEnd(const FrontEnd&) = delete;
@@ -42,24 +58,36 @@ class FrontEnd {
   Result<float> Request(const std::string& name, const std::string& input);
 
   // Queues the request for the IO pool; the callback fires from an IO
-  // thread after the response hop.
-  void RequestAsync(const std::string& name, const std::string& input,
-                    std::function<void(Result<float>)> callback);
+  // thread after the response hop. Fails fast (callback never runs) with
+  // ResourceExhausted when max_pending admitted requests are in flight.
+  Status RequestAsync(const std::string& name, const std::string& input,
+                      std::function<void(Result<float>)> callback);
+
+  // Requests rejected by the max_pending cap since construction.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
  private:
-  struct PendingRequest {
+  // IO work: an inbound request awaiting its backend hand-off, or a
+  // completed backend response awaiting its response hop + user callback.
+  struct Work {
+    bool is_completion = false;
     std::string name;
     std::string input;
     std::function<void(Result<float>)> callback;
+    Result<float> result = Status::Error("pending");
   };
 
   void IoLoop();
+  void EnqueueCompletion(std::function<void(Result<float>)> callback,
+                         Result<float> result);
 
   Backend* backend_;
   const FrontEndOptions options_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<PendingRequest> queue_;
+  std::deque<Work> queue_;
+  size_t pending_ = 0;  // Admitted async requests not yet completed.
+  std::atomic<uint64_t> dropped_{0};
   bool stop_ = false;
   std::vector<std::thread> io_threads_;
 };

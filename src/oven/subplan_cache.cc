@@ -2,17 +2,16 @@
 
 namespace pretzel {
 
-bool SubPlanCache::Lookup(uint64_t key, std::vector<uint32_t>* out) {
+SubPlanCache::EntryRef SubPlanCache::Lookup(uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    return false;
+    return nullptr;
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  out->assign(it->second.ids.begin(), it->second.ids.end());
-  return true;
+  return it->second.ids;
 }
 
 void SubPlanCache::Insert(uint64_t key, const std::vector<uint32_t>& ids) {
@@ -21,20 +20,20 @@ void SubPlanCache::Insert(uint64_t key, const std::vector<uint32_t>& ids) {
   if (bytes > byte_budget_) {
     return;  // Oversized entries would evict the whole cache for one input.
   }
+  ++stats_.insertions;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    size_bytes_ -= EntryBytes(it->second.ids);
-    it->second.ids = ids;
+    size_bytes_ -= EntryBytes(*it->second.ids);
+    it->second.ids = std::make_shared<const std::vector<uint32_t>>(ids);
     size_bytes_ += bytes;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   } else {
     lru_.push_front(key);
     Entry entry;
-    entry.ids = ids;
+    entry.ids = std::make_shared<const std::vector<uint32_t>>(ids);
     entry.lru_it = lru_.begin();
     entries_.emplace(key, std::move(entry));
     size_bytes_ += bytes;
-    ++stats_.insertions;
   }
   EvictToBudgetLocked();
 }
@@ -44,7 +43,7 @@ void SubPlanCache::EvictToBudgetLocked() {
     const uint64_t victim = lru_.back();
     lru_.pop_back();
     auto it = entries_.find(victim);
-    size_bytes_ -= EntryBytes(it->second.ids);
+    size_bytes_ -= EntryBytes(*it->second.ids);
     entries_.erase(it);
     ++stats_.evictions;
   }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -24,17 +25,22 @@ class SubPlanCache {
     uint64_t evictions = 0;
   };
 
+  // Entries are shared with readers: a hit hands out a reference to the
+  // immutable id list, so eviction can drop the cache's reference while an
+  // executor is still scanning its copy of the pointer.
+  using EntryRef = std::shared_ptr<const std::vector<uint32_t>>;
+
   explicit SubPlanCache(size_t byte_budget) : byte_budget_(byte_budget) {}
 
   SubPlanCache(const SubPlanCache&) = delete;
   SubPlanCache& operator=(const SubPlanCache&) = delete;
 
-  // On hit, copies the materialized ids into *out (clearing it first) and
-  // returns true. The copy is cheap (a few hundred bytes) and keeps the
-  // entry safely evictable.
-  bool Lookup(uint64_t key, std::vector<uint32_t>* out);
+  // Returns the materialized ids on a hit (refreshing LRU order), null on a
+  // miss. Hits are copy-free: the returned list stays valid even if the
+  // entry is evicted before the caller finishes with it.
+  EntryRef Lookup(uint64_t key);
 
-  // Inserts (or refreshes) an entry, then evicts LRU entries until the
+  // Inserts (or replaces) an entry, then evicts LRU entries until the
   // budget holds. Entries larger than the whole budget are not admitted.
   void Insert(uint64_t key, const std::vector<uint32_t>& ids);
 
@@ -45,7 +51,7 @@ class SubPlanCache {
 
  private:
   struct Entry {
-    std::vector<uint32_t> ids;
+    EntryRef ids;
     std::list<uint64_t>::iterator lru_it;
   };
 

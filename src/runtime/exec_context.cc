@@ -135,15 +135,22 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
       }
       return;
     }
-    std::vector<uint32_t>* ids = pushed ? &ctx.cache_ids : ids_out;
-    if (cache != nullptr && cache->Lookup(key, ids)) {
-      if (pushed) {
-        for (const uint32_t id : *ids) {
-          *acc += weights[id];
+    if (cache != nullptr) {
+      if (SubPlanCache::EntryRef hit = cache->Lookup(key)) {
+        if (pushed) {
+          // Copy-free: accumulate straight out of the shared entry.
+          for (const uint32_t id : *hit) {
+            *acc += weights[id];
+          }
+        } else {
+          // MaterializeCounts sorts in place, so unpushed consumers need a
+          // private copy of the cached scan.
+          ids_out->assign(hit->begin(), hit->end());
         }
+        return;
       }
-      return;
     }
+    std::vector<uint32_t>* ids = pushed ? &ctx.cache_ids : ids_out;
     tokenize_once();
     ids->clear();
     if (is_char) {

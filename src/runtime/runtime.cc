@@ -1,6 +1,9 @@
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "src/common/clock.h"
 
 namespace pretzel {
 
@@ -17,19 +20,83 @@ struct Runtime::BatchJob {
   Status first_error;  // OK unless some record failed.
 };
 
+// An executor group: the threads draining one set of plans (the shared pool,
+// or one reservation's dedicated executors) and the round-robin ring of
+// plans with queued events.
+struct Runtime::ExecGroup {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PlanQueue*> runnable;  // Plans with events, round-robin order.
+  size_t num_executors = 1;
+};
+
+// Per-plan metric reservoirs are windowed: SampleStats keeps exact samples,
+// so unbounded Add() on the dispatch path would grow forever and make every
+// GetMetrics() copy (taken under the group lock, stalling dispatch)
+// proportionally slower. When a window fills, the stats restart;
+// percentiles describe the most recent window. Kept small so a metrics
+// snapshot holds the dispatch lock for a bounded ~100KB copy.
+constexpr size_t kMetricsWindow = 4096;
+
+static void AddWindowed(SampleStats& stats, double value) {
+  if (stats.count() >= kMetricsWindow) {
+    stats = SampleStats();
+  }
+  stats.Add(value);
+}
+
+// Per-plan scheduler state. `plan` and the policy fields are written once
+// under registry_mu_ before the queue is first published to an ExecGroup
+// (via Enqueue, under group->mu), and read-only afterwards; everything else
+// is guarded by group->mu.
+struct Runtime::PlanQueue {
+  PlanId id = 0;
+  std::shared_ptr<ModelPlan> plan;
+  ExecGroup* group = nullptr;
+  bool reserved = false;
+  size_t max_batch = 1;
+  int64_t max_delay_us = 0;
+
+  std::deque<Event> events;
+  // Chunk events currently queued; the adaptive linger must end as soon as
+  // batch work exists anywhere in the queue, not just at its front.
+  size_t queued_chunks = 0;
+  // True while the plan is in group->runnable or owned by an executor that
+  // will requeue it; keeps each plan at most once in the ring.
+  bool runnable = false;
+  // True while an executor is in the adaptive linger wait for this plan;
+  // enqueues then notify_all so the linger predicate is re-evaluated (a
+  // notify_one could be swallowed by an idle sibling whose predicate is
+  // false, stranding the lingerer until its deadline).
+  bool lingering = false;
+
+  std::atomic<uint64_t> inline_predictions{0};
+  uint64_t enqueued = 0;
+  uint64_t rejected = 0;
+  uint64_t dispatches = 0;
+  uint64_t coalesced = 0;
+  uint64_t errors = 0;
+  SampleStats batch_records;
+  SampleStats queue_wait_us;
+  SampleStats single_latency_us;
+};
+
 Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
     : store_(store),
       options_([&] {
         RuntimeOptions o = options;
         o.num_executors = std::max<size_t>(1, o.num_executors);
+        o.default_max_batch = std::max<size_t>(1, o.default_max_batch);
         return o;
       }()),
       caller_contexts_(&caller_pool_, /*reuse_enabled=*/true) {
-  queues_.push_back(std::make_unique<WorkQueue>());  // Shared queue.
-  WorkQueue* shared = queues_[0].get();
-  threads_.reserve(options_.num_executors);
+  if (options_.subplan_cache_bytes > 0) {
+    caller_cache_ = std::make_unique<SubPlanCache>(options_.subplan_cache_bytes);
+  }
+  shared_group_ = std::make_unique<ExecGroup>();
+  shared_group_->num_executors = options_.num_executors;
   for (size_t i = 0; i < options_.num_executors; ++i) {
-    threads_.emplace_back([this, shared] { ExecutorLoop(shared); });
+    SpawnExecutor(shared_group_.get());
   }
 }
 
@@ -37,14 +104,28 @@ Runtime::~Runtime() {
   stop_.store(true);
   {
     std::shared_lock lock(registry_mu_);
-    for (const auto& queue : queues_) {
-      std::lock_guard<std::mutex> qlock(queue->mu);
-      queue->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> glock(shared_group_->mu);
+      shared_group_->cv.notify_all();
+    }
+    for (const auto& group : reserved_groups_) {
+      std::lock_guard<std::mutex> glock(group->mu);
+      group->cv.notify_all();
     }
   }
   for (auto& thread : threads_) {
     thread.join();
   }
+}
+
+void Runtime::SpawnExecutor(ExecGroup* group) {
+  SubPlanCache* cache = nullptr;
+  if (options_.subplan_cache_bytes > 0) {
+    executor_caches_.push_back(
+        std::make_unique<SubPlanCache>(options_.subplan_cache_bytes));
+    cache = executor_caches_.back().get();
+  }
+  threads_.emplace_back([this, group, cache] { ExecutorLoop(group, cache); });
 }
 
 Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
@@ -53,63 +134,148 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
     return Status::InvalidArgument("null plan");
   }
   std::unique_lock lock(registry_mu_);
-  const PlanId id = plans_.size();
-  plans_.push_back(plan);
-  if (registration.reserve_cores > 0) {
-    const size_t cores = std::min(registration.reserve_cores,
-                                  options_.max_reserved_cores_per_plan);
-    queues_.push_back(std::make_unique<WorkQueue>());
-    WorkQueue* queue = queues_.back().get();
-    reserved_queue_[id] = queue;
+  const PlanId id = plan_queues_.size();
+  auto pq = std::make_unique<PlanQueue>();
+  pq->id = id;
+  pq->plan = std::move(plan);
+  pq->max_batch = registration.max_batch > 0 ? registration.max_batch
+                                             : options_.default_max_batch;
+  pq->max_delay_us = registration.max_delay_us >= 0
+                         ? registration.max_delay_us
+                         : options_.default_max_delay_us;
+  const size_t cores = std::min(registration.reserve_cores,
+                                options_.max_reserved_cores_per_plan);
+  if (cores > 0) {
+    auto group = std::make_unique<ExecGroup>();
+    group->num_executors = cores;
+    pq->group = group.get();
+    pq->reserved = true;
     reservations_.push_back(Reservation{id, cores});
     // Dedicated executors are extra threads: reserving never shrinks the
     // shared pool.
     for (size_t i = 0; i < cores; ++i) {
-      threads_.emplace_back([this, queue] { ExecutorLoop(queue); });
+      SpawnExecutor(group.get());
     }
+    reserved_groups_.push_back(std::move(group));
+  } else {
+    pq->group = shared_group_.get();
   }
+  plan_queues_.push_back(std::move(pq));
   return id;
 }
 
-std::shared_ptr<ModelPlan> Runtime::GetPlan(PlanId id) const {
+Runtime::PlanQueue* Runtime::GetQueue(PlanId id) const {
   std::shared_lock lock(registry_mu_);
-  return id < plans_.size() ? plans_[id] : nullptr;
+  return id < plan_queues_.size() ? plan_queues_[id].get() : nullptr;
 }
 
-Runtime::WorkQueue* Runtime::QueueForPlan(PlanId id, size_t* parallelism) const {
-  std::shared_lock lock(registry_mu_);
-  auto it = reserved_queue_.find(id);
-  if (it == reserved_queue_.end()) {
-    *parallelism = options_.num_executors;
-    return queues_[0].get();
-  }
-  // Reserved plans are served by their dedicated executors, so sub-batches
-  // should fan across those, not the shared pool.
-  *parallelism = 1;
-  for (const Reservation& r : reservations_) {
-    if (r.plan_id == id) {
-      *parallelism = std::max<size_t>(1, r.num_cores);
-      break;
+// Single enqueue protocol for both entry points: cap check, timestamping,
+// chunk accounting, runnable-ring publication, and the wakeup rule live
+// here and only here.
+Status Runtime::EnqueueEvents(PlanQueue* pq, Event* events, size_t n) {
+  ExecGroup* group = pq->group;
+  bool wake_all = n > 1;
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    if (options_.max_queued_events_per_plan > 0 &&
+        pq->events.size() + n > options_.max_queued_events_per_plan) {
+      pq->rejected += n;
+      return Status::ResourceExhausted(
+          "plan " + std::to_string(pq->id) + " queue over " +
+          std::to_string(options_.max_queued_events_per_plan) + " events");
     }
+    const int64_t now = NowNs();
+    for (size_t i = 0; i < n; ++i) {
+      events[i].enqueue_ns = now;
+      if (events[i].job != nullptr) {
+        ++pq->queued_chunks;
+      }
+      pq->events.push_back(std::move(events[i]));
+    }
+    pq->enqueued += n;
+    if (!pq->runnable) {
+      pq->runnable = true;
+      group->runnable.push_back(pq);
+    }
+    // A lingering executor must re-check its predicate; notify_one could be
+    // swallowed by an idle sibling whose predicate is false.
+    wake_all |= pq->lingering;
   }
-  return it->second;
+  if (wake_all) {
+    group->cv.notify_all();
+  } else {
+    group->cv.notify_one();
+  }
+  return Status::OK();
+}
+
+Status Runtime::Enqueue(PlanQueue* pq, std::vector<Event> events) {
+  return EnqueueEvents(pq, events.data(), events.size());
+}
+
+Status Runtime::EnqueueOne(PlanQueue* pq, Event event) {
+  return EnqueueEvents(pq, &event, 1);
 }
 
 Result<float> Runtime::Predict(PlanId id, const std::string& input) {
-  std::shared_ptr<ModelPlan> plan = GetPlan(id);
-  if (plan == nullptr) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
   }
-  std::unique_ptr<ExecContext> ctx = caller_contexts_.Acquire();
-  Result<float> result = ExecutePlan(*plan, input, *ctx);
-  caller_contexts_.Release(std::move(ctx));
-  return result;
+  if (!pq->reserved) {
+    // Inline fast path: a synchronous single on an unreserved plan gains
+    // nothing from a queue hop.
+    pq->inline_predictions.fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<ExecContext> ctx = caller_contexts_.Acquire();
+    ctx->subplan_cache = caller_cache_.get();
+    Result<float> result = ExecutePlan(*pq->plan, input, *ctx);
+    caller_contexts_.Release(std::move(ctx));
+    return result;
+  }
+  // Reserved plan: ride the dedicated queue so sync traffic is served by
+  // (and accounted against) the reserved executors, not the caller thread.
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<float> result = Status::Error("pending");
+  } waiter;
+  Event event;
+  event.input = input;
+  event.done = [&waiter](Result<float> r) {
+    std::lock_guard<std::mutex> lock(waiter.mu);
+    waiter.result = std::move(r);
+    waiter.done = true;
+    waiter.cv.notify_one();
+  };
+  Status submitted = EnqueueOne(pq, std::move(event));
+  if (!submitted.ok()) {
+    return submitted;
+  }
+  std::unique_lock<std::mutex> lock(waiter.mu);
+  waiter.cv.wait(lock, [&] { return waiter.done; });
+  return std::move(waiter.result);
+}
+
+Status Runtime::PredictAsync(PlanId id, std::string input,
+                             SingleCallback callback) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  if (callback == nullptr) {
+    return Status::InvalidArgument("null callback");
+  }
+  Event event;
+  event.input = std::move(input);
+  event.done = std::move(callback);
+  return EnqueueOne(pq, std::move(event));
 }
 
 Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
                                   BatchCallback callback, size_t max_batch) {
-  std::shared_ptr<ModelPlan> plan = GetPlan(id);
-  if (plan == nullptr) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
   }
   if (callback == nullptr) {
@@ -120,34 +286,32 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
     return Status::OK();
   }
   auto job = std::make_shared<BatchJob>();
-  job->plan = std::move(plan);
+  job->plan = pq->plan;
   job->inputs = std::move(inputs);
   job->results.assign(job->inputs.size(), 0.0f);
   job->remaining.store(job->inputs.size());
   job->callback = std::move(callback);
 
   // Sub-batch size: fill every executor that serves this plan, but never
-  // exceed max_batch.
-  size_t parallelism = 1;
-  WorkQueue* queue = QueueForPlan(id, &parallelism);
+  // exceed max_batch. Each chunk is one scheduling quantum, so other plans
+  // interleave between chunks instead of waiting out the whole batch.
+  const size_t parallelism = std::max<size_t>(1, pq->group->num_executors);
   const size_t n = job->inputs.size();
   size_t chunk = (n + parallelism - 1) / parallelism;
   if (max_batch > 0) {
     chunk = std::min(chunk, max_batch);
   }
   chunk = std::max<size_t>(1, chunk);
-  {
-    std::lock_guard<std::mutex> lock(queue->mu);
-    for (size_t begin = 0; begin < n; begin += chunk) {
-      WorkItem item;
-      item.job = job;
-      item.begin = begin;
-      item.end = std::min(n, begin + chunk);
-      queue->items.push_back(std::move(item));
-    }
+  std::vector<Event> events;
+  events.reserve((n + chunk - 1) / chunk);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    Event event;
+    event.job = job;
+    event.begin = begin;
+    event.end = std::min(n, begin + chunk);
+    events.push_back(std::move(event));
   }
-  queue->cv.notify_all();
-  return Status::OK();
+  return Enqueue(pq, std::move(events));
 }
 
 Result<std::vector<float>> Runtime::PredictBatch(
@@ -178,48 +342,179 @@ Result<std::vector<float>> Runtime::PredictBatch(
   return scores;
 }
 
-void Runtime::ExecutorLoop(WorkQueue* queue) {
-  // Executor-private pooled state: the paper's per-core ExecContext.
+void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache) {
+  // Executor-private pooled state: the paper's per-core ExecContext, with
+  // this executor's own sub-plan materialization cache attached.
   VectorPool pool;
   ExecContext ctx(&pool);
+  ctx.subplan_cache = cache;
+  std::vector<Event> batch;
   while (true) {
-    WorkItem item;
+    batch.clear();
+    PlanQueue* pq = nullptr;
     {
-      std::unique_lock<std::mutex> lock(queue->mu);
-      queue->cv.wait(lock, [&] {
-        return stop_.load(std::memory_order_relaxed) || !queue->items.empty();
+      std::unique_lock<std::mutex> lock(group->mu);
+      group->cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !group->runnable.empty();
       });
-      if (queue->items.empty()) {
+      if (group->runnable.empty()) {
         if (stop_.load(std::memory_order_relaxed)) {
-          return;
+          return;  // Fully drained.
         }
         continue;
       }
-      item = std::move(queue->items.front());
-      queue->items.pop_front();
-    }
-    BatchJob& job = *item.job;
-    for (size_t i = item.begin; i < item.end; ++i) {
-      Result<float> r = ExecutePlan(*job.plan, job.inputs[i], ctx);
-      if (r.ok()) {
-        job.results[i] = *r;
+      pq = group->runnable.front();
+      group->runnable.pop_front();
+      // Adaptive linger: if only a thin run of singles is waiting and no
+      // other plan has work, wait out the plan's max-delay budget for more
+      // arrivals to coalesce. Never delays when the system has other work.
+      if (pq->max_delay_us > 0 && pq->max_batch > 1 &&
+          group->runnable.empty() && !pq->events.empty() &&
+          pq->queued_chunks == 0 && pq->events.size() < pq->max_batch) {
+        const auto deadline = std::chrono::steady_clock::time_point(
+            std::chrono::nanoseconds(pq->events.front().enqueue_ns +
+                                     pq->max_delay_us * 1000));
+        pq->lingering = true;
+        group->cv.wait_until(lock, deadline, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 pq->events.size() >= pq->max_batch ||
+                 pq->queued_chunks > 0 || !group->runnable.empty();
+        });
+        pq->lingering = false;
+      }
+      // Gather one dispatch quantum: a single batch chunk, or a coalesced
+      // run of up to max_batch queued singles.
+      if (!pq->events.empty() && pq->events.front().job != nullptr) {
+        batch.push_back(std::move(pq->events.front()));
+        pq->events.pop_front();
+        --pq->queued_chunks;
       } else {
-        std::lock_guard<std::mutex> lock(job.error_mu);
-        if (job.first_error.ok()) {
-          job.first_error = r.status();
+        while (!pq->events.empty() && pq->events.front().job == nullptr &&
+               batch.size() < pq->max_batch) {
+          batch.push_back(std::move(pq->events.front()));
+          pq->events.pop_front();
         }
       }
-    }
-    const size_t count = item.end - item.begin;
-    if (job.remaining.fetch_sub(count) == count) {
-      Status status;
-      {
-        std::lock_guard<std::mutex> lock(job.error_mu);
-        status = job.first_error;
+      if (!batch.empty()) {
+        const int64_t dispatch_ns = NowNs();
+        ++pq->dispatches;
+        const size_t records = batch.front().job != nullptr
+                                   ? batch.front().end - batch.front().begin
+                                   : batch.size();
+        AddWindowed(pq->batch_records, static_cast<double>(records));
+        AddWindowed(pq->queue_wait_us,
+                    static_cast<double>(dispatch_ns - batch.front().enqueue_ns) /
+                        1e3);
+        if (batch.front().job == nullptr) {
+          pq->coalesced += batch.size();
+        }
       }
-      job.callback(status, std::span<const float>(job.results));
+      // Round-robin: back of the ring if more events remain, so the next
+      // runnable plan gets the next quantum.
+      if (!pq->events.empty()) {
+        group->runnable.push_back(pq);
+        lock.unlock();
+        group->cv.notify_one();  // More work: wake a sibling executor.
+      } else {
+        pq->runnable = false;
+      }
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    // Execute outside the lock.
+    if (batch.front().job != nullptr) {
+      const Event& item = batch.front();
+      BatchJob& job = *item.job;
+      size_t failed = 0;
+      for (size_t i = item.begin; i < item.end; ++i) {
+        Result<float> r = ExecutePlan(*job.plan, job.inputs[i], ctx);
+        if (r.ok()) {
+          job.results[i] = *r;
+        } else {
+          ++failed;
+          std::lock_guard<std::mutex> lock(job.error_mu);
+          if (job.first_error.ok()) {
+            job.first_error = r.status();
+          }
+        }
+      }
+      const size_t count = item.end - item.begin;
+      if (job.remaining.fetch_sub(count) == count) {
+        Status status;
+        {
+          std::lock_guard<std::mutex> lock(job.error_mu);
+          status = job.first_error;
+        }
+        job.callback(status, std::span<const float>(job.results));
+      }
+      if (failed > 0) {
+        std::lock_guard<std::mutex> lock(group->mu);
+        pq->errors += failed;
+      }
+    } else {
+      size_t failed = 0;
+      for (Event& event : batch) {
+        Result<float> r = ExecutePlan(*pq->plan, event.input, ctx);
+        if (!r.ok()) {
+          ++failed;
+        }
+        event.done(std::move(r));
+      }
+      // Sampled latency: one observation per dispatch, for the oldest event
+      // in the group (the group's worst case) — keeps the per-event hot
+      // path free of clock reads and stats locking.
+      const double latency_us =
+          static_cast<double>(NowNs() - batch.front().enqueue_ns) / 1e3;
+      {
+        std::lock_guard<std::mutex> lock(group->mu);
+        AddWindowed(pq->single_latency_us, latency_us);
+        pq->errors += failed;
+      }
     }
   }
+}
+
+RuntimeMetrics Runtime::GetMetrics() const {
+  RuntimeMetrics metrics;
+  std::shared_lock lock(registry_mu_);
+  metrics.plans.reserve(plan_queues_.size());
+  for (const auto& pq : plan_queues_) {
+    PlanMetrics pm;
+    pm.plan_id = pq->id;
+    pm.plan_name = pq->plan->name();
+    pm.reserved = pq->reserved;
+    pm.inline_predictions = pq->inline_predictions.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> glock(pq->group->mu);
+      pm.queue_depth = pq->events.size();
+      pm.enqueued_events = pq->enqueued;
+      pm.rejected_events = pq->rejected;
+      pm.dispatches = pq->dispatches;
+      pm.coalesced_singles = pq->coalesced;
+      pm.errors = pq->errors;
+      pm.batch_records = pq->batch_records;
+      pm.queue_wait_us = pq->queue_wait_us;
+      pm.single_latency_us = pq->single_latency_us;
+    }
+    metrics.plans.push_back(std::move(pm));
+  }
+  const auto aggregate = [&metrics](const SubPlanCache& cache) {
+    const SubPlanCache::Stats s = cache.GetStats();
+    metrics.subplan_cache.lookups += s.lookups;
+    metrics.subplan_cache.hits += s.hits;
+    metrics.subplan_cache.insertions += s.insertions;
+    metrics.subplan_cache.evictions += s.evictions;
+    metrics.subplan_cache_entries += cache.NumEntries();
+    metrics.subplan_cache_bytes += cache.SizeBytes();
+  };
+  for (const auto& cache : executor_caches_) {
+    aggregate(*cache);
+  }
+  if (caller_cache_ != nullptr) {
+    aggregate(*caller_cache_);
+  }
+  return metrics;
 }
 
 std::vector<Reservation> Runtime::reservations() const {

@@ -1,20 +1,32 @@
 // Runtime: the serving engine. Registered plans share one process and one
-// Object Store; a pool of executor threads (one ExecContext each, so hot
-// paths stay allocation-free) drains batch work from FIFO queues.
+// Object Store; executor threads (one warm ExecContext each, so hot paths
+// stay allocation-free) drain per-plan event queues.
 //
-// Scheduling model:
-//  - Predict() executes inline on the calling thread (a synchronous single
-//    prediction gains nothing from a queue hop);
-//  - PredictBatch/PredictBatchAsync split work into sub-batches and fan them
-//    across the executors;
-//  - a registration may reserve cores (Section 5.4.1): reserved plans get
-//    dedicated executors draining a dedicated queue, so their latency is
-//    isolated from everyone else's load.
+// Scheduling model (Section 5.4): every request — sync, async single, batch
+// — becomes an event on its plan's FIFO queue. Executors drain plans
+// round-robin, one dispatch quantum per turn, so a 10k-record batch cannot
+// head-of-line-block a 1-record request on another plan. An adaptive
+// batcher coalesces queued single predictions for the same plan into
+// sub-batches bounded by a per-plan max_batch / max-delay policy, amortizing
+// queue and wakeup costs under load while leaving idle-system latency
+// untouched.
+//
+// Reservations (Section 5.4.1): a registration may reserve cores. Reserved
+// plans get dedicated executors draining a dedicated group, and ALL their
+// traffic — including synchronous Predict — is accounted against those
+// executors, so their latency is isolated from shared-pool load. Unreserved
+// synchronous singles keep the inline fast path (a queue hop buys them
+// nothing).
+//
+// The Runtime owns one SubPlanCache per executor (plus one for the inline
+// path), so Figure-10 sub-plan materialization is active in serving, and
+// exposes per-plan queue/batch/latency metrics through GetMetrics().
 #ifndef PRETZEL_RUNTIME_RUNTIME_H_
 #define PRETZEL_RUNTIME_RUNTIME_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -25,8 +37,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/oven/model_plan.h"
+#include "src/oven/subplan_cache.h"
 #include "src/runtime/exec_context.h"
 #include "src/store/object_store.h"
 
@@ -36,12 +50,28 @@ struct RuntimeOptions {
   size_t num_executors = 1;
   // Hard cap on dedicated executors one registration may reserve.
   size_t max_reserved_cores_per_plan = 4;
+  // Sub-plan materialization cache budget per executor (0 disables). Each
+  // executor owns a private cache, so the hot path never contends on it
+  // across cores.
+  size_t subplan_cache_bytes = 8ull << 20;
+  // Per-plan cap on queued events (backpressure); 0 = unbounded. Enqueues
+  // that would exceed it fail fast with ResourceExhausted.
+  size_t max_queued_events_per_plan = 0;
+  // Coalescing policy for plans whose registration does not override it:
+  // up to default_max_batch queued singles dispatch as one sub-batch; an
+  // executor may linger up to default_max_delay_us for a thin batch to
+  // fill, but only while no other plan has runnable work.
+  size_t default_max_batch = 16;
+  int64_t default_max_delay_us = 0;
 };
 
 struct PlanRegistration {
   // > 0: dedicate this many executors to the plan. Dedicated executors are
   // additional threads so reservations never starve the shared pool.
   size_t reserve_cores = 0;
+  // Per-plan adaptive batching overrides (0 / negative = runtime default).
+  size_t max_batch = 0;
+  int64_t max_delay_us = -1;
 };
 
 // A granted reservation: which plan owns which dedicated executors.
@@ -50,10 +80,41 @@ struct Reservation {
   size_t num_cores = 0;
 };
 
+// Per-plan scheduler observability (GetMetrics snapshot).
+struct PlanMetrics {
+  size_t plan_id = 0;
+  std::string plan_name;
+  bool reserved = false;
+  size_t queue_depth = 0;           // Events queued right now.
+  uint64_t inline_predictions = 0;  // Unreserved sync fast path.
+  uint64_t enqueued_events = 0;
+  uint64_t rejected_events = 0;     // Backpressure drops.
+  uint64_t dispatches = 0;          // Executor pulls (quanta).
+  uint64_t coalesced_singles = 0;   // Singles dispatched via coalescing.
+  uint64_t errors = 0;              // Failed records/singles.
+  // The SampleStats below are windowed (they restart when the window —
+  // kMetricsWindow in runtime.cc — fills), so long-running servers keep
+  // bounded memory and the percentiles describe recent traffic.
+  SampleStats batch_records;        // Records per dispatch.
+  SampleStats queue_wait_us;        // Enqueue -> dispatch.
+  // Enqueue -> completion, sampled once per dispatch (the dispatched
+  // group's oldest single, i.e. its worst case).
+  SampleStats single_latency_us;
+};
+
+struct RuntimeMetrics {
+  std::vector<PlanMetrics> plans;
+  // Aggregated over every executor-owned cache plus the inline-path cache.
+  SubPlanCache::Stats subplan_cache;
+  size_t subplan_cache_entries = 0;
+  size_t subplan_cache_bytes = 0;
+};
+
 class Runtime {
  public:
   using PlanId = size_t;
   using BatchCallback = std::function<void(Status, std::span<const float>)>;
+  using SingleCallback = std::function<void(Result<float>)>;
 
   Runtime(ObjectStore* store, const RuntimeOptions& options);
   ~Runtime();
@@ -64,8 +125,15 @@ class Runtime {
   Result<PlanId> Register(std::shared_ptr<ModelPlan> plan,
                           const PlanRegistration& registration = {});
 
-  // Synchronous single prediction, executed inline on the caller's thread.
+  // Synchronous single prediction. Unreserved plans execute inline on the
+  // caller's thread; reserved plans ride their dedicated queue so latency
+  // isolation holds for sync traffic too.
   Result<float> Predict(PlanId id, const std::string& input);
+
+  // Asynchronous single prediction: an event on the plan's queue, eligible
+  // for coalescing with other queued singles of the same plan. `callback`
+  // fires exactly once, from an executor thread.
+  Status PredictAsync(PlanId id, std::string input, SingleCallback callback);
 
   // Splits `inputs` into sub-batches of at most `max_batch` records, fans
   // them across the executors, and returns the scores in input order.
@@ -78,43 +146,56 @@ class Runtime {
   Status PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
                            BatchCallback callback, size_t max_batch);
 
+  // Snapshot of per-plan queue/batch/latency metrics and aggregate
+  // sub-plan-cache effectiveness.
+  RuntimeMetrics GetMetrics() const;
+
   size_t num_executors() const { return options_.num_executors; }
   std::vector<Reservation> reservations() const;
   ObjectStore* store() const { return store_; }
 
  private:
   struct BatchJob;
-  struct WorkItem {
+  // One schedulable unit: either a single prediction (job == nullptr) or a
+  // sub-range of a BatchJob.
+  struct Event {
     std::shared_ptr<BatchJob> job;
     size_t begin = 0;
     size_t end = 0;
+    std::string input;
+    SingleCallback done;
+    int64_t enqueue_ns = 0;
   };
-  struct WorkQueue {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<WorkItem> items;
-  };
+  struct ExecGroup;
+  struct PlanQueue;
 
-  void ExecutorLoop(WorkQueue* queue);
-  std::shared_ptr<ModelPlan> GetPlan(PlanId id) const;
-  // Returns the queue serving `id` and how many executors drain it.
-  WorkQueue* QueueForPlan(PlanId id, size_t* parallelism) const;
+  void SpawnExecutor(ExecGroup* group);
+  void ExecutorLoop(ExecGroup* group, SubPlanCache* cache);
+  PlanQueue* GetQueue(PlanId id) const;
+  // The one enqueue protocol (cap check, stamping, ring publication,
+  // wakeups); both entry points below delegate to it.
+  Status EnqueueEvents(PlanQueue* pq, Event* events, size_t n);
+  Status Enqueue(PlanQueue* pq, std::vector<Event> events);
+  // Allocation-free single-event fast path (async/sync singles).
+  Status EnqueueOne(PlanQueue* pq, Event event);
 
   ObjectStore* store_;
   const RuntimeOptions options_;
 
   mutable std::shared_mutex registry_mu_;
-  std::vector<std::shared_ptr<ModelPlan>> plans_;
+  std::vector<std::unique_ptr<PlanQueue>> plan_queues_;
   std::vector<Reservation> reservations_;
-  std::vector<std::unique_ptr<WorkQueue>> queues_;  // [0] = shared.
-  std::unordered_map<PlanId, WorkQueue*> reserved_queue_;
+  std::unique_ptr<ExecGroup> shared_group_;
+  std::vector<std::unique_ptr<ExecGroup>> reserved_groups_;
+  std::vector<std::unique_ptr<SubPlanCache>> executor_caches_;
 
   std::atomic<bool> stop_{false};
   std::vector<std::thread> threads_;
 
-  // Contexts for inline (caller-thread) predictions.
+  // Contexts + cache for inline (caller-thread) predictions.
   VectorPool caller_pool_;
   ExecContextPool caller_contexts_;
+  std::unique_ptr<SubPlanCache> caller_cache_;
 };
 
 }  // namespace pretzel

@@ -107,6 +107,44 @@ int main() {
     CHECK_EQ(fired.load(), 2);
   }
 
+  // Reserved sync Predict rides the dedicated queue (no reservation bypass)
+  // and still matches direct execution.
+  {
+    auto program = flour.FromPipeline(sa.pipelines()[0]);
+    auto plan = Plan(*program, "direct0");
+    const std::string input = sa.SampleInput(rng);
+    auto direct = ExecutePlan(**plan, input, ctx);
+    auto served = runtime.Predict(ids[0], input);
+    CHECK(direct.ok() && served.ok());
+    CHECK_NEAR(*served, *direct, 1e-6);
+  }
+
+  // Metrics: the scheduler exposes per-plan counters, and a default Runtime
+  // has the sub-plan materialization cache active in the serving path.
+  {
+    RuntimeMetrics m = runtime.GetMetrics();
+    CHECK_EQ(m.plans.size(), ids.size());
+    const PlanMetrics& reserved = m.plans[ids[0]];
+    CHECK(reserved.reserved);
+    CHECK_EQ(reserved.inline_predictions, uint64_t{0});  // Sync rode the queue.
+    CHECK(reserved.enqueued_events > 0);
+    CHECK(reserved.dispatches > 0);
+    CHECK(!reserved.batch_records.empty());
+    CHECK(!reserved.single_latency_us.empty());
+    CHECK(!reserved.queue_wait_us.empty());
+    CHECK_EQ(reserved.errors, uint64_t{0});
+    const PlanMetrics& unreserved = m.plans[ids[1]];
+    CHECK(!unreserved.reserved);
+    CHECK(unreserved.inline_predictions > 0);  // Inline fast path kept.
+    // The async batches above repeated one input 5x, so the executor-owned
+    // caches saw both misses (insertions) and hits.
+    CHECK(m.subplan_cache.lookups > 0);
+    CHECK(m.subplan_cache.insertions > 0);
+    CHECK(m.subplan_cache.hits > 0);
+    CHECK(m.subplan_cache_bytes > 0);
+    CHECK(m.subplan_cache_entries > 0);
+  }
+
   std::printf("runtime_test: PASS\n");
   return 0;
 }

@@ -15,14 +15,14 @@ using namespace pretzel;
 void TestAccounting() {
   SubPlanCache cache(1ull << 20);
   std::vector<uint32_t> ids = {1, 2, 3, 4};
-  std::vector<uint32_t> out;
 
-  CHECK(!cache.Lookup(42, &out));
+  CHECK(cache.Lookup(42) == nullptr);
   cache.Insert(42, ids);
-  CHECK(cache.Lookup(42, &out));
-  CHECK_EQ(out.size(), ids.size());
-  CHECK(out == ids);
-  CHECK(!cache.Lookup(43, &out));
+  SubPlanCache::EntryRef hit = cache.Lookup(42);
+  CHECK(hit != nullptr);
+  CHECK_EQ(hit->size(), ids.size());
+  CHECK(*hit == ids);
+  CHECK(cache.Lookup(43) == nullptr);
 
   const auto stats = cache.GetStats();
   CHECK_EQ(stats.lookups, uint64_t{3});
@@ -31,11 +31,18 @@ void TestAccounting() {
   CHECK_EQ(cache.NumEntries(), size_t{1});
   CHECK(cache.SizeBytes() > ids.size() * sizeof(uint32_t));
 
-  // Re-inserting the same key replaces, not duplicates.
+  // Re-inserting the same key replaces, not duplicates — and the replace
+  // path counts as an insertion too.
   cache.Insert(42, std::vector<uint32_t>{9, 9});
   CHECK_EQ(cache.NumEntries(), size_t{1});
-  CHECK(cache.Lookup(42, &out));
-  CHECK_EQ(out.size(), size_t{2});
+  CHECK_EQ(cache.GetStats().insertions, uint64_t{2});
+  SubPlanCache::EntryRef replaced = cache.Lookup(42);
+  CHECK(replaced != nullptr);
+  CHECK_EQ(replaced->size(), size_t{2});
+  // The pre-replacement entry handed out earlier is still intact: hits are
+  // shared references, not copies, and survive eviction/replacement.
+  CHECK_EQ(hit->size(), ids.size());
+  CHECK(*hit == ids);
 }
 
 void TestEviction() {
@@ -48,16 +55,15 @@ void TestEviction() {
   }
   CHECK_EQ(cache.NumEntries(), size_t{4});
   CHECK(cache.GetStats().evictions == 6);
-  std::vector<uint32_t> out;
   // Oldest keys evicted, newest resident.
-  CHECK(!cache.Lookup(1, &out));
-  CHECK(cache.Lookup(10, &out));
+  CHECK(cache.Lookup(1) == nullptr);
+  CHECK(cache.Lookup(10) != nullptr);
 
   // LRU refresh: touching an old entry protects it from the next eviction.
-  CHECK(cache.Lookup(7, &out));
+  CHECK(cache.Lookup(7) != nullptr);
   cache.Insert(11, ids);
-  CHECK(cache.Lookup(7, &out));
-  CHECK(!cache.Lookup(8, &out));
+  CHECK(cache.Lookup(7) != nullptr);
+  CHECK(cache.Lookup(8) == nullptr);
 
   // Oversized entries are rejected outright.
   SubPlanCache tiny(100);
