@@ -1,0 +1,266 @@
+// Scheduler hot-path contention: lock-free (MPSC event rings + lock-free
+// runnable rotation + eventcount parking) vs the PR-2 mutex baseline
+// (every enqueue/dispatch serializes on the executor group's mutex), kept
+// in-tree behind RuntimeOptions::lockfree_scheduler for exactly this
+// comparison.
+//
+// Protocol: P producer threads submit async single predictions (a bounded
+// sliding window each, so the queues stay hot without unbounded backlog)
+// against a small plan set served by E executors; we measure completed
+// events/second from first submit to last completion, best-of-N reps,
+// sweeping P. Under the mutex baseline every producer and every executor
+// pass through one lock per event — the convoy grows with P — while the
+// lock-free path pays a few CASes and skips the kernel wakeup whenever the
+// executors are already busy.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/runtime.h"
+
+namespace pretzel {
+namespace {
+
+struct Harness {
+  ObjectStore store;
+  std::unique_ptr<Runtime> runtime;
+  std::vector<Runtime::PlanId> ids;
+
+  void Build(const SaWorkload& sa, const RuntimeOptions& opts) {
+    runtime = std::make_unique<Runtime>(&store, opts);
+    FlourContext flour(&store);
+    for (const auto& spec : sa.pipelines()) {
+      auto program = flour.FromPipeline(spec);
+      ids.push_back(*runtime->Register(*Plan(*program, spec.name)));
+    }
+  }
+};
+
+struct CellResult {
+  double events_per_sec = 0.0;
+  SampleStats enqueue_ns;  // Sampled PredictAsync call latency.
+};
+
+// One measured cell: `producers` threads submit `events` async singles
+// total through `runtime`, each with at most `window` outstanding. Returns
+// completed events/second plus the sampled latency of the enqueue call
+// itself — the op that rides the group mutex in the baseline and a few
+// CASes in lock-free mode. Its tail shows producers blocking behind an
+// executor's locked gather, a convoy that exists even when wall-clock
+// throughput is core-limited.
+CellResult MeasureEnqueueDispatch(Runtime& runtime,
+                                  const std::vector<Runtime::PlanId>& ids,
+                                  const std::vector<std::string>& inputs,
+                                  size_t producers, size_t events,
+                                  size_t window) {
+  constexpr size_t kLatencySampleEvery = 16;
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> failed{0};
+  std::mutex stats_mu;
+  CellResult result;
+  const size_t per_producer = events / producers;
+  const size_t total = per_producer * producers;
+  const int64_t t0 = NowNs();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      SampleStats local_lat;
+      std::atomic<size_t> outstanding{0};
+      for (size_t i = 0; i < per_producer; ++i) {
+        while (outstanding.load(std::memory_order_relaxed) >= window) {
+          std::this_thread::yield();
+        }
+        const size_t m = (p + i) % ids.size();
+        outstanding.fetch_add(1, std::memory_order_relaxed);
+        const bool sample = i % kLatencySampleEvery == 0;
+        const int64_t enq0 = sample ? NowNs() : 0;
+        Status st = runtime.PredictAsync(
+            ids[m], inputs[m],
+            [&completed, &failed, &outstanding](Result<float> r) {
+              if (!r.ok()) {
+                failed.fetch_add(1, std::memory_order_relaxed);
+              }
+              outstanding.fetch_sub(1, std::memory_order_relaxed);
+              completed.fetch_add(1, std::memory_order_relaxed);
+            });
+        if (sample) {
+          local_lat.Add(static_cast<double>(NowNs() - enq0));
+        }
+        if (!st.ok()) {
+          outstanding.fetch_sub(1, std::memory_order_relaxed);
+          completed.fetch_add(1, std::memory_order_relaxed);
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Drain this producer's window before exiting so `outstanding` (a
+      // stack variable) outlives every callback that references it.
+      while (outstanding.load(std::memory_order_relaxed) > 0) {
+        std::this_thread::yield();
+      }
+      std::lock_guard<std::mutex> lock(stats_mu);
+      for (const double s : local_lat.samples()) {
+        result.enqueue_ns.Add(s);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  while (completed.load(std::memory_order_relaxed) < total) {
+    std::this_thread::yield();
+  }
+  const double seconds = static_cast<double>(NowNs() - t0) / 1e9;
+  if (failed.load() > 0) {
+    std::printf("  WARNING: %zu failed predictions\n", failed.load());
+  }
+  result.events_per_sec = static_cast<double>(total) / seconds;
+  return result;
+}
+
+}  // namespace
+}  // namespace pretzel
+
+int main(int argc, char** argv) {
+  using namespace pretzel;
+  BenchFlags flags(argc, argv);
+  PrintHeader("Contention",
+              "Lock-free scheduler hot path vs PR-2 mutex baseline, "
+              "producer-thread sweep");
+
+  SaWorkloadOptions sa_opts;
+  sa_opts.num_pipelines = static_cast<size_t>(flags.GetInt("pipelines", 4));
+  sa_opts.char_dict_entries =
+      static_cast<size_t>(flags.GetInt("char_entries", 600));
+  sa_opts.word_dict_entries =
+      static_cast<size_t>(flags.GetInt("word_entries", 200));
+  sa_opts.vocabulary_size = static_cast<size_t>(flags.GetInt("vocab", 400));
+  auto sa = SaWorkload::Generate(sa_opts);
+
+  const size_t executors = static_cast<size_t>(flags.GetInt("executors", 2));
+  const size_t events = static_cast<size_t>(flags.GetInt("events", 60000));
+  const size_t window = static_cast<size_t>(flags.GetInt("window", 256));
+  const size_t max_producers =
+      static_cast<size_t>(flags.GetInt("max_producers", 4));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+
+  Rng rng(4242);
+  std::vector<std::string> inputs;
+  for (const auto& spec : sa.pipelines()) {
+    (void)spec;
+    inputs.push_back(sa.SampleInput(rng));
+  }
+
+  // Two runtimes, identical in every policy (executors, coalescing) except
+  // the scheduler substrate.
+  const auto build = [&](bool lockfree) {
+    RuntimeOptions ropts;
+    ropts.num_executors = executors;
+    ropts.lockfree_scheduler = lockfree;
+    ropts.default_max_batch = static_cast<size_t>(flags.GetInt("max_batch", 64));
+    ropts.event_ring_capacity =
+        static_cast<size_t>(flags.GetInt("ring_capacity", 1024));
+    auto h = std::make_unique<Harness>();
+    h->Build(sa, ropts);
+    // Warm: bind every plan and populate the executor caches so the sweep
+    // measures steady-state scheduling, not first-touch compilation.
+    for (size_t m = 0; m < h->ids.size(); ++m) {
+      (void)h->runtime->PredictBatch(h->ids[m], {inputs[m]}, 1);
+    }
+    return h;
+  };
+  auto mutex_harness = build(/*lockfree=*/false);
+  auto lockfree_harness = build(/*lockfree=*/true);
+
+  BenchJson json("contention");
+  json.Add("executors", static_cast<double>(executors));
+  json.Add("events", static_cast<double>(events));
+  json.Add("window", static_cast<double>(window));
+
+  std::printf("\n  %zu executors, %zu events/cell, window %zu, best of %d\n\n",
+              executors, events, window, reps);
+  std::printf("  %-10s %14s %14s %8s %14s %14s %8s\n", "producers",
+              "mutex ev/s", "lockfree ev/s", "speedup", "mutex enq p99",
+              "lockfree p99", "ratio");
+
+  double speedup_at_max = 0.0;
+  double tail_ratio_at_max = 0.0;
+  for (size_t producers = 1; producers <= max_producers; producers *= 2) {
+    // Interleaved best-of-N throughput (a single run on a shared host is
+    // mostly an OS-timeslicing roll); median-of-N for the p99 tail, which
+    // best-of would understate.
+    double mutex_eps = 0.0;
+    double lockfree_eps = 0.0;
+    SampleStats mutex_p99s, lockfree_p99s;
+    for (int rep = 0; rep < reps; ++rep) {
+      CellResult m =
+          MeasureEnqueueDispatch(*mutex_harness->runtime, mutex_harness->ids,
+                                 inputs, producers, events, window);
+      CellResult l = MeasureEnqueueDispatch(*lockfree_harness->runtime,
+                                            lockfree_harness->ids, inputs,
+                                            producers, events, window);
+      mutex_eps = std::max(mutex_eps, m.events_per_sec);
+      lockfree_eps = std::max(lockfree_eps, l.events_per_sec);
+      mutex_p99s.Add(m.enqueue_ns.P99());
+      lockfree_p99s.Add(l.enqueue_ns.P99());
+    }
+    const double speedup = lockfree_eps / mutex_eps;
+    const double mutex_p99 = mutex_p99s.Median();
+    const double lockfree_p99 = lockfree_p99s.Median();
+    const double tail_ratio = mutex_p99 / lockfree_p99;
+    std::printf("  %-10zu %14.0f %14.0f %7.2fx %14s %14s %7.2fx\n", producers,
+                mutex_eps, lockfree_eps, speedup,
+                FormatDurationNs(mutex_p99).c_str(),
+                FormatDurationNs(lockfree_p99).c_str(), tail_ratio);
+    const std::string prefix = "p" + std::to_string(producers) + "_";
+    json.Add(prefix + "mutex_eps", mutex_eps);
+    json.Add(prefix + "lockfree_eps", lockfree_eps);
+    json.Add(prefix + "speedup", speedup);
+    json.Add(prefix + "mutex_enqueue_p99_ns", mutex_p99);
+    json.Add(prefix + "lockfree_enqueue_p99_ns", lockfree_p99);
+    if (producers >= 4 || producers == max_producers) {
+      speedup_at_max = std::max(speedup_at_max, speedup);
+      tail_ratio_at_max = std::max(tail_ratio_at_max, tail_ratio);
+    }
+  }
+
+  std::printf("\n");
+  // The throughput claim needs hardware that can actually run >= 2 threads
+  // at once: on a single-core host, waiters behind a short critical section
+  // are never running in parallel, so a mutex cannot convoy and the two
+  // substrates are wall-clock-equivalent by construction. There, the
+  // contention the lock-free path removes shows up in the enqueue-call tail
+  // (producers blocking behind an executor's locked gather) and the
+  // throughput check degrades to a no-regression guard.
+  const bool parallel_host = std::thread::hardware_concurrency() >= 2;
+  bool pass;
+  if (parallel_host) {
+    pass = ShapeCheck(
+        speedup_at_max >= 1.5,
+        "lock-free enqueue+dispatch sustains >= 1.5x the mutex-baseline "
+        "throughput at >= 4 producer threads");
+  } else {
+    std::printf(
+        "  NOTE: single-core host; mutexes cannot convoy without parallelism, "
+        "so the 1.5x\n  throughput claim is unobservable here and the check "
+        "degrades to parity + tail.\n");
+    pass = ShapeCheck(
+        speedup_at_max >= 0.85,
+        "[1-core fallback] lock-free enqueue+dispatch stays within 15% of the "
+        "mutex baseline at max producers");
+  }
+  pass &= ShapeCheck(
+      tail_ratio_at_max >= 2.0,
+      "lock-free enqueue-call p99 beats the mutex baseline by >= 2x at max "
+      "producers (no producer ever blocks behind a locked dispatch gather)");
+  json.Add("speedup_at_max_producers", speedup_at_max);
+  json.Add("enqueue_p99_ratio_at_max_producers", tail_ratio_at_max);
+  json.Add("parallel_host", parallel_host ? "true" : "false");
+  json.Add("shape_check", pass ? "PASS" : "FAIL");
+  json.Write();
+  (void)pass;  // Shape results are the printed contract; exit 0 like the suite.
+  return 0;
+}

@@ -120,6 +120,78 @@ inline bool ShapeCheck(bool condition, const char* claim) {
   return condition;
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results: a flat key -> number/string map written to
+// BENCH_<name>.json in the working directory, so CI can archive each run
+// and the perf trajectory accumulates across commits. Keys keep insertion
+// order; values are numbers (%.6g) or minimally-escaped strings.
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    Add("bench", name_);
+    Add("hardware_threads",
+        static_cast<double>(std::thread::hardware_concurrency()));
+  }
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    quoted_.push_back(false);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Escape(value));
+    quoted_.push_back(true);
+  }
+
+  // Writes BENCH_<name>.json; prints the path (or the failure) either way.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("  bench-json: could not open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "%s\n  \"%s\": ", i == 0 ? "" : ",",
+                   fields_[i].first.c_str());
+      if (quoted_[i]) {
+        std::fprintf(f, "\"%s\"", fields_[i].second.c_str());
+      } else {
+        std::fprintf(f, "%s", fields_[i].second.c_str());
+      }
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("  bench-json: wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<bool> quoted_;
+};
+
 }  // namespace pretzel
 
 #endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,247 @@
+// Lock-free scheduler primitives (unit-tested in isolation by
+// tests/lockfree_test.cc):
+//
+//  - BoundedMpmcRing<T>: Vyukov's bounded queue with per-cell sequence
+//    numbers. One type serves both hot-path roles in the Runtime: as an
+//    MPSC ring it carries a plan's events (producers = caller/FrontEnd
+//    threads, consumer = the executor holding the plan's dispatch quantum),
+//    and as an MPMC ring it carries the runnable PlanQueue* rotation.
+//  - IndexStack: a Treiber stack over small indices with the ABA tag packed
+//    beside the index in one 64-bit word, so push/pop are single
+//    pointer-width CASes (the constant-time free-list scheme of Blelloch &
+//    Wei, arXiv:2008.04296 / arXiv:1911.09671, specialized to bounded
+//    pools). Backs the VectorPool / ExecContextPool free lists.
+//  - EventCount: futex-style sleep/wake for executor parking. Producers pay
+//    one atomic bump and skip the kernel entirely while every consumer is
+//    busy; mutex+condvar survive only on the park/unpark slow path.
+#ifndef PRETZEL_COMMON_LOCKFREE_H_
+#define PRETZEL_COMMON_LOCKFREE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pretzel {
+
+// Bounded multi-producer/multi-consumer ring (Dmitry Vyukov's design). Each
+// cell carries a sequence number that encodes whether it is ready to be
+// written (seq == pos) or read (seq == pos + 1); producers and consumers
+// claim positions with one CAS each and never block one another behind a
+// lock. TryPush/TryPop fail (without consuming the argument) when the ring
+// is full/empty instead of waiting.
+template <typename T>
+class BoundedMpmcRing {
+ public:
+  // Capacity is rounded up to a power of two, minimum 2.
+  explicit BoundedMpmcRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) {
+      cap <<= 1;
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpmcRing(const BoundedMpmcRing&) = delete;
+  BoundedMpmcRing& operator=(const BoundedMpmcRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // False when full; `value` is left intact so the caller can divert it.
+  bool TryPush(T&& value) {
+    Cell* cell;
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // Full.
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // Empty.
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers and consumers advance independent counters; keep them on
+  // separate cache lines.
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+};
+
+// Treiber stack over indices [0, capacity). The head word packs
+// {tag:32 | index:32}; the tag increments on every successful push or pop,
+// so a pointer-width CAS is ABA-safe even when indices recycle rapidly
+// (pool free lists do exactly that). An index may be in the stack at most
+// once; the caller owns an index from the moment TryPop returns it until it
+// pushes it back.
+class IndexStack {
+ public:
+  explicit IndexStack(uint32_t capacity) : next_(capacity) {}
+
+  IndexStack(const IndexStack&) = delete;
+  IndexStack& operator=(const IndexStack&) = delete;
+
+  void Push(uint32_t idx) {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      next_[idx].store(static_cast<uint32_t>(head & 0xFFFFFFFFull),
+                       std::memory_order_relaxed);
+      const uint64_t next_head = Pack(idx, Tag(head) + 1);
+      if (head_.compare_exchange_weak(head, next_head,
+                                      std::memory_order_release,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  bool TryPop(uint32_t* out) {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const uint32_t top = static_cast<uint32_t>(head & 0xFFFFFFFFull);
+      if (top == kNil) {
+        return false;
+      }
+      const uint32_t next = next_[top].load(std::memory_order_relaxed);
+      const uint64_t next_head = Pack(next, Tag(head) + 1);
+      if (head_.compare_exchange_weak(head, next_head,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        *out = top;
+        return true;
+      }
+    }
+  }
+
+ private:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  static uint64_t Pack(uint32_t idx, uint32_t tag) {
+    return (static_cast<uint64_t>(tag) << 32) | idx;
+  }
+  static uint32_t Tag(uint64_t head) { return static_cast<uint32_t>(head >> 32); }
+
+  std::vector<std::atomic<uint32_t>> next_;
+  std::atomic<uint64_t> head_{Pack(kNil, 0)};
+};
+
+// Eventcount: decouples "is there work" (checked lock-free by the waiter)
+// from "how do I sleep" (mutex+condvar, touched only when actually
+// parking). Protocol for a waiter:
+//
+//   uint64_t t = ec.PrepareWait();
+//   if (WorkAvailable()) { ec.CancelWait(); ... }  // never sleeps
+//   else ec.Wait(t);                               // sleeps unless notified
+//
+// A notifier bumps the epoch first, so a waiter whose PrepareWait predates
+// the notification falls straight through Wait — no lost wakeups — and
+// skips the mutex+condvar entirely while no one is parked (waiters_ == 0),
+// which is the common case with busy executors.
+class EventCount {
+ public:
+  uint64_t PrepareWait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  void Wait(uint64_t ticket) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return epoch_.load(std::memory_order_seq_cst) != ticket;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  // False on timeout (the epoch never moved past `ticket` by `deadline`).
+  bool WaitUntil(uint64_t ticket,
+                 std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool notified = cv_.wait_until(lock, deadline, [&] {
+      return epoch_.load(std::memory_order_seq_cst) != ticket;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    return notified;
+  }
+
+  void NotifyOne() { Notify(false); }
+  void NotifyAll() { Notify(true); }
+
+ private:
+  void Notify(bool all) {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) {
+      return;  // Every consumer is busy: no syscall, no lock.
+    }
+    // Taking the mutex orders this notify after any in-flight waiter's
+    // predicate check, closing the check-then-sleep window.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (all) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> waiters_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_LOCKFREE_H_

@@ -5,6 +5,13 @@
 // memory without limit), handed to the backend's async path — which for the
 // PRETZEL backend rides the Runtime's event scheduler rather than blocking
 // an IO thread — and completed by the IO pool, which pays the response hop.
+//
+// Backpressure composition with the Runtime's bounded event rings: a
+// backend enqueue that fails (e.g. the per-plan ResourceExhausted cap,
+// enforced ahead of the lock-free rings) surfaces through the async
+// callback with that status, so callers see the same fail-fast semantics on
+// both admission tiers. Ring-capacity spills inside the Runtime are NOT
+// rejections — they only leave the lock-free fast path.
 #ifndef PRETZEL_FRONTEND_FRONTEND_H_
 #define PRETZEL_FRONTEND_FRONTEND_H_
 

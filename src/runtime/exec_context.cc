@@ -8,15 +8,23 @@
 
 namespace pretzel {
 
+VectorPool::VectorPool(const Options& options) : options_(options) {
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    empty_.Push(i);
+  }
+}
+
 std::vector<float> VectorPool::AcquireFloats(size_t size) {
   if (options_.pooling_enabled) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!free_floats_.empty()) {
-      std::vector<float> v = std::move(free_floats_.back());
-      free_floats_.pop_back();
+    uint32_t slot;
+    if (free_.TryPop(&slot)) {
+      std::vector<float> v = std::move(slots_[slot]);
+      empty_.Push(slot);
       v.resize(size);
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return v;
     }
+    misses_.fetch_add(1, std::memory_order_relaxed);
   }
   return std::vector<float>(size);
 }
@@ -25,10 +33,31 @@ void VectorPool::ReleaseFloats(std::vector<float> v) {
   if (!options_.pooling_enabled) {
     return;  // Dropped; the next acquire allocates.
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (free_floats_.size() < 64) {
-    free_floats_.push_back(std::move(v));
+  released_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_cached_floats > 0 &&
+      v.capacity() > options_.max_cached_floats) {
+    // Capacity cap: don't let one oversized prediction pin its high-water
+    // mark in the pool forever.
+    dropped_oversized_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  uint32_t slot;
+  if (!empty_.TryPop(&slot)) {
+    dropped_full_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[slot] = std::move(v);
+  free_.Push(slot);  // Release-CAS publishes the slot write.
+}
+
+VectorPool::Stats VectorPool::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
+  s.dropped_oversized = dropped_oversized_.load(std::memory_order_relaxed);
+  s.dropped_full = dropped_full_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ExecContext::ReleaseScratch() {
@@ -49,14 +78,23 @@ void ExecContext::ReleaseScratch() {
   std::vector<float>().swap(features);
 }
 
+ExecContextPool::ExecContextPool(VectorPool* pool, bool reuse_enabled)
+    : pool_(pool), reuse_enabled_(reuse_enabled) {
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    empty_.Push(i);
+  }
+}
+
 std::unique_ptr<ExecContext> ExecContextPool::Acquire() {
   if (reuse_enabled_) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!free_.empty()) {
-      std::unique_ptr<ExecContext> ctx = std::move(free_.back());
-      free_.pop_back();
+    uint32_t slot;
+    if (free_.TryPop(&slot)) {
+      std::unique_ptr<ExecContext> ctx = std::move(slots_[slot]);
+      empty_.Push(slot);
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return ctx;
     }
+    misses_.fetch_add(1, std::memory_order_relaxed);
   }
   return std::make_unique<ExecContext>(pool_);
 }
@@ -65,10 +103,12 @@ void ExecContextPool::Release(std::unique_ptr<ExecContext> ctx) {
   if (!reuse_enabled_ || ctx == nullptr) {
     return;  // Destroyed: the next acquire builds a cold context.
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (free_.size() < 256) {
-    free_.push_back(std::move(ctx));
+  uint32_t slot;
+  if (!empty_.TryPop(&slot)) {
+    return;  // Pool full: drop the context.
   }
+  slots_[slot] = std::move(ctx);
+  free_.Push(slot);  // Release-CAS publishes the slot write.
 }
 
 namespace {

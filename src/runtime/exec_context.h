@@ -2,17 +2,21 @@
 // scratch an in-flight prediction writes through (ExecContext), a context
 // pool, and the plan executor entry point. Keeping every buffer here is what
 // makes the hot path allocation-free (Section 5.2.1's "vector pooling"
-// ablation toggles exactly this).
+// ablation toggles exactly this). Both pools hand out and take back buffers
+// through Treiber-stack free lists (src/common/lockfree.h), so acquire and
+// release are a CAS each — no mutex even when many threads share one pool.
 #ifndef PRETZEL_RUNTIME_EXEC_CONTEXT_H_
 #define PRETZEL_RUNTIME_EXEC_CONTEXT_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/lockfree.h"
 #include "src/common/status.h"
 
 namespace pretzel {
@@ -26,22 +30,58 @@ class VectorPool {
     // When false, buffers are released after every prediction, putting
     // allocation back on the data path (the no-pooling ablation).
     bool pooling_enabled = true;
+    // Released buffers whose capacity outgrew this many floats are dropped
+    // instead of cached, so one giant prediction cannot pin its high-water
+    // mark in the pool forever. 0 = uncapped (the old behavior).
+    size_t max_cached_floats = 64 * 1024;
   };
 
-  VectorPool() = default;
-  explicit VectorPool(const Options& options) : options_(options) {}
+  // Pool effectiveness counters (all monotonic since construction).
+  struct Stats {
+    uint64_t hits = 0;              // Acquires served from the free list.
+    uint64_t misses = 0;            // Acquires that had to allocate.
+    uint64_t released = 0;          // ReleaseFloats calls (pooling on).
+    uint64_t dropped_oversized = 0; // Releases dropped by the capacity cap.
+    uint64_t dropped_full = 0;      // Releases dropped because all slots full.
+
+    Stats& operator+=(const Stats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      released += other.released;
+      dropped_oversized += other.dropped_oversized;
+      dropped_full += other.dropped_full;
+      return *this;
+    }
+  };
+
+  VectorPool() : VectorPool(Options{}) {}
+  explicit VectorPool(const Options& options);
 
   bool pooling_enabled() const { return options_.pooling_enabled; }
 
   // Free-listed float buffers for callers that need transient vectors
-  // outside an ExecContext (batch assembly and tests).
+  // outside an ExecContext (batch assembly and tests). Lock-free: one CAS
+  // to pop a cached buffer, one to return the emptied slot.
   std::vector<float> AcquireFloats(size_t size);
   void ReleaseFloats(std::vector<float> v);
 
+  Stats GetStats() const;
+
  private:
+  static constexpr uint32_t kSlots = 64;
+
   Options options_;
-  std::mutex mu_;
-  std::vector<std::vector<float>> free_floats_;
+  // Cached buffers live in fixed slots; `free_` holds indices of slots with
+  // a buffer, `empty_` indices without one. A slot's contents are published
+  // by the release-CAS of the push that hands its index over.
+  std::array<std::vector<float>, kSlots> slots_;
+  IndexStack free_{kSlots};
+  IndexStack empty_{kSlots};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> released_{0};
+  std::atomic<uint64_t> dropped_oversized_{0};
+  std::atomic<uint64_t> dropped_full_{0};
 };
 
 // All scratch an executing prediction touches. Reused across predictions
@@ -79,20 +119,28 @@ struct ExecContext {
 };
 
 // Hands out ExecContexts; with reuse enabled, released contexts keep their
-// warm buffers and are handed out again.
+// warm buffers and are handed out again. Same Treiber-stack slot scheme as
+// VectorPool: acquire/release are lock-free.
 class ExecContextPool {
  public:
-  ExecContextPool(VectorPool* pool, bool reuse_enabled)
-      : pool_(pool), reuse_enabled_(reuse_enabled) {}
+  ExecContextPool(VectorPool* pool, bool reuse_enabled);
 
   std::unique_ptr<ExecContext> Acquire();
   void Release(std::unique_ptr<ExecContext> ctx);
 
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
  private:
+  static constexpr uint32_t kSlots = 256;
+
   VectorPool* pool_;
   const bool reuse_enabled_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<ExecContext>> free_;
+  std::array<std::unique_ptr<ExecContext>, kSlots> slots_;
+  IndexStack free_{kSlots};
+  IndexStack empty_{kSlots};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 // Executes one prediction through a compiled plan. Binds the plan first if

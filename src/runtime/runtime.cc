@@ -20,65 +20,130 @@ struct Runtime::BatchJob {
   Status first_error;  // OK unless some record failed.
 };
 
-// An executor group: the threads draining one set of plans (the shared pool,
-// or one reservation's dedicated executors) and the round-robin ring of
-// plans with queued events.
-struct Runtime::ExecGroup {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<PlanQueue*> runnable;  // Plans with events, round-robin order.
-  size_t num_executors = 1;
-};
-
 // Per-plan metric reservoirs are windowed: SampleStats keeps exact samples,
-// so unbounded Add() on the dispatch path would grow forever and make every
-// GetMetrics() copy (taken under the group lock, stalling dispatch)
-// proportionally slower. When a window fills, the stats restart;
-// percentiles describe the most recent window. Kept small so a metrics
-// snapshot holds the dispatch lock for a bounded ~100KB copy.
+// so unbounded Add() on the dispatch path would grow forever. When a
+// shard's window fills, its stats restart; percentiles describe the most
+// recent window. The budget is split across a plan's shards, keeping total
+// retained samples near kMetricsWindow per plan — up to the 256-sample
+// per-shard floor, which preserves percentile fidelity for groups with
+// many executors at the cost of a proportionally larger total window.
 constexpr size_t kMetricsWindow = 4096;
 
-static void AddWindowed(SampleStats& stats, double value) {
-  if (stats.count() >= kMetricsWindow) {
+// Capacity of each group's runnable rotation ring; a plan occupies at most
+// one slot (the `scheduled` claim), so this bounds plans per group.
+constexpr size_t kRunnableRingCapacity = 8192;
+
+static void AddWindowed(SampleStats& stats, double value, size_t window) {
+  if (stats.count() >= window) {
     stats = SampleStats();
   }
   stats.Add(value);
 }
 
+static void MergeStats(SampleStats& into, const SampleStats& from) {
+  for (const double sample : from.samples()) {
+    into.Add(sample);
+  }
+}
+
+// One executor's slice of a plan's latency/batch reservoirs. Only its
+// owning executor writes it (one lock/unlock per dispatch, uncontended
+// unless a GetMetrics snapshot is copying this exact shard), so metric
+// recording never serializes executors against each other or against
+// snapshots.
+struct Runtime::MetricShard {
+  std::mutex mu;
+  SampleStats batch_records;
+  SampleStats queue_wait_us;
+  SampleStats single_latency_us;
+};
+
+// An executor group: the threads draining one set of plans (the shared pool,
+// or one reservation's dedicated executors) and the round-robin rotation of
+// plans with queued events.
+struct Runtime::ExecGroup {
+  // Ring capacity bounds plans per group: the shared group gets the full
+  // rotation in lock-free mode; a reserved group rotates exactly one plan,
+  // and the mutex baseline never touches the ring at all (capacity 2, the
+  // ring's minimum, instead of ~128KB of dead cells).
+  explicit ExecGroup(size_t ring_capacity) : runnable_ring(ring_capacity) {}
+
+  size_t num_executors = 1;
+  size_t spawned = 0;  // Shard indices handed to executors (startup only).
+  std::atomic<size_t> plan_count{0};
+
+  // Lock-free mode: the runnable rotation is an MPMC ring; executors park
+  // on the eventcount, so producers skip the kernel while executors are
+  // busy. runnable_count mirrors the ring's occupancy for the adaptive
+  // linger's "does anyone else have work" test.
+  BoundedMpmcRing<PlanQueue*> runnable_ring;
+  EventCount ec;
+  std::atomic<size_t> runnable_count{0};
+
+  // Mutex baseline (lockfree_scheduler = false): the PR-2 design, every
+  // enqueue/dispatch serializes here.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PlanQueue*> runnable;
+};
+
 // Per-plan scheduler state. `plan` and the policy fields are written once
-// under registry_mu_ before the queue is first published to an ExecGroup
-// (via Enqueue, under group->mu), and read-only afterwards; everything else
-// is guarded by group->mu.
+// under registry_mu_ before the queue is first published, and read-only
+// afterwards.
+//
+// Lock-free mode: producers admit through the atomic `queued` counter, then
+// publish into `ring` (bounded MPSC; bursts spill to the mutex-guarded
+// `overflow`, which stays FIFO-ordered after the ring's contents). The
+// `scheduled` flag keeps the plan at most once in the group's runnable
+// rotation; whoever pops it from the rotation is the queue's single
+// consumer until it re-publishes or releases the claim. `held` stashes a
+// chunk event the consumer popped while coalescing singles (consumer-
+// private; ownership transfers with the claim).
 struct Runtime::PlanQueue {
+  explicit PlanQueue(size_t ring_capacity) : ring(ring_capacity) {}
+
   PlanId id = 0;
   std::shared_ptr<ModelPlan> plan;
   ExecGroup* group = nullptr;
   bool reserved = false;
   size_t max_batch = 1;
   int64_t max_delay_us = 0;
+  size_t shard_window = kMetricsWindow;
 
+  // ---- Lock-free mode ----
+  BoundedMpmcRing<Event> ring;
+  std::mutex overflow_mu;
+  std::deque<Event> overflow;
+  std::atomic<size_t> overflow_count{0};
+  // Events admitted and not yet gathered into a dispatch quantum; doubles
+  // as the backpressure cap check and the queue_depth metric.
+  std::atomic<size_t> queued{0};
+  // Chunk events among them; the adaptive linger must end as soon as batch
+  // work exists anywhere in the queue.
+  std::atomic<size_t> chunk_count{0};
+  // True while the plan is in the runnable rotation or owned by an
+  // executor; replaces PR-2's `runnable` bookkeeping under the group mutex.
+  std::atomic<bool> scheduled{false};
+  // True while an executor lingers for this plan's batch to fill; enqueues
+  // then NotifyAll so the linger predicate is re-evaluated.
+  std::atomic<bool> lingering{false};
+  bool held_valid = false;  // Quantum-owner-private chunk stash.
+  Event held;
+
+  // ---- Mutex baseline (guarded by group->mu) ----
   std::deque<Event> events;
-  // Chunk events currently queued; the adaptive linger must end as soon as
-  // batch work exists anywhere in the queue, not just at its front.
-  size_t queued_chunks = 0;
-  // True while the plan is in group->runnable or owned by an executor that
-  // will requeue it; keeps each plan at most once in the ring.
-  bool runnable = false;
-  // True while an executor is in the adaptive linger wait for this plan;
-  // enqueues then notify_all so the linger predicate is re-evaluated (a
-  // notify_one could be swallowed by an idle sibling whose predicate is
-  // false, stranding the lingerer until its deadline).
-  bool lingering = false;
+  size_t m_queued_chunks = 0;
+  bool m_runnable = false;
+  bool m_lingering = false;
 
+  // ---- Counters (relaxed atomics, both modes) ----
   std::atomic<uint64_t> inline_predictions{0};
-  uint64_t enqueued = 0;
-  uint64_t rejected = 0;
-  uint64_t dispatches = 0;
-  uint64_t coalesced = 0;
-  uint64_t errors = 0;
-  SampleStats batch_records;
-  SampleStats queue_wait_us;
-  SampleStats single_latency_us;
+  std::atomic<uint64_t> enqueued{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> dispatches{0};
+  std::atomic<uint64_t> coalesced{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::unique_ptr<MetricShard>> shards;  // One per group executor.
 };
 
 Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
@@ -87,13 +152,15 @@ Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
         RuntimeOptions o = options;
         o.num_executors = std::max<size_t>(1, o.num_executors);
         o.default_max_batch = std::max<size_t>(1, o.default_max_batch);
+        o.event_ring_capacity = std::max<size_t>(8, o.event_ring_capacity);
         return o;
       }()),
       caller_contexts_(&caller_pool_, /*reuse_enabled=*/true) {
   if (options_.subplan_cache_bytes > 0) {
     caller_cache_ = std::make_unique<SubPlanCache>(options_.subplan_cache_bytes);
   }
-  shared_group_ = std::make_unique<ExecGroup>();
+  shared_group_ = std::make_unique<ExecGroup>(
+      options_.lockfree_scheduler ? kRunnableRingCapacity : 2);
   shared_group_->num_executors = options_.num_executors;
   for (size_t i = 0; i < options_.num_executors; ++i) {
     SpawnExecutor(shared_group_.get());
@@ -101,16 +168,23 @@ Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
 }
 
 Runtime::~Runtime() {
-  stop_.store(true);
+  stop_.store(true, std::memory_order_seq_cst);
   {
     std::shared_lock lock(registry_mu_);
-    {
-      std::lock_guard<std::mutex> glock(shared_group_->mu);
-      shared_group_->cv.notify_all();
-    }
-    for (const auto& group : reserved_groups_) {
-      std::lock_guard<std::mutex> glock(group->mu);
-      group->cv.notify_all();
+    if (options_.lockfree_scheduler) {
+      shared_group_->ec.NotifyAll();
+      for (const auto& group : reserved_groups_) {
+        group->ec.NotifyAll();
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> glock(shared_group_->mu);
+        shared_group_->cv.notify_all();
+      }
+      for (const auto& group : reserved_groups_) {
+        std::lock_guard<std::mutex> glock(group->mu);
+        group->cv.notify_all();
+      }
     }
   }
   for (auto& thread : threads_) {
@@ -125,7 +199,12 @@ void Runtime::SpawnExecutor(ExecGroup* group) {
         std::make_unique<SubPlanCache>(options_.subplan_cache_bytes));
     cache = executor_caches_.back().get();
   }
-  threads_.emplace_back([this, group, cache] { ExecutorLoop(group, cache); });
+  executor_pools_.push_back(std::make_unique<VectorPool>());
+  VectorPool* pool = executor_pools_.back().get();
+  const size_t shard_idx = group->spawned++;
+  threads_.emplace_back([this, group, cache, pool, shard_idx] {
+    ExecutorLoop(group, cache, pool, shard_idx);
+  });
 }
 
 Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
@@ -135,7 +214,10 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
   }
   std::unique_lock lock(registry_mu_);
   const PlanId id = plan_queues_.size();
-  auto pq = std::make_unique<PlanQueue>();
+  // The mutex baseline never touches the event ring; don't pay ~ring_cap *
+  // sizeof(Event) per plan for dead cells there.
+  auto pq = std::make_unique<PlanQueue>(
+      options_.lockfree_scheduler ? options_.event_ring_capacity : 2);
   pq->id = id;
   pq->plan = std::move(plan);
   pq->max_batch = registration.max_batch > 0 ? registration.max_batch
@@ -146,8 +228,9 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
   const size_t cores = std::min(registration.reserve_cores,
                                 options_.max_reserved_cores_per_plan);
   if (cores > 0) {
-    auto group = std::make_unique<ExecGroup>();
+    auto group = std::make_unique<ExecGroup>(2);  // Rotates exactly one plan.
     group->num_executors = cores;
+    group->plan_count.store(1, std::memory_order_relaxed);
     pq->group = group.get();
     pq->reserved = true;
     reservations_.push_back(Reservation{id, cores});
@@ -158,7 +241,19 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
     }
     reserved_groups_.push_back(std::move(group));
   } else {
+    // Each plan occupies at most one runnable-ring slot, so the ring
+    // capacity bounds plans per group.
+    if (shared_group_->plan_count.fetch_add(1, std::memory_order_relaxed) + 1 >
+        kRunnableRingCapacity) {
+      shared_group_->plan_count.fetch_sub(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("shared executor group plan limit");
+    }
     pq->group = shared_group_.get();
+  }
+  const size_t shard_count = std::max<size_t>(1, pq->group->num_executors);
+  pq->shard_window = std::max<size_t>(256, kMetricsWindow / shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    pq->shards.push_back(std::make_unique<MetricShard>());
   }
   plan_queues_.push_back(std::move(pq));
   return id;
@@ -169,17 +264,25 @@ Runtime::PlanQueue* Runtime::GetQueue(PlanId id) const {
   return id < plan_queues_.size() ? plan_queues_[id].get() : nullptr;
 }
 
-// Single enqueue protocol for both entry points: cap check, timestamping,
-// chunk accounting, runnable-ring publication, and the wakeup rule live
-// here and only here.
+// ---------------------------------------------------------------------------
+// Enqueue protocol. Cap check, timestamping, chunk accounting, runnable
+// publication, and the wakeup rule live here and only here.
+
 Status Runtime::EnqueueEvents(PlanQueue* pq, Event* events, size_t n) {
+  if (n == 0) {
+    return Status::OK();
+  }
+  if (options_.lockfree_scheduler) {
+    return EnqueueLockFree(pq, events, n);
+  }
+  // PR-2 mutex baseline: every producer serializes on the group mutex.
   ExecGroup* group = pq->group;
   bool wake_all = n > 1;
   {
     std::lock_guard<std::mutex> lock(group->mu);
     if (options_.max_queued_events_per_plan > 0 &&
         pq->events.size() + n > options_.max_queued_events_per_plan) {
-      pq->rejected += n;
+      pq->rejected.fetch_add(n, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           "plan " + std::to_string(pq->id) + " queue over " +
           std::to_string(options_.max_queued_events_per_plan) + " events");
@@ -188,23 +291,88 @@ Status Runtime::EnqueueEvents(PlanQueue* pq, Event* events, size_t n) {
     for (size_t i = 0; i < n; ++i) {
       events[i].enqueue_ns = now;
       if (events[i].job != nullptr) {
-        ++pq->queued_chunks;
+        ++pq->m_queued_chunks;
       }
       pq->events.push_back(std::move(events[i]));
     }
-    pq->enqueued += n;
-    if (!pq->runnable) {
-      pq->runnable = true;
+    pq->enqueued.fetch_add(n, std::memory_order_relaxed);
+    if (!pq->m_runnable) {
+      pq->m_runnable = true;
       group->runnable.push_back(pq);
     }
     // A lingering executor must re-check its predicate; notify_one could be
     // swallowed by an idle sibling whose predicate is false.
-    wake_all |= pq->lingering;
+    wake_all |= pq->m_lingering;
   }
   if (wake_all) {
     group->cv.notify_all();
   } else {
     group->cv.notify_one();
+  }
+  return Status::OK();
+}
+
+Status Runtime::EnqueueLockFree(PlanQueue* pq, Event* events, size_t n) {
+  ExecGroup* group = pq->group;
+  // Admission: an atomic counter replaces the cap check PR-2 made under the
+  // group mutex. With a cap, admit by CAS so a rejected submission never
+  // even transiently inflates `queued` (a blind fetch_add+undo could make a
+  // concurrent fitting submission observe phantom occupancy and bounce).
+  const size_t cap = options_.max_queued_events_per_plan;
+  if (cap > 0) {
+    size_t queued_now = pq->queued.load(std::memory_order_seq_cst);
+    for (;;) {
+      if (queued_now + n > cap) {
+        pq->rejected.fetch_add(n, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "plan " + std::to_string(pq->id) + " queue over " +
+            std::to_string(cap) + " events");
+      }
+      if (pq->queued.compare_exchange_weak(queued_now, queued_now + n,
+                                           std::memory_order_seq_cst)) {
+        break;
+      }
+    }
+  } else {
+    pq->queued.fetch_add(n, std::memory_order_seq_cst);
+  }
+  const int64_t now = NowNs();
+  size_t chunks = 0;
+  for (size_t i = 0; i < n; ++i) {
+    events[i].enqueue_ns = now;
+    if (events[i].job != nullptr) {
+      ++chunks;
+    }
+  }
+  if (chunks > 0) {
+    pq->chunk_count.fetch_add(chunks, std::memory_order_seq_cst);
+  }
+  // While spilled events exist, new ones must queue behind them (not jump
+  // ahead through the ring), so FIFO degrades no further than the spill —
+  // which also means that once one event of this call spills, the rest
+  // follow under a single lock acquisition.
+  size_t i = 0;
+  while (i < n && pq->overflow_count.load(std::memory_order_acquire) == 0 &&
+         pq->ring.TryPush(std::move(events[i]))) {
+    ++i;
+  }
+  if (i < n) {
+    std::lock_guard<std::mutex> lock(pq->overflow_mu);
+    for (size_t j = i; j < n; ++j) {
+      pq->overflow.push_back(std::move(events[j]));
+    }
+    pq->overflow_count.fetch_add(n - i, std::memory_order_release);
+  }
+  pq->enqueued.fetch_add(n, std::memory_order_relaxed);
+  // Publish: first producer to find the plan unclaimed puts it in the
+  // rotation; everyone else just wakes an executor.
+  if (!pq->scheduled.exchange(true, std::memory_order_seq_cst)) {
+    PushRunnable(group, pq);
+  }
+  if (n > 1 || pq->lingering.load(std::memory_order_seq_cst)) {
+    group->ec.NotifyAll();
+  } else {
+    group->ec.NotifyOne();
   }
   return Status::OK();
 }
@@ -217,6 +385,59 @@ Status Runtime::EnqueueOne(PlanQueue* pq, Event event) {
   return EnqueueEvents(pq, &event, 1);
 }
 
+void Runtime::PushRunnable(ExecGroup* group, PlanQueue* pq) {
+  group->runnable_count.fetch_add(1, std::memory_order_seq_cst);
+  // A plan occupies at most one slot and Register bounds plans per group by
+  // the ring capacity, so this cannot spin forever.
+  PlanQueue* item = pq;
+  while (!group->runnable_ring.TryPush(std::move(item))) {
+    std::this_thread::yield();
+  }
+}
+
+bool Runtime::PopRunnable(ExecGroup* group, PlanQueue** pq) {
+  if (group->runnable_ring.TryPop(pq)) {
+    group->runnable_count.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+  return false;
+}
+
+// Quantum-owner only: held stash first, then the lock-free ring, then the
+// overflow spill (whose remainder is bulk-refilled into the ring so
+// subsequent pops return to the lock-free path).
+bool Runtime::PopEvent(PlanQueue* pq, Event* out) {
+  if (pq->held_valid) {
+    *out = std::move(pq->held);
+    pq->held_valid = false;
+    return true;
+  }
+  if (pq->ring.TryPop(out)) {
+    return true;
+  }
+  if (pq->overflow_count.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(pq->overflow_mu);
+    if (!pq->overflow.empty()) {
+      *out = std::move(pq->overflow.front());
+      pq->overflow.pop_front();
+      size_t moved = 1;
+      while (!pq->overflow.empty() &&
+             pq->ring.TryPush(std::move(pq->overflow.front()))) {
+        pq->overflow.pop_front();
+        ++moved;
+      }
+      pq->overflow_count.fetch_sub(moved, std::memory_order_release);
+      return true;
+    }
+  }
+  // A producer may have published between the ring check and the (empty)
+  // overflow check.
+  return pq->ring.TryPop(out);
+}
+
+// ---------------------------------------------------------------------------
+// Public prediction entry points.
+
 Result<float> Runtime::Predict(PlanId id, const std::string& input) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
@@ -224,7 +445,7 @@ Result<float> Runtime::Predict(PlanId id, const std::string& input) {
   }
   if (!pq->reserved) {
     // Inline fast path: a synchronous single on an unreserved plan gains
-    // nothing from a queue hop.
+    // nothing from a queue hop. Context acquire/release is a CAS each.
     pq->inline_predictions.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<ExecContext> ctx = caller_contexts_.Acquire();
     ctx->subplan_cache = caller_cache_.get();
@@ -342,16 +563,162 @@ Result<std::vector<float>> Runtime::PredictBatch(
   return scores;
 }
 
-void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache) {
+// ---------------------------------------------------------------------------
+// Executors.
+
+// Adaptive linger, lock-free mode: the oldest single is already in the
+// owner's hand, so the deadline is measured from its enqueue stamp exactly
+// as PR-2 measured from the deque front. The owner parks on the group
+// eventcount; any enqueue to this plan sees `lingering` and NotifyAlls, any
+// enqueue elsewhere in the group raises runnable_count — both re-arm the
+// predicate below.
+void Runtime::LingerLockFree(ExecGroup* group, PlanQueue* pq,
+                             int64_t oldest_ns) {
+  const auto deadline = std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(oldest_ns + pq->max_delay_us * 1000));
+  pq->lingering.store(true, std::memory_order_seq_cst);
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed) ||
+        pq->queued.load(std::memory_order_seq_cst) >= pq->max_batch ||
+        pq->chunk_count.load(std::memory_order_seq_cst) > 0 ||
+        group->runnable_count.load(std::memory_order_seq_cst) > 0 ||
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    const uint64_t ticket = group->ec.PrepareWait();
+    if (stop_.load(std::memory_order_relaxed) ||
+        pq->queued.load(std::memory_order_seq_cst) >= pq->max_batch ||
+        pq->chunk_count.load(std::memory_order_seq_cst) > 0 ||
+        group->runnable_count.load(std::memory_order_seq_cst) > 0) {
+      group->ec.CancelWait();
+      break;
+    }
+    if (!group->ec.WaitUntil(ticket, deadline)) {
+      break;  // Deadline: dispatch whatever has coalesced.
+    }
+  }
+  pq->lingering.store(false, std::memory_order_seq_cst);
+}
+
+void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache,
+                           VectorPool* pool, size_t shard_idx) {
   // Executor-private pooled state: the paper's per-core ExecContext, with
   // this executor's own sub-plan materialization cache attached.
-  VectorPool pool;
-  ExecContext ctx(&pool);
+  ExecContext ctx(pool);
   ctx.subplan_cache = cache;
+  if (!options_.lockfree_scheduler) {
+    ExecutorLoopMutex(group, ctx, shard_idx);
+    return;
+  }
+  std::vector<Event> batch;
+  for (;;) {
+    PlanQueue* pq = nullptr;
+    if (!PopRunnable(group, &pq)) {
+      // Park on the eventcount: re-check under a wait ticket so a publish
+      // racing this gap falls straight through Wait.
+      const uint64_t ticket = group->ec.PrepareWait();
+      if (PopRunnable(group, &pq)) {
+        group->ec.CancelWait();
+      } else if (stop_.load(std::memory_order_seq_cst)) {
+        group->ec.CancelWait();
+        return;  // Fully drained.
+      } else {
+        group->ec.Wait(ticket);
+        continue;
+      }
+    }
+    // We hold the plan's dispatch quantum: single consumer of its queue.
+    batch.clear();
+    Event first;
+    bool have = PopEvent(pq, &first);
+    // Adaptive linger: if only a thin run of singles is waiting and no
+    // other plan has work, wait out the plan's max-delay budget for more
+    // arrivals to coalesce. Never delays when the system has other work.
+    if (have && first.job == nullptr && pq->max_delay_us > 0 &&
+        pq->max_batch > 1 &&
+        pq->chunk_count.load(std::memory_order_seq_cst) == 0 &&
+        group->runnable_count.load(std::memory_order_seq_cst) == 0 &&
+        pq->queued.load(std::memory_order_seq_cst) < pq->max_batch) {
+      LingerLockFree(group, pq, first.enqueue_ns);
+    }
+    // Gather one dispatch quantum: a single batch chunk, or a coalesced run
+    // of up to max_batch queued singles (a chunk met mid-run is stashed in
+    // `held` for the plan's next quantum).
+    bool chunk_quantum = false;
+    if (have) {
+      if (first.job != nullptr) {
+        chunk_quantum = true;
+        batch.push_back(std::move(first));
+      } else {
+        batch.push_back(std::move(first));
+        Event next;
+        while (batch.size() < pq->max_batch && PopEvent(pq, &next)) {
+          if (next.job != nullptr) {
+            pq->held = std::move(next);
+            pq->held_valid = true;
+            break;
+          }
+          batch.push_back(std::move(next));
+        }
+      }
+    }
+    if (!batch.empty()) {
+      const int64_t dispatch_ns = NowNs();
+      pq->dispatches.fetch_add(1, std::memory_order_relaxed);
+      if (chunk_quantum) {
+        pq->chunk_count.fetch_sub(1, std::memory_order_seq_cst);
+      } else {
+        pq->coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+      pq->queued.fetch_sub(batch.size(), std::memory_order_seq_cst);
+      const size_t records = chunk_quantum
+                                 ? batch.front().end - batch.front().begin
+                                 : batch.size();
+      MetricShard& shard = *pq->shards[shard_idx];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      AddWindowed(shard.batch_records, static_cast<double>(records),
+                  pq->shard_window);
+      AddWindowed(shard.queue_wait_us,
+                  static_cast<double>(dispatch_ns - batch.front().enqueue_ns) /
+                      1e3,
+                  pq->shard_window);
+    }
+    // Round-robin hand-off BEFORE executing: if events remain, the plan
+    // goes back in the rotation (claim travels with the ring slot) so a
+    // sibling can take its next quantum while we execute this one.
+    // Otherwise release the claim, then re-check: a producer that enqueued
+    // after our last pop saw scheduled == true and left publication to us.
+    if (pq->held_valid || pq->queued.load(std::memory_order_seq_cst) > 0) {
+      PushRunnable(group, pq);
+      group->ec.NotifyOne();
+    } else {
+      pq->scheduled.store(false, std::memory_order_seq_cst);
+      if (pq->queued.load(std::memory_order_seq_cst) > 0 &&
+          !pq->scheduled.exchange(true, std::memory_order_seq_cst)) {
+        PushRunnable(group, pq);
+        group->ec.NotifyOne();
+      }
+    }
+    if (batch.empty()) {
+      // Admitted-but-unpublished producer race; the plan was re-published
+      // above if its events are still pending.
+      std::this_thread::yield();
+      continue;
+    }
+    ExecuteQuantum(pq, batch, ctx, shard_idx);
+  }
+}
+
+// The PR-2 scheduler, kept as the bench_contention baseline: every enqueue,
+// dispatch, and wakeup serializes on group->mu.
+void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
+                                size_t shard_idx) {
   std::vector<Event> batch;
   while (true) {
     batch.clear();
     PlanQueue* pq = nullptr;
+    size_t records = 0;
+    double wait_us = 0.0;
     {
       std::unique_lock<std::mutex> lock(group->mu);
       group->cv.wait(lock, [&] {
@@ -365,29 +732,24 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache) {
       }
       pq = group->runnable.front();
       group->runnable.pop_front();
-      // Adaptive linger: if only a thin run of singles is waiting and no
-      // other plan has work, wait out the plan's max-delay budget for more
-      // arrivals to coalesce. Never delays when the system has other work.
       if (pq->max_delay_us > 0 && pq->max_batch > 1 &&
           group->runnable.empty() && !pq->events.empty() &&
-          pq->queued_chunks == 0 && pq->events.size() < pq->max_batch) {
+          pq->m_queued_chunks == 0 && pq->events.size() < pq->max_batch) {
         const auto deadline = std::chrono::steady_clock::time_point(
             std::chrono::nanoseconds(pq->events.front().enqueue_ns +
                                      pq->max_delay_us * 1000));
-        pq->lingering = true;
+        pq->m_lingering = true;
         group->cv.wait_until(lock, deadline, [&] {
           return stop_.load(std::memory_order_relaxed) ||
                  pq->events.size() >= pq->max_batch ||
-                 pq->queued_chunks > 0 || !group->runnable.empty();
+                 pq->m_queued_chunks > 0 || !group->runnable.empty();
         });
-        pq->lingering = false;
+        pq->m_lingering = false;
       }
-      // Gather one dispatch quantum: a single batch chunk, or a coalesced
-      // run of up to max_batch queued singles.
       if (!pq->events.empty() && pq->events.front().job != nullptr) {
         batch.push_back(std::move(pq->events.front()));
         pq->events.pop_front();
-        --pq->queued_chunks;
+        --pq->m_queued_chunks;
       } else {
         while (!pq->events.empty() && pq->events.front().job == nullptr &&
                batch.size() < pq->max_batch) {
@@ -397,16 +759,14 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache) {
       }
       if (!batch.empty()) {
         const int64_t dispatch_ns = NowNs();
-        ++pq->dispatches;
-        const size_t records = batch.front().job != nullptr
-                                   ? batch.front().end - batch.front().begin
-                                   : batch.size();
-        AddWindowed(pq->batch_records, static_cast<double>(records));
-        AddWindowed(pq->queue_wait_us,
-                    static_cast<double>(dispatch_ns - batch.front().enqueue_ns) /
-                        1e3);
+        pq->dispatches.fetch_add(1, std::memory_order_relaxed);
+        records = batch.front().job != nullptr
+                      ? batch.front().end - batch.front().begin
+                      : batch.size();
+        wait_us =
+            static_cast<double>(dispatch_ns - batch.front().enqueue_ns) / 1e3;
         if (batch.front().job == nullptr) {
-          pq->coalesced += batch.size();
+          pq->coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
         }
       }
       // Round-robin: back of the ring if more events remain, so the next
@@ -416,64 +776,83 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache) {
         lock.unlock();
         group->cv.notify_one();  // More work: wake a sibling executor.
       } else {
-        pq->runnable = false;
+        pq->m_runnable = false;
       }
     }
     if (batch.empty()) {
       continue;
     }
-    // Execute outside the lock.
-    if (batch.front().job != nullptr) {
-      const Event& item = batch.front();
-      BatchJob& job = *item.job;
-      size_t failed = 0;
-      for (size_t i = item.begin; i < item.end; ++i) {
-        Result<float> r = ExecutePlan(*job.plan, job.inputs[i], ctx);
-        if (r.ok()) {
-          job.results[i] = *r;
-        } else {
-          ++failed;
-          std::lock_guard<std::mutex> lock(job.error_mu);
-          if (job.first_error.ok()) {
-            job.first_error = r.status();
-          }
-        }
-      }
-      const size_t count = item.end - item.begin;
-      if (job.remaining.fetch_sub(count) == count) {
-        Status status;
-        {
-          std::lock_guard<std::mutex> lock(job.error_mu);
-          status = job.first_error;
-        }
-        job.callback(status, std::span<const float>(job.results));
-      }
-      if (failed > 0) {
-        std::lock_guard<std::mutex> lock(group->mu);
-        pq->errors += failed;
-      }
-    } else {
-      size_t failed = 0;
-      for (Event& event : batch) {
-        Result<float> r = ExecutePlan(*pq->plan, event.input, ctx);
-        if (!r.ok()) {
-          ++failed;
-        }
-        event.done(std::move(r));
-      }
-      // Sampled latency: one observation per dispatch, for the oldest event
-      // in the group (the group's worst case) — keeps the per-event hot
-      // path free of clock reads and stats locking.
-      const double latency_us =
-          static_cast<double>(NowNs() - batch.front().enqueue_ns) / 1e3;
-      {
-        std::lock_guard<std::mutex> lock(group->mu);
-        AddWindowed(pq->single_latency_us, latency_us);
-        pq->errors += failed;
-      }
+    {
+      // Off the dispatch lock: stats ride this executor's shard.
+      MetricShard& shard = *pq->shards[shard_idx];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      AddWindowed(shard.batch_records, static_cast<double>(records),
+                  pq->shard_window);
+      AddWindowed(shard.queue_wait_us, wait_us, pq->shard_window);
     }
+    ExecuteQuantum(pq, batch, ctx, shard_idx);
   }
 }
+
+// Execute outside every scheduler structure; error counts are atomic and
+// the sampled latency lands in this executor's shard.
+void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
+                             ExecContext& ctx, size_t shard_idx) {
+  if (batch.front().job != nullptr) {
+    const Event& item = batch.front();
+    BatchJob& job = *item.job;
+    size_t failed = 0;
+    for (size_t i = item.begin; i < item.end; ++i) {
+      Result<float> r = ExecutePlan(*job.plan, job.inputs[i], ctx);
+      if (r.ok()) {
+        job.results[i] = *r;
+      } else {
+        ++failed;
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (job.first_error.ok()) {
+          job.first_error = r.status();
+        }
+      }
+    }
+    const size_t count = item.end - item.begin;
+    if (job.remaining.fetch_sub(count) == count) {
+      Status status;
+      {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        status = job.first_error;
+      }
+      job.callback(status, std::span<const float>(job.results));
+    }
+    if (failed > 0) {
+      pq->errors.fetch_add(failed, std::memory_order_relaxed);
+    }
+    return;
+  }
+  size_t failed = 0;
+  for (Event& event : batch) {
+    Result<float> r = ExecutePlan(*pq->plan, event.input, ctx);
+    if (!r.ok()) {
+      ++failed;
+    }
+    event.done(std::move(r));
+  }
+  // Sampled latency: one observation per dispatch, for the oldest event in
+  // the group (the group's worst case) — keeps the per-event hot path free
+  // of clock reads and stats writes.
+  const double latency_us =
+      static_cast<double>(NowNs() - batch.front().enqueue_ns) / 1e3;
+  {
+    MetricShard& shard = *pq->shards[shard_idx];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    AddWindowed(shard.single_latency_us, latency_us, pq->shard_window);
+  }
+  if (failed > 0) {
+    pq->errors.fetch_add(failed, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability.
 
 RuntimeMetrics Runtime::GetMetrics() const {
   RuntimeMetrics metrics;
@@ -484,18 +863,35 @@ RuntimeMetrics Runtime::GetMetrics() const {
     pm.plan_id = pq->id;
     pm.plan_name = pq->plan->name();
     pm.reserved = pq->reserved;
-    pm.inline_predictions = pq->inline_predictions.load(std::memory_order_relaxed);
-    {
+    pm.inline_predictions =
+        pq->inline_predictions.load(std::memory_order_relaxed);
+    pm.enqueued_events = pq->enqueued.load(std::memory_order_relaxed);
+    pm.rejected_events = pq->rejected.load(std::memory_order_relaxed);
+    pm.dispatches = pq->dispatches.load(std::memory_order_relaxed);
+    pm.coalesced_singles = pq->coalesced.load(std::memory_order_relaxed);
+    pm.errors = pq->errors.load(std::memory_order_relaxed);
+    if (options_.lockfree_scheduler) {
+      pm.queue_depth = pq->queued.load(std::memory_order_relaxed);
+    } else {
+      // Size only — the PR-2 bug of copying whole reservoirs under the
+      // dispatch mutex (stalling every executor in the group) is gone in
+      // both modes; stats now live in per-executor shards.
       std::lock_guard<std::mutex> glock(pq->group->mu);
       pm.queue_depth = pq->events.size();
-      pm.enqueued_events = pq->enqueued;
-      pm.rejected_events = pq->rejected;
-      pm.dispatches = pq->dispatches;
-      pm.coalesced_singles = pq->coalesced;
-      pm.errors = pq->errors;
-      pm.batch_records = pq->batch_records;
-      pm.queue_wait_us = pq->queue_wait_us;
-      pm.single_latency_us = pq->single_latency_us;
+    }
+    for (const auto& shard : pq->shards) {
+      SampleStats batch_records, queue_wait, single_latency;
+      {
+        // Brief per-shard copy: stalls at most the one executor that owns
+        // this shard, and only if it is dispatching this exact plan.
+        std::lock_guard<std::mutex> slock(shard->mu);
+        batch_records = shard->batch_records;
+        queue_wait = shard->queue_wait_us;
+        single_latency = shard->single_latency_us;
+      }
+      MergeStats(pm.batch_records, batch_records);
+      MergeStats(pm.queue_wait_us, queue_wait);
+      MergeStats(pm.single_latency_us, single_latency);
     }
     metrics.plans.push_back(std::move(pm));
   }
@@ -514,6 +910,10 @@ RuntimeMetrics Runtime::GetMetrics() const {
   if (caller_cache_ != nullptr) {
     aggregate(*caller_cache_);
   }
+  for (const auto& pool : executor_pools_) {
+    metrics.vector_pool += pool->GetStats();
+  }
+  metrics.vector_pool += caller_pool_.GetStats();
   return metrics;
 }
 

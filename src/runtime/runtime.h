@@ -3,13 +3,33 @@
 // stay allocation-free) drain per-plan event queues.
 //
 // Scheduling model (Section 5.4): every request — sync, async single, batch
-// — becomes an event on its plan's FIFO queue. Executors drain plans
+// — becomes an event on its plan's queue. Executors drain plans
 // round-robin, one dispatch quantum per turn, so a 10k-record batch cannot
 // head-of-line-block a 1-record request on another plan. An adaptive
 // batcher coalesces queued single predictions for the same plan into
 // sub-batches bounded by a per-plan max_batch / max-delay policy, amortizing
 // queue and wakeup costs under load while leaving idle-system latency
 // untouched.
+//
+// Hot-path concurrency (lockfree_scheduler, the default): no enqueue,
+// dispatch, or buffer acquire takes a mutex in the common case.
+//  - Each plan's events ride a bounded lock-free MPSC ring
+//    (BoundedMpmcRing; producers = caller/FrontEnd threads, consumer = the
+//    executor holding the plan's dispatch quantum). Bursts beyond the ring
+//    spill to a mutex-guarded overflow list, preserving admission
+//    semantics; the ResourceExhausted cap is enforced by an atomic counter
+//    before any structure is touched.
+//  - A plan is claimed for dispatch via an atomic `scheduled` flag; the
+//    runnable rotation itself is a lock-free MPMC ring of PlanQueue*.
+//  - Executors park and linger on an EventCount: producers skip the kernel
+//    entirely while every executor is busy; mutex+condvar survive only on
+//    the park/unpark slow path.
+//  - Counters are relaxed atomics and the SampleStats reservoirs are
+//    sharded per executor, merged only at GetMetrics() time — metrics never
+//    ride the dispatch path and a snapshot never stalls dispatch.
+// The PR-2 mutex/condvar scheduler is kept in-tree behind
+// RuntimeOptions::lockfree_scheduler = false as the bench_contention
+// comparison baseline.
 //
 // Reservations (Section 5.4.1): a registration may reserve cores. Reserved
 // plans get dedicated executors draining a dedicated group, and ALL their
@@ -18,9 +38,10 @@
 // synchronous singles keep the inline fast path (a queue hop buys them
 // nothing).
 //
-// The Runtime owns one SubPlanCache per executor (plus one for the inline
-// path), so Figure-10 sub-plan materialization is active in serving, and
-// exposes per-plan queue/batch/latency metrics through GetMetrics().
+// The Runtime owns one SubPlanCache and one VectorPool per executor (plus
+// one each for the inline path), so Figure-10 sub-plan materialization is
+// active in serving, and exposes per-plan queue/batch/latency metrics plus
+// pool hit/miss counters through GetMetrics().
 #ifndef PRETZEL_RUNTIME_RUNTIME_H_
 #define PRETZEL_RUNTIME_RUNTIME_H_
 
@@ -37,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/lockfree.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/oven/model_plan.h"
@@ -63,6 +85,15 @@ struct RuntimeOptions {
   // fill, but only while no other plan has runnable work.
   size_t default_max_batch = 16;
   int64_t default_max_delay_us = 0;
+  // Scheduler implementation. True (default): lock-free MPSC event rings,
+  // lock-free runnable ring, eventcount parking. False: the PR-2
+  // mutex/condvar baseline, kept for apples-to-apples contention benches.
+  bool lockfree_scheduler = true;
+  // Per-plan event-ring capacity (rounded up to a power of two). Bursts
+  // beyond it spill to a mutex-guarded overflow list — correctness and
+  // admission semantics are unchanged, only that tail leaves the lock-free
+  // fast path. Lock-free mode only.
+  size_t event_ring_capacity = 256;
 };
 
 struct PlanRegistration {
@@ -92,9 +123,10 @@ struct PlanMetrics {
   uint64_t dispatches = 0;          // Executor pulls (quanta).
   uint64_t coalesced_singles = 0;   // Singles dispatched via coalescing.
   uint64_t errors = 0;              // Failed records/singles.
-  // The SampleStats below are windowed (they restart when the window —
-  // kMetricsWindow in runtime.cc — fills), so long-running servers keep
-  // bounded memory and the percentiles describe recent traffic.
+  // The SampleStats below are windowed (each per-executor shard restarts
+  // when its window fills — kMetricsWindow in runtime.cc divided across the
+  // group's shards), so long-running servers keep bounded memory and the
+  // percentiles describe recent traffic. Snapshots merge the shards.
   SampleStats batch_records;        // Records per dispatch.
   SampleStats queue_wait_us;        // Enqueue -> dispatch.
   // Enqueue -> completion, sampled once per dispatch (the dispatched
@@ -108,6 +140,9 @@ struct RuntimeMetrics {
   SubPlanCache::Stats subplan_cache;
   size_t subplan_cache_entries = 0;
   size_t subplan_cache_bytes = 0;
+  // Aggregated over every executor-owned VectorPool plus the inline-path
+  // pool: free-list effectiveness and capacity-cap drops.
+  VectorPool::Stats vector_pool;
 };
 
 class Runtime {
@@ -146,8 +181,9 @@ class Runtime {
   Status PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
                            BatchCallback callback, size_t max_batch);
 
-  // Snapshot of per-plan queue/batch/latency metrics and aggregate
-  // sub-plan-cache effectiveness.
+  // Snapshot of per-plan queue/batch/latency metrics, aggregate
+  // sub-plan-cache effectiveness, and pool counters. Never blocks dispatch:
+  // counters are atomics and the stats shards are copied per-executor.
   RuntimeMetrics GetMetrics() const;
 
   size_t num_executors() const { return options_.num_executors; }
@@ -168,16 +204,33 @@ class Runtime {
   };
   struct ExecGroup;
   struct PlanQueue;
+  struct MetricShard;
 
   void SpawnExecutor(ExecGroup* group);
-  void ExecutorLoop(ExecGroup* group, SubPlanCache* cache);
+  void ExecutorLoop(ExecGroup* group, SubPlanCache* cache, VectorPool* pool,
+                    size_t shard_idx);
+  void ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx, size_t shard_idx);
   PlanQueue* GetQueue(PlanId id) const;
-  // The one enqueue protocol (cap check, stamping, ring publication,
-  // wakeups); both entry points below delegate to it.
+
+  // The one enqueue protocol (cap check, stamping, publication, wakeups);
+  // all entry points delegate to it. Dispatches on lockfree_scheduler.
   Status EnqueueEvents(PlanQueue* pq, Event* events, size_t n);
   Status Enqueue(PlanQueue* pq, std::vector<Event> events);
   // Allocation-free single-event fast path (async/sync singles).
   Status EnqueueOne(PlanQueue* pq, Event event);
+
+  // Lock-free mode helpers.
+  Status EnqueueLockFree(PlanQueue* pq, Event* events, size_t n);
+  static void PushRunnable(ExecGroup* group, PlanQueue* pq);
+  static bool PopRunnable(ExecGroup* group, PlanQueue** pq);
+  // Pops the plan's next event (held slot, then ring, then overflow).
+  // Quantum-owner only.
+  static bool PopEvent(PlanQueue* pq, Event* out);
+  void LingerLockFree(ExecGroup* group, PlanQueue* pq, int64_t oldest_ns);
+  // Executes one gathered quantum (outside all scheduler structures) and
+  // records error/latency accounting into this executor's shard.
+  void ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
+                      ExecContext& ctx, size_t shard_idx);
 
   ObjectStore* store_;
   const RuntimeOptions options_;
@@ -188,6 +241,7 @@ class Runtime {
   std::unique_ptr<ExecGroup> shared_group_;
   std::vector<std::unique_ptr<ExecGroup>> reserved_groups_;
   std::vector<std::unique_ptr<SubPlanCache>> executor_caches_;
+  std::vector<std::unique_ptr<VectorPool>> executor_pools_;
 
   std::atomic<bool> stop_{false};
   std::vector<std::thread> threads_;
