@@ -11,6 +11,10 @@
 //    pointer-width CASes (the constant-time free-list scheme of Blelloch &
 //    Wei, arXiv:2008.04296 / arXiv:1911.09671, specialized to bounded
 //    pools). Backs the VectorPool / ExecContextPool free lists.
+//  - MpscIntrusiveQueue: Vyukov's intrusive unbounded MPSC queue — push is
+//    wait-free (one exchange), pop is single-consumer. Carries the FIFO
+//    chain of spill segments behind each plan's bounded event ring, so even
+//    burst overflow never takes a mutex.
 //  - EventCount: futex-style sleep/wake for executor parking. Producers pay
 //    one atomic bump and skip the kernel entirely while every consumer is
 //    busy; mutex+condvar survive only on the park/unpark slow path.
@@ -175,6 +179,72 @@ class IndexStack {
 
   std::vector<std::atomic<uint32_t>> next_;
   std::atomic<uint64_t> head_{Pack(kNil, 0)};
+};
+
+// Node base for MpscIntrusiveQueue: derive the queued type from it and
+// static_cast the popped pointer back.
+struct MpscNode {
+  std::atomic<MpscNode*> next{nullptr};
+};
+
+// Vyukov's intrusive unbounded MPSC queue. Push is wait-free from any
+// thread: one exchange on the head plus one release store linking the
+// predecessor. Pop is single-consumer (the owner of the plan's dispatch
+// quantum in the Runtime) and may return nullptr transiently while a
+// producer sits between its exchange and its link store — callers treat
+// that exactly like "empty" and retry on their next visit; nothing is ever
+// lost. Nodes are caller-owned: the queue never allocates or frees.
+class MpscIntrusiveQueue {
+ public:
+  MpscIntrusiveQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscIntrusiveQueue(const MpscIntrusiveQueue&) = delete;
+  MpscIntrusiveQueue& operator=(const MpscIntrusiveQueue&) = delete;
+
+  void Push(MpscNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // The queue is momentarily split here; pop reports empty until the link
+    // lands, which is the transient nullptr documented above.
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Single consumer only. The stub node may travel through the chain (it is
+  // re-pushed when the last real node is popped), so a popped node is always
+  // a caller node, never the stub.
+  MpscNode* TryPop() {
+    MpscNode* tail = tail_;
+    MpscNode* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) {
+        return nullptr;  // Empty (or a producer mid-push).
+      }
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    if (tail != head_.load(std::memory_order_acquire)) {
+      return nullptr;  // Producer mid-push behind `tail`; retry later.
+    }
+    // `tail` is the last real node: recycle the stub behind it so the chain
+    // stays non-empty, then detach `tail`.
+    Push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;  // A producer raced the stub re-push; retry later.
+  }
+
+ private:
+  alignas(64) std::atomic<MpscNode*> head_;
+  alignas(64) MpscNode* tail_;
+  MpscNode stub_;
 };
 
 // Eventcount: decouples "is there work" (checked lock-free by the waiter)

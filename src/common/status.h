@@ -5,6 +5,7 @@
 #define PRETZEL_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -46,6 +47,17 @@ class Status {
   const std::string& message() const { return message_; }
   std::string ToString() const { return ok() ? "OK" : message_; }
 
+  // Retry-after hint, attached by the rejecting tier to ResourceExhausted:
+  // its current queue-delay estimate in microseconds (floored at 1 so a
+  // caller can test `retry_after_us() > 0` for "a hint is present"). 0 on
+  // every other status.
+  Status WithRetryAfterUs(int64_t us) const {
+    Status s = *this;
+    s.retry_after_us_ = us;
+    return s;
+  }
+  int64_t retry_after_us() const { return retry_after_us_; }
+
  private:
   static Status Make(StatusCode code, std::string message) {
     Status s;
@@ -56,6 +68,7 @@ class Status {
 
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  int64_t retry_after_us_ = 0;
 };
 
 template <typename T>

@@ -47,14 +47,16 @@ Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
     if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted(
-          "frontend over " + std::to_string(options_.max_pending) +
-          " pending requests");
+                 "frontend over " + std::to_string(options_.max_pending) +
+                 " pending requests")
+          .WithRetryAfterUs(retry_after_hint_us());
     }
     ++pending_;
     Work work;
     work.name = name;
     work.input = input;
     work.callback = std::move(callback);
+    work.admit_ns = NowNs();
     queue_.push_back(std::move(work));
   }
   // notify_all: the draining destructor waits on this cv too, and a
@@ -65,7 +67,13 @@ Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
 }
 
 void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
-                                 Result<float> result) {
+                                 Result<float> result, int64_t admit_ns) {
+  // Admission -> backend-completion latency feeds the retry-after hint this
+  // tier attaches to its own drops. Racy EWMA updates are fine (estimate).
+  const int64_t sample_us = (NowNs() - admit_ns) / 1000;
+  const int64_t prev = latency_ewma_us_.load(std::memory_order_relaxed);
+  latency_ewma_us_.store(prev + (sample_us - prev) / 8,
+                         std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     Work work;
@@ -75,8 +83,14 @@ void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
     // Completions jump the queue: finishing in-flight work beats admitting
     // more of the backlog.
     queue_.push_front(std::move(work));
+    // Notify UNDER the lock: this runs on a backend thread, and the
+    // draining destructor may destroy this FrontEnd the moment pending_
+    // hits zero — which can only happen after an IO thread pops this work,
+    // i.e. after we release mu_. Notifying after the unlock would touch
+    // cv_ beyond that point (use-after-free); see RequestAsync for why it
+    // is notify_all (the drain waiter shares this cv).
+    cv_.notify_all();
   }
-  cv_.notify_all();  // See RequestAsync: the drain waiter shares this cv.
 }
 
 void FrontEnd::IoLoop() {
@@ -109,10 +123,11 @@ void FrontEnd::IoLoop() {
     // queue so the response hop never runs on a backend executor thread.
     auto callback = std::move(work.callback);
     backend_->PredictAsync(work.name, work.input,
-                           [this, callback = std::move(callback)](
+                           [this, callback = std::move(callback),
+                            admit_ns = work.admit_ns](
                                Result<float> result) mutable {
                              EnqueueCompletion(std::move(callback),
-                                               std::move(result));
+                                               std::move(result), admit_ns);
                            });
   }
 }

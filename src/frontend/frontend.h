@@ -15,6 +15,7 @@
 #ifndef PRETZEL_FRONTEND_FRONTEND_H_
 #define PRETZEL_FRONTEND_FRONTEND_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -73,6 +74,13 @@ class FrontEnd {
   // Requests rejected by the max_pending cap since construction.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
+  // Current retry-after hint (us): EWMA of admitted requests' admission->
+  // completion latency, attached to this tier's ResourceExhausted drops.
+  // Backend-tier rejections pass through with the backend's own hint.
+  int64_t retry_after_hint_us() const {
+    return std::max<int64_t>(1, latency_ewma_us_.load(std::memory_order_relaxed));
+  }
+
  private:
   // IO work: an inbound request awaiting its backend hand-off, or a
   // completed backend response awaiting its response hop + user callback.
@@ -82,11 +90,12 @@ class FrontEnd {
     std::string input;
     std::function<void(Result<float>)> callback;
     Result<float> result = Status::Error("pending");
+    int64_t admit_ns = 0;  // Admission stamp, feeds the retry-after EWMA.
   };
 
   void IoLoop();
   void EnqueueCompletion(std::function<void(Result<float>)> callback,
-                         Result<float> result);
+                         Result<float> result, int64_t admit_ns);
 
   Backend* backend_;
   const FrontEndOptions options_;
@@ -95,6 +104,7 @@ class FrontEnd {
   std::deque<Work> queue_;
   size_t pending_ = 0;  // Admitted async requests not yet completed.
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<int64_t> latency_ewma_us_{0};  // Admission -> completion.
   bool stop_ = false;
   std::vector<std::thread> io_threads_;
 };

@@ -46,6 +46,18 @@ static void MergeStats(SampleStats& into, const SampleStats& from) {
   }
 }
 
+// Retry-after plumbing: every dispatch folds its queue wait into the plan's
+// EWMA (alpha 1/8); a ResourceExhausted rejection attaches that estimate,
+// floored at 1us so callers can test `retry_after_us() > 0` for presence.
+static void RecordQueueDelay(std::atomic<int64_t>& ewma, int64_t wait_us) {
+  const int64_t prev = ewma.load(std::memory_order_relaxed);
+  ewma.store(prev + (wait_us - prev) / 8, std::memory_order_relaxed);
+}
+
+static int64_t RetryAfterHintUs(const std::atomic<int64_t>& ewma) {
+  return std::max<int64_t>(1, ewma.load(std::memory_order_relaxed));
+}
+
 // One executor's slice of a plan's latency/batch reservoirs. Only its
 // owning executor writes it (one lock/unlock per dispatch, uncontended
 // unless a GetMetrics snapshot is copying this exact shard), so metric
@@ -56,6 +68,45 @@ struct Runtime::MetricShard {
   SampleStats batch_records;
   SampleStats queue_wait_us;
   SampleStats single_latency_us;
+};
+
+// One link of a plan's overflow spill: a producer's burst remainder, packed
+// into a ring segment chained FIFO behind the bounded event ring through
+// the lock-free Vyukov MPSC queue. Sized exactly to the call's spilled
+// events (trailing storage, one allocation) because the dominant spill
+// producer is a single-event enqueue: a fixed-capacity segment would pay
+// for dead Event constructions and kilobytes of slack per spilled single —
+// a fixed per-event tax that measurably compresses the coalescing win.
+// Producer-created on the (rare) spill path, consumer-destroyed after its
+// events are drained or bulk-refilled into the ring.
+struct Runtime::SpillSegment : MpscNode {
+  size_t count = 0;
+
+  Event* events() { return reinterpret_cast<Event*>(this + 1); }
+
+  // Moves events[0, n) out of `src` into the trailing storage.
+  static SpillSegment* Create(Event* src, size_t n) {
+    static_assert(alignof(Event) <= alignof(SpillSegment),
+                  "trailing Event storage would be misaligned");
+    void* mem = ::operator new(sizeof(SpillSegment) + n * sizeof(Event));
+    auto* segment = new (mem) SpillSegment();
+    segment->count = n;
+    for (size_t i = 0; i < n; ++i) {
+      new (&segment->events()[i]) Event(std::move(src[i]));
+    }
+    return segment;
+  }
+
+  // Destroys every slot (moved-from ones included; at shutdown undrained
+  // slots still hold events whose callbacks never ran — the same semantics
+  // the stranded deque had).
+  static void Destroy(SpillSegment* segment) {
+    for (size_t i = 0; i < segment->count; ++i) {
+      segment->events()[i].~Event();
+    }
+    segment->~SpillSegment();
+    ::operator delete(segment);
+  }
 };
 
 // An executor group: the threads draining one set of plans (the shared pool,
@@ -92,8 +143,8 @@ struct Runtime::ExecGroup {
 // afterwards.
 //
 // Lock-free mode: producers admit through the atomic `queued` counter, then
-// publish into `ring` (bounded MPSC; bursts spill to the mutex-guarded
-// `overflow`, which stays FIFO-ordered after the ring's contents). The
+// publish into `ring` (bounded MPSC; bursts spill to the `spill` chain of
+// ring segments, which stays FIFO-ordered after the ring's contents). The
 // `scheduled` flag keeps the plan at most once in the group's runnable
 // rotation; whoever pops it from the rotation is the queue's single
 // consumer until it re-publishes or releases the claim. `held` stashes a
@@ -101,6 +152,17 @@ struct Runtime::ExecGroup {
 // private; ownership transfers with the claim).
 struct Runtime::PlanQueue {
   explicit PlanQueue(size_t ring_capacity) : ring(ring_capacity) {}
+
+  // Frees spill segments stranded at shutdown (their events' callbacks are
+  // never invoked — the same semantics the stranded deque had).
+  ~PlanQueue() {
+    if (spill_cur != nullptr) {
+      SpillSegment::Destroy(spill_cur);
+    }
+    while (MpscNode* node = spill.TryPop()) {
+      SpillSegment::Destroy(static_cast<SpillSegment*>(node));
+    }
+  }
 
   PlanId id = 0;
   std::shared_ptr<ModelPlan> plan;
@@ -112,8 +174,14 @@ struct Runtime::PlanQueue {
 
   // ---- Lock-free mode ----
   BoundedMpmcRing<Event> ring;
-  std::mutex overflow_mu;
-  std::deque<Event> overflow;
+  // Overflow spill: FIFO chain of SpillSegments (wait-free producer push);
+  // spill_cur/spill_idx are the consumer's private cursor into the segment
+  // it is draining (ownership travels with the dispatch claim).
+  MpscIntrusiveQueue spill;
+  SpillSegment* spill_cur = nullptr;
+  size_t spill_idx = 0;
+  // Spilled events not yet returned or refilled into the ring; incremented
+  // before a segment is published so it never underflows.
   std::atomic<size_t> overflow_count{0};
   // Events admitted and not yet gathered into a dispatch quantum; doubles
   // as the backpressure cap check and the queue_depth metric.
@@ -137,6 +205,10 @@ struct Runtime::PlanQueue {
   bool m_lingering = false;
 
   // ---- Counters (relaxed atomics, both modes) ----
+  // Enqueue->dispatch delay EWMA (alpha 1/8), written by whichever executor
+  // dispatches; the retry-after hint on this plan's rejections. Racy
+  // updates are fine — it is an estimate.
+  std::atomic<int64_t> queue_delay_ewma_us{0};
   std::atomic<uint64_t> inline_predictions{0};
   std::atomic<uint64_t> enqueued{0};
   std::atomic<uint64_t> rejected{0};
@@ -284,8 +356,10 @@ Status Runtime::EnqueueEvents(PlanQueue* pq, Event* events, size_t n) {
         pq->events.size() + n > options_.max_queued_events_per_plan) {
       pq->rejected.fetch_add(n, std::memory_order_relaxed);
       return Status::ResourceExhausted(
-          "plan " + std::to_string(pq->id) + " queue over " +
-          std::to_string(options_.max_queued_events_per_plan) + " events");
+                 "plan " + std::to_string(pq->id) + " queue over " +
+                 std::to_string(options_.max_queued_events_per_plan) +
+                 " events")
+          .WithRetryAfterUs(RetryAfterHintUs(pq->queue_delay_ewma_us));
     }
     const int64_t now = NowNs();
     for (size_t i = 0; i < n; ++i) {
@@ -324,9 +398,10 @@ Status Runtime::EnqueueLockFree(PlanQueue* pq, Event* events, size_t n) {
     for (;;) {
       if (queued_now + n > cap) {
         pq->rejected.fetch_add(n, std::memory_order_relaxed);
-        return Status::ResourceExhausted(
-            "plan " + std::to_string(pq->id) + " queue over " +
-            std::to_string(cap) + " events");
+        return Status::ResourceExhausted("plan " + std::to_string(pq->id) +
+                                         " queue over " + std::to_string(cap) +
+                                         " events")
+            .WithRetryAfterUs(RetryAfterHintUs(pq->queue_delay_ewma_us));
       }
       if (pq->queued.compare_exchange_weak(queued_now, queued_now + n,
                                            std::memory_order_seq_cst)) {
@@ -349,19 +424,20 @@ Status Runtime::EnqueueLockFree(PlanQueue* pq, Event* events, size_t n) {
   }
   // While spilled events exist, new ones must queue behind them (not jump
   // ahead through the ring), so FIFO degrades no further than the spill —
-  // which also means that once one event of this call spills, the rest
-  // follow under a single lock acquisition.
+  // and once one event of this call spills, the rest follow it into the
+  // chain, keeping the call's events contiguous per segment.
   size_t i = 0;
   while (i < n && pq->overflow_count.load(std::memory_order_acquire) == 0 &&
          pq->ring.TryPush(std::move(events[i]))) {
     ++i;
   }
   if (i < n) {
-    std::lock_guard<std::mutex> lock(pq->overflow_mu);
-    for (size_t j = i; j < n; ++j) {
-      pq->overflow.push_back(std::move(events[j]));
-    }
+    // Count first: the consumer decrements only for events whose segment
+    // publication it observed, so the counter never underflows; it may
+    // transiently read count > 0 with the chain still mid-push, which it
+    // treats exactly like empty.
     pq->overflow_count.fetch_add(n - i, std::memory_order_release);
+    pq->spill.Push(SpillSegment::Create(events + i, n - i));
   }
   pq->enqueued.fetch_add(n, std::memory_order_relaxed);
   // Publish: first producer to find the plan unclaimed puts it in the
@@ -404,8 +480,8 @@ bool Runtime::PopRunnable(ExecGroup* group, PlanQueue** pq) {
 }
 
 // Quantum-owner only: held stash first, then the lock-free ring, then the
-// overflow spill (whose remainder is bulk-refilled into the ring so
-// subsequent pops return to the lock-free path).
+// spill chain (whose remainder is bulk-refilled into the ring so subsequent
+// pops return to the single-CAS path).
 bool Runtime::PopEvent(PlanQueue* pq, Event* out) {
   if (pq->held_valid) {
     *out = std::move(pq->held);
@@ -415,24 +491,55 @@ bool Runtime::PopEvent(PlanQueue* pq, Event* out) {
   if (pq->ring.TryPop(out)) {
     return true;
   }
-  if (pq->overflow_count.load(std::memory_order_acquire) > 0) {
-    std::lock_guard<std::mutex> lock(pq->overflow_mu);
-    if (!pq->overflow.empty()) {
-      *out = std::move(pq->overflow.front());
-      pq->overflow.pop_front();
-      size_t moved = 1;
-      while (!pq->overflow.empty() &&
-             pq->ring.TryPush(std::move(pq->overflow.front()))) {
-        pq->overflow.pop_front();
-        ++moved;
-      }
-      pq->overflow_count.fetch_sub(moved, std::memory_order_release);
+  if (pq->spill_cur != nullptr ||
+      pq->overflow_count.load(std::memory_order_acquire) > 0) {
+    if (PopSpill(pq, out)) {
       return true;
     }
   }
   // A producer may have published between the ring check and the (empty)
-  // overflow check.
+  // spill check.
   return pq->ring.TryPop(out);
+}
+
+// Quantum-owner only. Returns the oldest spilled event, then drains as much
+// of the chain as fits back into the ring (bulk refill) so the spill is an
+// excursion, not a new steady state. A transiently inconsistent chain (a
+// producer between its exchange and its link store) reads as empty; the
+// caller's admitted-but-unpublished handling covers it.
+bool Runtime::PopSpill(PlanQueue* pq, Event* out) {
+  if (pq->spill_cur == nullptr) {
+    MpscNode* node = pq->spill.TryPop();
+    if (node == nullptr) {
+      return false;
+    }
+    pq->spill_cur = static_cast<SpillSegment*>(node);
+    pq->spill_idx = 0;
+  }
+  SpillSegment* segment = pq->spill_cur;
+  *out = std::move(segment->events()[pq->spill_idx++]);
+  size_t moved = 1;
+  for (;;) {
+    while (pq->spill_idx < segment->count &&
+           pq->ring.TryPush(std::move(segment->events()[pq->spill_idx]))) {
+      ++pq->spill_idx;
+      ++moved;
+    }
+    if (pq->spill_idx < segment->count) {
+      break;  // Ring full; the cursor resumes here next quantum.
+    }
+    SpillSegment::Destroy(segment);
+    pq->spill_cur = nullptr;
+    MpscNode* node = pq->spill.TryPop();
+    if (node == nullptr) {
+      break;
+    }
+    segment = static_cast<SpillSegment*>(node);
+    pq->spill_cur = segment;
+    pq->spill_idx = 0;
+  }
+  pq->overflow_count.fetch_sub(moved, std::memory_order_release);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -674,13 +781,13 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache,
       const size_t records = chunk_quantum
                                  ? batch.front().end - batch.front().begin
                                  : batch.size();
+      const int64_t wait_ns = dispatch_ns - batch.front().enqueue_ns;
+      RecordQueueDelay(pq->queue_delay_ewma_us, wait_ns / 1000);
       MetricShard& shard = *pq->shards[shard_idx];
       std::lock_guard<std::mutex> lock(shard.mu);
       AddWindowed(shard.batch_records, static_cast<double>(records),
                   pq->shard_window);
-      AddWindowed(shard.queue_wait_us,
-                  static_cast<double>(dispatch_ns - batch.front().enqueue_ns) /
-                      1e3,
+      AddWindowed(shard.queue_wait_us, static_cast<double>(wait_ns) / 1e3,
                   pq->shard_window);
     }
     // Round-robin hand-off BEFORE executing: if events remain, the plan
@@ -765,6 +872,8 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
                       : batch.size();
         wait_us =
             static_cast<double>(dispatch_ns - batch.front().enqueue_ns) / 1e3;
+        RecordQueueDelay(pq->queue_delay_ewma_us,
+                         static_cast<int64_t>(wait_us));
         if (batch.front().job == nullptr) {
           pq->coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
         }
@@ -870,6 +979,8 @@ RuntimeMetrics Runtime::GetMetrics() const {
     pm.dispatches = pq->dispatches.load(std::memory_order_relaxed);
     pm.coalesced_singles = pq->coalesced.load(std::memory_order_relaxed);
     pm.errors = pq->errors.load(std::memory_order_relaxed);
+    pm.queue_delay_ewma_us =
+        pq->queue_delay_ewma_us.load(std::memory_order_relaxed);
     if (options_.lockfree_scheduler) {
       pm.queue_depth = pq->queued.load(std::memory_order_relaxed);
     } else {
@@ -920,6 +1031,17 @@ RuntimeMetrics Runtime::GetMetrics() const {
 std::vector<Reservation> Runtime::reservations() const {
   std::shared_lock lock(registry_mu_);
   return reservations_;
+}
+
+void MergeRuntimeMetrics(RuntimeMetrics& into, const RuntimeMetrics& from) {
+  into.plans.insert(into.plans.end(), from.plans.begin(), from.plans.end());
+  into.subplan_cache.lookups += from.subplan_cache.lookups;
+  into.subplan_cache.hits += from.subplan_cache.hits;
+  into.subplan_cache.insertions += from.subplan_cache.insertions;
+  into.subplan_cache.evictions += from.subplan_cache.evictions;
+  into.subplan_cache_entries += from.subplan_cache_entries;
+  into.subplan_cache_bytes += from.subplan_cache_bytes;
+  into.vector_pool += from.vector_pool;
 }
 
 }  // namespace pretzel

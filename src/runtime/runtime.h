@@ -16,9 +16,11 @@
 //  - Each plan's events ride a bounded lock-free MPSC ring
 //    (BoundedMpmcRing; producers = caller/FrontEnd threads, consumer = the
 //    executor holding the plan's dispatch quantum). Bursts beyond the ring
-//    spill to a mutex-guarded overflow list, preserving admission
-//    semantics; the ResourceExhausted cap is enforced by an atomic counter
-//    before any structure is touched.
+//    spill to a FIFO chain of ring segments linked through a Vyukov
+//    intrusive MPSC queue — wait-free push, bulk-refilled back into the
+//    ring by the consumer — so even deep backlogs never take a mutex; the
+//    ResourceExhausted cap is enforced by an atomic counter before any
+//    structure is touched.
 //  - A plan is claimed for dispatch via an atomic `scheduled` flag; the
 //    runnable rotation itself is a lock-free MPMC ring of PlanQueue*.
 //  - Executors park and linger on an EventCount: producers skip the kernel
@@ -90,9 +92,9 @@ struct RuntimeOptions {
   // mutex/condvar baseline, kept for apples-to-apples contention benches.
   bool lockfree_scheduler = true;
   // Per-plan event-ring capacity (rounded up to a power of two). Bursts
-  // beyond it spill to a mutex-guarded overflow list — correctness and
-  // admission semantics are unchanged, only that tail leaves the lock-free
-  // fast path. Lock-free mode only.
+  // beyond it spill to a lock-free FIFO chain of ring segments —
+  // correctness and admission semantics are unchanged, only that tail
+  // leaves the single-CAS fast path. Lock-free mode only.
   size_t event_ring_capacity = 256;
 };
 
@@ -123,6 +125,9 @@ struct PlanMetrics {
   uint64_t dispatches = 0;          // Executor pulls (quanta).
   uint64_t coalesced_singles = 0;   // Singles dispatched via coalescing.
   uint64_t errors = 0;              // Failed records/singles.
+  // EWMA of enqueue->dispatch delay (the retry-after hint attached to this
+  // plan's ResourceExhausted rejections).
+  int64_t queue_delay_ewma_us = 0;
   // The SampleStats below are windowed (each per-executor shard restarts
   // when its window fills — kMetricsWindow in runtime.cc divided across the
   // group's shards), so long-running servers keep bounded memory and the
@@ -144,6 +149,12 @@ struct RuntimeMetrics {
   // pool: free-list effectiveness and capacity-cap drops.
   VectorPool::Stats vector_pool;
 };
+
+// Merges `from` into `into`: plan entries are appended (plan ids and names
+// stay shard-local), cache/pool aggregates are summed. The serving layer's
+// ShardRouter uses this to fold per-shard snapshots into one cross-shard
+// view; the per-shard breakdown is retained separately by the caller.
+void MergeRuntimeMetrics(RuntimeMetrics& into, const RuntimeMetrics& from);
 
 class Runtime {
  public:
@@ -205,6 +216,7 @@ class Runtime {
   struct ExecGroup;
   struct PlanQueue;
   struct MetricShard;
+  struct SpillSegment;
 
   void SpawnExecutor(ExecGroup* group);
   void ExecutorLoop(ExecGroup* group, SubPlanCache* cache, VectorPool* pool,
@@ -223,9 +235,12 @@ class Runtime {
   Status EnqueueLockFree(PlanQueue* pq, Event* events, size_t n);
   static void PushRunnable(ExecGroup* group, PlanQueue* pq);
   static bool PopRunnable(ExecGroup* group, PlanQueue** pq);
-  // Pops the plan's next event (held slot, then ring, then overflow).
+  // Pops the plan's next event (held slot, then ring, then spill chain).
   // Quantum-owner only.
   static bool PopEvent(PlanQueue* pq, Event* out);
+  // Takes the oldest spilled event and bulk-refills the ring from the
+  // remaining chain. Quantum-owner only.
+  static bool PopSpill(PlanQueue* pq, Event* out);
   void LingerLockFree(ExecGroup* group, PlanQueue* pq, int64_t oldest_ns);
   // Executes one gathered quantum (outside all scheduler structures) and
   // records error/latency accounting into this executor's shard.

@@ -1,0 +1,171 @@
+#include "src/serving/shard_router.h"
+
+#include <algorithm>
+
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+
+namespace pretzel {
+
+ShardRouter::ShardRouter(const ShardRouterOptions& options)
+    : options_([&] {
+        ShardRouterOptions o = options;
+        o.num_shards = std::max<size_t>(1, o.num_shards);
+        return o;
+      }()) {
+  if (options_.intern_scope == ShardRouterOptions::InternScope::kGlobal) {
+    global_store_ = std::make_unique<ObjectStore>(options_.store);
+  }
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->segment = global_store_ != nullptr
+                         ? std::make_unique<ObjectStore>(options_.store,
+                                                         global_store_.get())
+                         : std::make_unique<ObjectStore>(options_.store);
+    shard->runtime =
+        std::make_unique<Runtime>(shard->segment.get(), options_.runtime);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+uint32_t ShardRouter::JumpConsistentHash(uint64_t key, uint32_t num_buckets) {
+  int64_t bucket = -1;
+  int64_t next = 0;
+  while (next < static_cast<int64_t>(num_buckets)) {
+    bucket = next;
+    key = key * 2862933555777941757ULL + 1;
+    next = static_cast<int64_t>(
+        static_cast<double>(bucket + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<uint32_t>(bucket);
+}
+
+uint64_t ShardRouter::HashName(const std::string& name) {
+  uint64_t hash = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis.
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;  // FNV prime.
+  }
+  return hash;
+}
+
+size_t ShardRouter::ShardForKey(uint64_t key) const {
+  return JumpConsistentHash(key, static_cast<uint32_t>(shards_.size()));
+}
+
+size_t ShardRouter::ShardFor(const std::string& name) const {
+  return ShardForKey(HashName(name));
+}
+
+// Placement entries claim their name BEFORE the compile, marked pending
+// with this sentinel, so a racing Place of the same name fails fast instead
+// of registering a duplicate, orphaned plan with the shard's Runtime.
+static constexpr Runtime::PlanId kPendingPlan =
+    static_cast<Runtime::PlanId>(-1);
+
+Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
+                                          const PlanRegistration& registration) {
+  const size_t shard = ShardFor(spec.name);
+  {
+    std::unique_lock lock(mu_);
+    auto [it, inserted] =
+        placements_.emplace(spec.name, ShardPlacement{shard, kPendingPlan});
+    if (!inserted) {
+      return Status::InvalidArgument("plan '" + spec.name +
+                                     "' already placed");
+    }
+  }
+  // Compile against the owning shard's segment — outside the lock; the
+  // pending entry holds the name. Flour interns the params into the segment
+  // (or through it into the global store), Oven binds there.
+  const auto fail = [&](Status status) -> Result<ShardPlacement> {
+    std::unique_lock lock(mu_);
+    placements_.erase(spec.name);
+    return status;
+  };
+  FlourContext flour(shards_[shard]->segment.get());
+  auto program = flour.FromPipeline(spec);
+  if (program == nullptr) {
+    return fail(Status::InvalidArgument("pipeline '" + spec.name +
+                                        "' did not lower"));
+  }
+  Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
+  if (!plan.ok()) {
+    return fail(plan.status());
+  }
+  Result<Runtime::PlanId> id =
+      shards_[shard]->runtime->Register(std::move(*plan), registration);
+  if (!id.ok()) {
+    return fail(id.status());
+  }
+  ShardPlacement placement{shard, *id};
+  std::unique_lock lock(mu_);
+  placements_[spec.name] = placement;
+  return placement;
+}
+
+Result<ShardPlacement> ShardRouter::Placement(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = placements_.find(name);
+  if (it == placements_.end() || it->second.plan_id == kPendingPlan) {
+    return Status::NotFound("plan '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<float> ShardRouter::Predict(const std::string& name,
+                                   const std::string& input) {
+  Result<ShardPlacement> placement = Placement(name);
+  if (!placement.ok()) {
+    return placement.status();
+  }
+  return shards_[placement->shard]->runtime->Predict(placement->plan_id, input);
+}
+
+Status ShardRouter::PredictAsync(const std::string& name, std::string input,
+                                 Runtime::SingleCallback callback) {
+  Result<ShardPlacement> placement = Placement(name);
+  if (!placement.ok()) {
+    return placement.status();
+  }
+  return shards_[placement->shard]->runtime->PredictAsync(
+      placement->plan_id, std::move(input), std::move(callback));
+}
+
+Result<std::vector<float>> ShardRouter::PredictBatch(
+    const std::string& name, const std::vector<std::string>& inputs,
+    size_t max_batch) {
+  Result<ShardPlacement> placement = Placement(name);
+  if (!placement.ok()) {
+    return placement.status();
+  }
+  return shards_[placement->shard]->runtime->PredictBatch(placement->plan_id,
+                                                          inputs, max_batch);
+}
+
+ShardedMetrics ShardRouter::GetMetrics() const {
+  ShardedMetrics metrics;
+  metrics.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardMetrics shard;
+    shard.shard = i;
+    shard.runtime = shards_[i]->runtime->GetMetrics();
+    shard.store_objects = shards_[i]->segment->NumObjects();
+    shard.store_bytes = shards_[i]->segment->TotalBytes();
+    MergeRuntimeMetrics(metrics.merged, shard.runtime);
+    metrics.store_objects += shard.store_objects;
+    metrics.store_bytes += shard.store_bytes;
+    metrics.shards.push_back(std::move(shard));
+  }
+  if (global_store_ != nullptr) {
+    // Delegating segments hold nothing; the uniques live here.
+    metrics.store_objects = global_store_->NumObjects();
+    metrics.store_bytes = global_store_->TotalBytes();
+  }
+  return metrics;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,141 @@
+// Serving layer: scale-out across Runtimes. The white-box layers below
+// (Flour/Oven/ObjectStore/Runtime) share state *within* one Runtime; this
+// layer multiplies independent Runtimes — shards — behind a thin routing
+// tier so nothing (no lock, cache, registry, or executor group) is shared
+// cross-shard.
+//
+// ShardRouter owns N shards, each a {ObjectStore segment, Runtime} pair,
+// and maps plan names to shards with a jump consistent hash (Lamping &
+// Veach), whose defining property drives the deploy story: growing the
+// shard count from S to S+1 remaps only ~1/(S+1) of the keys, and every
+// remapped key lands on the NEW shard — resize never reshuffles traffic
+// between surviving shards.
+//
+// Placement is the routing function: Place() compiles the pipeline against
+// the owning shard's segment (Flour intern + Oven compile) and registers it
+// with that shard's Runtime, so a plan's parameters are resident exactly
+// where its requests land. The segment intern scope decides what "resident"
+// shares: per-segment keeps checksum-dedup local to the shard (zero
+// cross-shard coupling, duplicated hot dictionaries), router-global
+// delegates dedup to one shared store (one resident copy system-wide, at
+// the cost of a shared deploy-time intern point). Serving never touches the
+// store either way — plans hold their params.
+//
+// GetMetrics() folds every shard's RuntimeMetrics into one cross-shard
+// snapshot (MergeRuntimeMetrics) while retaining the per-shard breakdown.
+#ifndef PRETZEL_SERVING_SHARD_ROUTER_H_
+#define PRETZEL_SERVING_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ops/params.h"
+#include "src/runtime/runtime.h"
+#include "src/store/object_store.h"
+
+namespace pretzel {
+
+struct ShardRouterOptions {
+  size_t num_shards = 1;
+  // Applied to every shard's Runtime (shards are symmetric; executors,
+  // caches, and backpressure caps are per-shard).
+  RuntimeOptions runtime;
+  // Where checksum-dedup happens at deploy time.
+  enum class InternScope {
+    kPerSegment,  // Each shard dedups privately; shards share no bytes.
+    kGlobal,      // Segments delegate to one router-global store.
+  };
+  InternScope intern_scope = InternScope::kPerSegment;
+  // Dedup policy for each segment (per-segment scope) or the global store.
+  ObjectStore::Options store;
+};
+
+// Where a deployed plan lives.
+struct ShardPlacement {
+  size_t shard = 0;
+  Runtime::PlanId plan_id = 0;
+};
+
+// One shard's slice of a cross-shard snapshot.
+struct ShardMetrics {
+  size_t shard = 0;
+  RuntimeMetrics runtime;
+  size_t store_objects = 0;  // Objects resident in this shard's segment.
+  size_t store_bytes = 0;
+};
+
+struct ShardedMetrics {
+  std::vector<ShardMetrics> shards;  // Per-shard breakdown, index == shard.
+  RuntimeMetrics merged;             // Cross-shard fold of the above.
+  // Resident parameter state: sum of the segments (per-segment scope) or
+  // the global store's uniques (global scope).
+  size_t store_objects = 0;
+  size_t store_bytes = 0;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(const ShardRouterOptions& options);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Jump consistent hash (Lamping & Veach 2014): uniform over buckets, and
+  // raising num_buckets moves a key only into the newly added buckets.
+  static uint32_t JumpConsistentHash(uint64_t key, uint32_t num_buckets);
+  // FNV-1a, the stable name->key step in front of the jump hash.
+  static uint64_t HashName(const std::string& name);
+
+  size_t ShardForKey(uint64_t key) const;
+  size_t ShardFor(const std::string& name) const;
+
+  // Compiles `spec` against the owning shard's segment and registers the
+  // plan with that shard's Runtime. Names must be unique across the router.
+  Result<ShardPlacement> Place(const PipelineSpec& spec,
+                               const PlanRegistration& registration = {});
+
+  // Request routing: one placement lookup, then the owning shard's Runtime.
+  Result<float> Predict(const std::string& name, const std::string& input);
+  Status PredictAsync(const std::string& name, std::string input,
+                      Runtime::SingleCallback callback);
+  Result<std::vector<float>> PredictBatch(const std::string& name,
+                                          const std::vector<std::string>& inputs,
+                                          size_t max_batch);
+
+  Result<ShardPlacement> Placement(const std::string& name) const;
+
+  // Cross-shard snapshot: per-shard breakdown plus the merged fold.
+  ShardedMetrics GetMetrics() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  Runtime* runtime(size_t shard) const { return shards_[shard]->runtime.get(); }
+  ObjectStore* segment(size_t shard) const {
+    return shards_[shard]->segment.get();
+  }
+  // Null in per-segment scope.
+  ObjectStore* global_store() const { return global_store_.get(); }
+  const ShardRouterOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<ObjectStore> segment;
+    std::unique_ptr<Runtime> runtime;
+  };
+
+  const ShardRouterOptions options_;
+  std::unique_ptr<ObjectStore> global_store_;  // kGlobal scope only.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Deploy-time writes only; Predict paths take the shared side.
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, ShardPlacement> placements_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_SERVING_SHARD_ROUTER_H_

@@ -1,0 +1,38 @@
+#include "src/serving/sharded_backend.h"
+
+#include <utility>
+
+namespace pretzel {
+
+Result<float> ShardedBackend::Predict(const std::string& name,
+                                      const std::string& input) {
+  Result<float> result = router_->Predict(name, input);
+  if (!result.ok() && result.status().IsResourceExhausted()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void ShardedBackend::PredictAsync(const std::string& name,
+                                  const std::string& input,
+                                  std::function<void(Result<float>)> callback) {
+  // Captured by copy: the outer `callback` must stay callable for the
+  // rejected-at-submit path below, where the wrapper never runs.
+  Status submitted = router_->PredictAsync(
+      name, input, [this, callback](Result<float> result) mutable {
+        if (!result.ok() && result.status().IsResourceExhausted()) {
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+        callback(std::move(result));
+      });
+  if (!submitted.ok()) {
+    // Rejected before enqueue: the wrapped callback above never runs, so
+    // count and complete here (exactly once either way).
+    if (submitted.IsResourceExhausted()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    callback(submitted);
+  }
+}
+
+}  // namespace pretzel

@@ -1,0 +1,47 @@
+// Backend adapter: puts the sharded serving stack behind the FrontEnd's
+// client-facing Backend interface, so the same tier that fronted one
+// Runtime (PretzelBackend) or the container cluster (ClipperBackend) can
+// front N shards. Routing is one placement lookup in the router; the async
+// path rides the owning shard's event scheduler.
+//
+// The backend also aggregates admission drops across shards: every
+// ResourceExhausted outcome — rejected at submit or surfaced through the
+// async callback — lands in one dropped() counter, the shard-side analog of
+// FrontEnd::dropped(), so operators see total shed load without walking
+// per-shard metrics.
+#ifndef PRETZEL_SERVING_SHARDED_BACKEND_H_
+#define PRETZEL_SERVING_SHARDED_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/frontend/frontend.h"
+#include "src/serving/shard_router.h"
+
+namespace pretzel {
+
+class ShardedBackend : public Backend {
+ public:
+  explicit ShardedBackend(ShardRouter* router) : router_(router) {}
+
+  Result<float> Predict(const std::string& name,
+                        const std::string& input) override;
+
+  void PredictAsync(const std::string& name, const std::string& input,
+                    std::function<void(Result<float>)> callback) override;
+
+  // Predictions shed by any shard's admission control, summed router-wide.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ShardRouter* router_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_SERVING_SHARDED_BACKEND_H_

@@ -6,6 +6,25 @@ namespace pretzel {
 
 std::shared_ptr<const OpParams> ObjectStore::Intern(
     std::shared_ptr<const OpParams> params) {
+  if (parent_ != nullptr) {
+    // Segment: the parent dedups (under its own policy) and owns the
+    // canonical object; this segment records only its local traffic so the
+    // per-shard intern mix stays observable.
+    bool hit = false;
+    auto canonical = parent_->InternLocal(std::move(params), &hit);
+    std::unique_lock lock(mu_);
+    ++stats_.interns;
+    if (hit) {
+      ++stats_.hits;
+    }
+    return canonical;
+  }
+  bool hit = false;
+  return InternLocal(std::move(params), &hit);
+}
+
+std::shared_ptr<const OpParams> ObjectStore::InternLocal(
+    std::shared_ptr<const OpParams> params, bool* hit) {
   std::unique_lock lock(mu_);
   ++stats_.interns;
   if (!options_.dedup_enabled) {
@@ -15,11 +34,15 @@ std::shared_ptr<const OpParams> ObjectStore::Intern(
   auto [it, inserted] = by_checksum_.try_emplace(params->ContentChecksum(), params);
   if (!inserted) {
     ++stats_.hits;
+    *hit = true;
   }
   return it->second;
 }
 
 std::shared_ptr<const OpParams> ObjectStore::Lookup(uint64_t checksum) const {
+  if (parent_ != nullptr) {
+    return parent_->Lookup(checksum);
+  }
   std::shared_lock lock(mu_);
   if (!options_.dedup_enabled) {
     return nullptr;

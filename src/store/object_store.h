@@ -4,6 +4,13 @@
 // only in the off-line deployment phase), so the store is a checksum-keyed
 // map behind a shared_mutex; entries are immutable shared_ptrs, which keeps
 // the hot path allocation-free and lock-free once a plan holds its params.
+//
+// Segments (the serving layer's sharded stack): a store constructed with an
+// intern parent is a per-shard *segment* that delegates checksum-dedup to a
+// router-global store — identical dictionaries deployed to different shards
+// then share one resident copy — while still counting its own intern
+// traffic. Without a parent (the default) each segment dedups privately, so
+// shards share nothing and deployment never contends cross-shard.
 #ifndef PRETZEL_STORE_OBJECT_STORE_H_
 #define PRETZEL_STORE_OBJECT_STORE_H_
 
@@ -32,27 +39,40 @@ class ObjectStore {
 
   ObjectStore() : ObjectStore(Options{}) {}
   explicit ObjectStore(const Options& options) : options_(options) {}
+  // Segment construction: interning delegates to `intern_parent` (which
+  // applies its own dedup policy and holds the canonical objects); this
+  // segment keeps only its local Stats. `intern_parent` must outlive the
+  // segment. Null parent degrades to the plain constructor.
+  ObjectStore(const Options& options, ObjectStore* intern_parent)
+      : options_(options), parent_(intern_parent) {}
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
 
   // Returns the canonical object for this content: the already-resident
   // object with the same checksum when dedup is on, else `params` itself
-  // (which becomes resident).
+  // (which becomes resident). Delegates to the intern parent when this
+  // store is a segment of one.
   std::shared_ptr<const OpParams> Intern(std::shared_ptr<const OpParams> params);
 
   // Checksum probe; null when absent or dedup is off.
   std::shared_ptr<const OpParams> Lookup(uint64_t checksum) const;
 
   // Resident parameter bytes across all stored objects (each canonical
-  // object counted once).
+  // object counted once). A delegating segment holds nothing itself — its
+  // objects live in (and are counted by) the parent.
   size_t TotalBytes() const;
   size_t NumObjects() const;
   Stats GetStats() const;
   const Options& options() const { return options_; }
+  ObjectStore* intern_parent() const { return parent_; }
 
  private:
+  std::shared_ptr<const OpParams> InternLocal(
+      std::shared_ptr<const OpParams> params, bool* hit);
+
   const Options options_;
+  ObjectStore* const parent_ = nullptr;
   mutable std::shared_mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const OpParams>> by_checksum_;
   std::vector<std::shared_ptr<const OpParams>> undeduped_;  // dedup off.

@@ -6,16 +6,10 @@
 
 namespace pretzel {
 
-std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
-                                            double duration_s, double zipf_alpha,
-                                            uint64_t seed) {
-  std::vector<LoadEvent> schedule;
-  if (num_models == 0 || rps <= 0.0 || duration_s <= 0.0) {
-    return schedule;
-  }
-  Rng rng(seed);
+namespace {
 
-  // Zipf CDF over model ranks.
+// Zipf CDF over model ranks.
+std::vector<double> ZipfCdf(size_t num_models, double zipf_alpha) {
   std::vector<double> cdf(num_models);
   double total = 0.0;
   for (size_t i = 0; i < num_models; ++i) {
@@ -25,6 +19,33 @@ std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
   for (double& c : cdf) {
     c /= total;
   }
+  return cdf;
+}
+
+size_t SampleCdf(const std::vector<double>& cdf, double z) {
+  size_t lo = 0, hi = cdf.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf[mid] < z) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
+                                            double duration_s, double zipf_alpha,
+                                            uint64_t seed) {
+  std::vector<LoadEvent> schedule;
+  if (num_models == 0 || rps <= 0.0 || duration_s <= 0.0) {
+    return schedule;
+  }
+  Rng rng(seed);
+  const std::vector<double> cdf = ZipfCdf(num_models, zipf_alpha);
 
   schedule.reserve(static_cast<size_t>(rps * duration_s * 1.1) + 8);
   double t = 0.0;
@@ -37,19 +58,24 @@ std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
     if (t >= duration_s) {
       break;
     }
-    const double z = rng.Uniform01();
-    size_t lo = 0, hi = num_models - 1;
-    while (lo < hi) {
-      const size_t mid = (lo + hi) / 2;
-      if (cdf[mid] < z) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    schedule.push_back(LoadEvent{t, lo});
+    schedule.push_back(LoadEvent{t, SampleCdf(cdf, rng.Uniform01())});
   }
   return schedule;
+}
+
+std::vector<size_t> ZipfModelSequence(size_t num_models, size_t count,
+                                      double zipf_alpha, uint64_t seed) {
+  std::vector<size_t> sequence;
+  if (num_models == 0) {
+    return sequence;
+  }
+  Rng rng(seed);
+  const std::vector<double> cdf = ZipfCdf(num_models, zipf_alpha);
+  sequence.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    sequence.push_back(SampleCdf(cdf, rng.Uniform01()));
+  }
+  return sequence;
 }
 
 }  // namespace pretzel

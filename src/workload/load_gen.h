@@ -20,6 +20,12 @@ std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
                                             double duration_s, double zipf_alpha,
                                             uint64_t seed);
 
+// Just the Zipf-popularity model sequence, no arrival times: for
+// closed-loop drivers that pace themselves (bench_shard's windowed drive of
+// the sharded serving stack).
+std::vector<size_t> ZipfModelSequence(size_t num_models, size_t count,
+                                      double zipf_alpha, uint64_t seed);
+
 }  // namespace pretzel
 
 #endif  // PRETZEL_WORKLOAD_LOAD_GEN_H_

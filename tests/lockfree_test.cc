@@ -163,6 +163,76 @@ void TestIndexStackAbaChurn() {
   CHECK_EQ(count, kCapacity);
 }
 
+// Intrusive MPSC chain (the overflow-spill backbone): N producers push
+// recycled nodes through the queue, one consumer pops. Exactly-once
+// delivery, per-producer FIFO, and clean drain — under node-recycling
+// pressure, since the spill reuses segment allocations rapidly. A transient
+// nullptr from TryPop while producers are mid-push is part of the contract
+// and must never lose a node.
+void TestMpscIntrusiveQueueExactlyOnceFifo() {
+  struct TestNode : MpscNode {
+    uint64_t value = 0;
+  };
+  constexpr size_t kProducers = 4;
+  constexpr uint64_t kPerProducer = 30000;
+  constexpr size_t kNodesPerProducer = 8;  // Tiny pool: maximum recycling.
+  MpscIntrusiveQueue queue;
+  // Per-producer freelists: the consumer hands nodes back through a
+  // dedicated return stack (an IndexStack would do, but a simple atomic
+  // counter array keeps the test about the queue under test).
+  std::vector<std::unique_ptr<TestNode>> nodes(kProducers * kNodesPerProducer);
+  for (auto& n : nodes) {
+    n = std::make_unique<TestNode>();
+  }
+  std::vector<std::atomic<uint64_t>> returned(kProducers * kNodesPerProducer);
+  for (auto& r : returned) {
+    r.store(1);  // 1 = available to its producer.
+  }
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      size_t next_node = 0;
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        // Claim this producer's next node once the consumer returned it.
+        const size_t slot = p * kNodesPerProducer + next_node;
+        next_node = (next_node + 1) % kNodesPerProducer;
+        while (returned[slot].exchange(0) == 0) {
+          std::this_thread::yield();
+        }
+        TestNode* node = nodes[slot].get();
+        node->value = Encode(p, i) << 8 | slot;  // Seq + owning slot.
+        queue.Push(node);
+      }
+    });
+  }
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    MpscNode* node = queue.TryPop();
+    if (node == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    const uint64_t value = static_cast<TestNode*>(node)->value;
+    const size_t slot = value & 0xFF;
+    const uint64_t producer = (value >> 8) >> 32;
+    const uint64_t seq = (value >> 8) & 0xFFFFFFFFull;
+    CHECK(producer < kProducers);
+    CHECK_MSG(seq == next_seq[producer],
+              "producer %llu: expected seq %llu, got %llu",
+              (unsigned long long)producer,
+              (unsigned long long)next_seq[producer], (unsigned long long)seq);
+    ++next_seq[producer];
+    ++popped;
+    CHECK_EQ(returned[slot].exchange(1), uint64_t{0});  // Exactly-once pop.
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  CHECK(queue.TryPop() == nullptr);  // Drained exactly.
+}
+
 // EventCount: a notification between PrepareWait and Wait must not be lost
 // (the waiter falls through), and one that precedes PrepareWait is caught
 // by the re-check. Ping-pong hard enough that any check-then-sleep hole
@@ -315,6 +385,7 @@ void TestExecContextPoolReuse() {
 int main() {
   TestMpscRingExactlyOnceFifo();
   TestMpmcRingExactlyOnce();
+  TestMpscIntrusiveQueueExactlyOnceFifo();
   TestIndexStackAbaChurn();
   TestEventCountNoLostWakeups();
   TestVectorPoolConcurrentAndCapped();

@@ -3,8 +3,10 @@
 #include "src/runtime/runtime.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "src/flour/flour.h"
 #include "src/oven/model_plan.h"
@@ -122,7 +124,15 @@ int main() {
   // Metrics: the scheduler exposes per-plan counters, and a default Runtime
   // has the sub-plan materialization cache active in the serving path.
   {
+    // The sync waiter above wakes before its executor records the latency
+    // sample (samples land after the callback), so give that write a
+    // bounded window to flush instead of racing it.
     RuntimeMetrics m = runtime.GetMetrics();
+    for (int spin = 0;
+         m.plans[ids[0]].single_latency_us.empty() && spin < 2000; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      m = runtime.GetMetrics();
+    }
     CHECK_EQ(m.plans.size(), ids.size());
     const PlanMetrics& reserved = m.plans[ids[0]];
     CHECK(reserved.reserved);

@@ -2,6 +2,7 @@
 // errors, no head-of-line blocking across plans, reserved-plan isolation
 // under shared-pool saturation, backpressure (Runtime and FrontEnd caps),
 // and a Register-while-predicting race (run under TSan in CI).
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -274,11 +275,74 @@ void TestRuntimeBackpressure() {
       },
       64);
   CHECK(st.IsResourceExhausted());
+  // The rejection carries a retry-after hint (the plan's queue-delay
+  // estimate, floored at 1us so presence is testable).
+  CHECK_MSG(st.retry_after_us() >= 1, "rejection carried no retry-after");
   // A small batch still fits.
   auto ok = runtime.PredictBatch(ids[0], {sa.SampleInput(rng)}, 4);
   CHECK(ok.ok());
   const RuntimeMetrics m = runtime.GetMetrics();
   CHECK(m.plans[ids[0]].rejected_events >= 16);
+  CHECK(m.plans[ids[0]].queue_delay_ewma_us >= 0);
+}
+
+// Deep backlog through a deliberately tiny event ring: every burst spills
+// into the segmented overflow chain (Vyukov intrusive MPSC) and every
+// callback still fires exactly once, in order per producer. Run under TSan
+// in CI.
+void TestSegmentedSpillDeepBacklog() {
+  auto sa = SmallSa(2);
+  ObjectStore store;
+  FlourContext flour(&store);
+  RuntimeOptions ropts;
+  ropts.num_executors = 2;
+  ropts.event_ring_capacity = 8;  // Floor value: near-constant spilling.
+  Runtime runtime(&store, ropts);
+  auto ids = RegisterAll(runtime, flour, sa, /*reserve_first_cores=*/0);
+
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 2000;
+  std::atomic<size_t> completed{0};
+  std::vector<std::array<std::atomic<uint32_t>, kPerProducer>> fired(kProducers);
+  for (auto& per_producer : fired) {
+    for (auto& f : per_producer) {
+      f.store(0);
+    }
+  }
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(61 + p);
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        Status st = runtime.PredictAsync(
+            ids[(p + i) % ids.size()], sa.SampleInput(rng),
+            [&, p, i](Result<float> r) {
+              CHECK(r.ok());
+              CHECK_EQ(fired[p][i].exchange(1), uint32_t{0});  // Exactly once.
+              completed.fetch_add(1);
+            });
+        CHECK(st.ok());
+        // A mid-stream batch forces chunk events through the same spill.
+        if (i % 512 == 0) {
+          auto batch = runtime.PredictBatch(
+              ids[p % ids.size()],
+              std::vector<std::string>(20, sa.SampleInput(rng)), 4);
+          CHECK(batch.ok());
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  while (completed.load() < kProducers * kPerProducer) {
+    std::this_thread::yield();
+  }
+  for (auto& per_producer : fired) {
+    for (auto& f : per_producer) {
+      CHECK_EQ(f.load(), uint32_t{1});  // None lost in the chain.
+    }
+  }
 }
 
 // FrontEnd admission control: over max_pending in-flight async requests,
@@ -321,6 +385,8 @@ void TestFrontEndBackpressure() {
       ++admitted;
     } else {
       CHECK(st.IsResourceExhausted());
+      CHECK_MSG(st.retry_after_us() >= 1,
+                "frontend drop carried no retry-after");
       ++rejected;
     }
   }
@@ -397,6 +463,7 @@ int main() {
   TestNoHeadOfLineBlocking();
   TestReservedIsolationUnderSaturation();
   TestRuntimeBackpressure();
+  TestSegmentedSpillDeepBacklog();
   TestFrontEndBackpressure();
   TestRegisterWhilePredicting();
   std::printf("scheduler_test: PASS\n");

@@ -1,0 +1,365 @@
+// Serving layer: jump-consistent-hash routing stability (<= K/N key
+// movement on shard-count change, remapped keys land only on new shards,
+// near-uniform spread), sharded-vs-monolith prediction parity, cross-shard
+// GetMetrics aggregation == sum of per-shard snapshots, the per-segment vs
+// router-global intern trade-off, ShardedBackend drop aggregation with
+// retry-after hints, and a FrontEnd round trip over the sharded stack.
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/flour/flour.h"
+#include "src/frontend/frontend.h"
+#include "src/oven/model_plan.h"
+#include "src/serving/shard_router.h"
+#include "src/serving/sharded_backend.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+namespace {
+
+SaWorkload SmallSa(size_t pipelines) {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = pipelines;
+  opts.char_dict_entries = 400;
+  opts.word_dict_entries = 120;
+  opts.vocabulary_size = 250;
+  return SaWorkload::Generate(opts);
+}
+
+// Jump-hash contract, the property that makes shard-count changes cheap:
+// going S -> S+1 moves ~1/(S+1) of the keys, every moved key lands on the
+// NEW bucket, and the spread stays near-uniform.
+void TestJumpHashStability() {
+  constexpr size_t kKeys = 20000;
+  for (uint32_t shards = 1; shards <= 8; ++shards) {
+    std::vector<size_t> bucket_counts(shards, 0);
+    size_t moved = 0;
+    for (size_t i = 0; i < kKeys; ++i) {
+      const uint64_t key = ShardRouter::HashName("plan-" + std::to_string(i));
+      const uint32_t before = ShardRouter::JumpConsistentHash(key, shards);
+      const uint32_t after = ShardRouter::JumpConsistentHash(key, shards + 1);
+      CHECK(before < shards);
+      CHECK(after < shards + 1);
+      ++bucket_counts[before];
+      if (after != before) {
+        ++moved;
+        // The defining jump property: a key only ever moves INTO the bucket
+        // that did not exist before.
+        CHECK_EQ(after, shards);
+      }
+    }
+    // Expected movement is K/(S+1); allow 25% slack over the binomial mean
+    // (sigma here is ~1% of the mean, so 25% is far outside noise).
+    const double expected = static_cast<double>(kKeys) / (shards + 1);
+    CHECK_MSG(static_cast<double>(moved) <= expected * 1.25,
+              "shards %u -> %u moved %zu keys, expected <= %.0f", shards,
+              shards + 1, moved, expected * 1.25);
+    CHECK_MSG(moved > 0, "shards %u -> %u moved nothing", shards, shards + 1);
+    // Near-uniform spread: each bucket within 5 sigma of K/S.
+    const double mean = static_cast<double>(kKeys) / shards;
+    const double sigma = std::sqrt(mean * (1.0 - 1.0 / shards));
+    for (uint32_t b = 0; b < shards; ++b) {
+      CHECK_MSG(std::fabs(static_cast<double>(bucket_counts[b]) - mean) <=
+                    5.0 * sigma + 1.0,
+                "bucket %u holds %zu keys, mean %.0f", b, bucket_counts[b],
+                mean);
+    }
+  }
+}
+
+// Two routers over the same names with S and S+1 shards agree on all but
+// <= K/N placements (ShardFor is a pure function of name + shard count).
+void TestRouterRemapBound() {
+  constexpr size_t kNames = 8000;
+  ShardRouterOptions four;
+  four.num_shards = 4;
+  ShardRouterOptions five;
+  five.num_shards = 5;
+  ShardRouter router4(four);
+  ShardRouter router5(five);
+  size_t moved = 0;
+  for (size_t i = 0; i < kNames; ++i) {
+    const std::string name = "sa_model_" + std::to_string(i);
+    const size_t s4 = router4.ShardFor(name);
+    const size_t s5 = router5.ShardFor(name);
+    if (s4 != s5) {
+      ++moved;
+      CHECK_EQ(s5, size_t{4});  // Only onto the new shard.
+    }
+  }
+  CHECK_MSG(static_cast<double>(moved) <=
+                static_cast<double>(kNames) / 5.0 * 1.25,
+            "4 -> 5 shards moved %zu of %zu names", moved, kNames);
+  CHECK(moved > 0);
+}
+
+// The sharded stack scores exactly what one monolithic Runtime scores, and
+// every plan lands on the shard ShardFor names.
+void TestShardedPredictMatchesMonolith() {
+  auto sa = SmallSa(12);
+
+  ObjectStore mono_store;
+  RuntimeOptions ropts;
+  ropts.num_executors = 1;
+  Runtime monolith(&mono_store, ropts);
+  FlourContext flour(&mono_store);
+  std::vector<Runtime::PlanId> mono_ids;
+  for (const auto& spec : sa.pipelines()) {
+    auto program = flour.FromPipeline(spec);
+    mono_ids.push_back(*monolith.Register(*Plan(*program, spec.name)));
+  }
+
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  ShardRouter router(sopts);
+  std::set<size_t> shards_used;
+  for (const auto& spec : sa.pipelines()) {
+    auto placement = router.Place(spec);
+    CHECK(placement.ok());
+    CHECK_EQ(placement->shard, router.ShardFor(spec.name));
+    shards_used.insert(placement->shard);
+  }
+  CHECK_MSG(shards_used.size() >= 2, "12 plans all hashed to one shard");
+  // Re-placing a name is rejected.
+  CHECK(!router.Place(sa.pipelines()[0]).ok());
+  // Unknown names are NotFound.
+  CHECK(!router.Predict("no-such-plan", "x").ok());
+
+  Rng rng(71);
+  for (size_t i = 0; i < sa.pipelines().size(); ++i) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::string input = sa.SampleInput(rng);
+      auto expected = monolith.Predict(mono_ids[i], input);
+      auto got = router.Predict(sa.pipelines()[i].name, input);
+      CHECK(expected.ok());
+      CHECK(got.ok());
+      CHECK_EQ(*expected, *got);
+    }
+    // Batch path routes to the same shard/plan.
+    auto batch = router.PredictBatch(sa.pipelines()[i].name,
+                                     {sa.SampleInput(rng)}, 4);
+    CHECK(batch.ok());
+    CHECK_EQ(batch->size(), size_t{1});
+  }
+}
+
+// Cross-shard GetMetrics: the merged fold equals the sum of the per-shard
+// snapshots it retains.
+void TestCrossShardMetricsAggregation() {
+  auto sa = SmallSa(10);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+
+  Rng rng(81);
+  std::atomic<int> pending{0};
+  for (int round = 0; round < 20; ++round) {
+    for (const auto& spec : sa.pipelines()) {
+      CHECK(router.Predict(spec.name, sa.SampleInput(rng)).ok());
+      pending.fetch_add(1);
+      Status st = router.PredictAsync(spec.name, sa.SampleInput(rng),
+                                      [&](Result<float> r) {
+                                        CHECK(r.ok());
+                                        pending.fetch_sub(1);
+                                      });
+      CHECK(st.ok());
+    }
+  }
+  while (pending.load() > 0) {
+    std::this_thread::yield();
+  }
+
+  const ShardedMetrics metrics = router.GetMetrics();
+  CHECK_EQ(metrics.shards.size(), size_t{4});
+  size_t plans = 0;
+  uint64_t enqueued = 0, inline_preds = 0, dispatches = 0;
+  uint64_t cache_lookups = 0;
+  size_t cache_bytes = 0;
+  size_t store_objects = 0, store_bytes = 0;
+  for (const auto& shard : metrics.shards) {
+    plans += shard.runtime.plans.size();
+    for (const auto& pm : shard.runtime.plans) {
+      enqueued += pm.enqueued_events;
+      inline_preds += pm.inline_predictions;
+      dispatches += pm.dispatches;
+    }
+    cache_lookups += shard.runtime.subplan_cache.lookups;
+    cache_bytes += shard.runtime.subplan_cache_bytes;
+    store_objects += shard.store_objects;
+    store_bytes += shard.store_bytes;
+  }
+  CHECK_EQ(metrics.merged.plans.size(), plans);
+  CHECK_EQ(metrics.merged.plans.size(), sa.pipelines().size());
+  uint64_t merged_enqueued = 0, merged_inline = 0, merged_dispatches = 0;
+  for (const auto& pm : metrics.merged.plans) {
+    merged_enqueued += pm.enqueued_events;
+    merged_inline += pm.inline_predictions;
+    merged_dispatches += pm.dispatches;
+  }
+  CHECK_EQ(merged_enqueued, enqueued);
+  CHECK_EQ(merged_inline, inline_preds);
+  CHECK_EQ(merged_dispatches, dispatches);
+  CHECK_EQ(metrics.merged.subplan_cache.lookups, cache_lookups);
+  CHECK_EQ(metrics.merged.subplan_cache_bytes, cache_bytes);
+  // Per-segment scope: resident state is the sum of the segments.
+  CHECK_EQ(metrics.store_objects, store_objects);
+  CHECK_EQ(metrics.store_bytes, store_bytes);
+  CHECK(store_bytes > 0);
+  // Every async single was enqueued, every sync single ran inline.
+  CHECK_EQ(inline_preds, uint64_t{20 * 10});
+  CHECK_EQ(enqueued, uint64_t{20 * 10});
+}
+
+// Segment-vs-global intern: with router-global scope, dictionaries shared
+// across shards are resident once; per-segment scope duplicates them per
+// shard. Predictions agree either way.
+void TestInternScopeTradeOff() {
+  auto sa = SmallSa(12);
+
+  ShardRouterOptions per_segment;
+  per_segment.num_shards = 4;
+  per_segment.runtime.num_executors = 1;
+  ShardRouter segmented(per_segment);
+
+  ShardRouterOptions global = per_segment;
+  global.intern_scope = ShardRouterOptions::InternScope::kGlobal;
+  ShardRouter shared(global);
+  CHECK(shared.global_store() != nullptr);
+  CHECK(segmented.global_store() == nullptr);
+
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(segmented.Place(spec).ok());
+    CHECK(shared.Place(spec).ok());
+  }
+  const ShardedMetrics seg_metrics = segmented.GetMetrics();
+  const ShardedMetrics shr_metrics = shared.GetMetrics();
+  // The SA suite shares one tokenizer and a handful of dictionary versions
+  // across all pipelines; with 12 plans spread over 4 shards, at least one
+  // shared object must appear on two shards, so global intern is a strict
+  // byte win.
+  CHECK_MSG(shr_metrics.store_bytes < seg_metrics.store_bytes,
+            "global intern %zu bytes !< per-segment %zu bytes",
+            shr_metrics.store_bytes, seg_metrics.store_bytes);
+  // Delegating segments hold no objects themselves.
+  for (const auto& shard : shr_metrics.shards) {
+    CHECK_EQ(shard.store_bytes, size_t{0});
+  }
+
+  Rng rng(91);
+  for (const auto& spec : sa.pipelines()) {
+    const std::string input = sa.SampleInput(rng);
+    auto a = segmented.Predict(spec.name, input);
+    auto b = shared.Predict(spec.name, input);
+    CHECK(a.ok());
+    CHECK(b.ok());
+    CHECK_EQ(*a, *b);
+  }
+}
+
+// ShardedBackend aggregates admission drops across shards and the rejected
+// statuses carry retry-after hints.
+void TestShardedBackendDrops() {
+  auto sa = SmallSa(4);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 2;
+  sopts.runtime.num_executors = 1;
+  sopts.runtime.max_queued_events_per_plan = 2;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  ShardedBackend backend(&router);
+
+  Rng rng(101);
+  std::atomic<int> pending{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int64_t> max_hint{0};
+  for (int i = 0; i < 400; ++i) {
+    const auto& spec = sa.pipelines()[i % sa.pipelines().size()];
+    pending.fetch_add(1);
+    backend.PredictAsync(spec.name, sa.SampleInput(rng), [&](Result<float> r) {
+      if (!r.ok()) {
+        CHECK(r.status().IsResourceExhausted());
+        rejected.fetch_add(1);
+        int64_t hint = r.status().retry_after_us();
+        int64_t prev = max_hint.load();
+        while (hint > prev && !max_hint.compare_exchange_weak(prev, hint)) {
+        }
+      }
+      pending.fetch_sub(1);
+    });
+  }
+  while (pending.load() > 0) {
+    std::this_thread::yield();
+  }
+  // 400 back-to-back submissions against cap-2 queues on single-executor
+  // shards doing real scoring: some must shed.
+  CHECK_MSG(rejected.load() > 0, "no submission was shed at cap 2");
+  CHECK_EQ(backend.dropped(), static_cast<uint64_t>(rejected.load()));
+  CHECK_MSG(max_hint.load() >= 1, "rejections carried no retry-after hint");
+}
+
+// End to end: FrontEnd -> ShardedBackend -> ShardRouter -> shard Runtime.
+void TestFrontEndOverShardedStack() {
+  auto sa = SmallSa(6);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 3;
+  sopts.runtime.num_executors = 1;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  ShardedBackend backend(&router);
+  FrontEndOptions fopts;
+  fopts.network_delay_us = 0;
+  fopts.num_io_threads = 2;
+  FrontEnd frontend(&backend, fopts);
+
+  Rng rng(111);
+  std::mutex mu;
+  std::condition_variable cv;
+  int completions = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto& spec = sa.pipelines()[i % sa.pipelines().size()];
+    auto sync = frontend.Request(spec.name, sa.SampleInput(rng));
+    CHECK(sync.ok());
+    Status st = frontend.RequestAsync(spec.name, sa.SampleInput(rng),
+                                      [&](Result<float> r) {
+                                        CHECK(r.ok());
+                                        std::lock_guard<std::mutex> lock(mu);
+                                        ++completions;
+                                        cv.notify_one();
+                                      });
+    CHECK(st.ok());
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return completions == 30; });
+  CHECK_EQ(backend.dropped(), uint64_t{0});
+}
+
+}  // namespace
+
+int main() {
+  TestJumpHashStability();
+  TestRouterRemapBound();
+  TestShardedPredictMatchesMonolith();
+  TestCrossShardMetricsAggregation();
+  TestInternScopeTradeOff();
+  TestShardedBackendDrops();
+  TestFrontEndOverShardedStack();
+  std::printf("shard_router_test: PASS\n");
+  return 0;
+}
