@@ -234,6 +234,20 @@ int main(int argc, char** argv) {
     json.Add(prefix + "merged_events", static_cast<double>(enqueued));
     json.Add(prefix + "dropped",
              static_cast<double>(backends[cell]->dropped()));
+    // The hot-shard bound: under Zipf skew the hottest plan's shard carries
+    // a disproportionate share of the queue delay, which is exactly what
+    // caps the multi-shard win. Imbalance is max/mean of the per-shard
+    // event-weighted queue-delay EWMAs (1.0 = balanced).
+    if (shards > 1) {
+      std::printf(
+          "           load imbalance %.2fx (hot shard %zu: %.0f us mean "
+          "queue-delay EWMA vs %.0f us shard mean)\n",
+          metrics.queue_delay_imbalance, metrics.hottest_shard,
+          metrics.max_shard_queue_delay_us, metrics.mean_shard_queue_delay_us);
+    }
+    json.Add(prefix + "queue_delay_imbalance", metrics.queue_delay_imbalance);
+    json.Add(prefix + "hot_shard", static_cast<double>(metrics.hottest_shard));
+    json.Add(prefix + "hot_shard_delay_us", metrics.max_shard_queue_delay_us);
   }
 
   // Deterministic residency comparison at max shards: per-segment intern

@@ -2,6 +2,29 @@
 
 namespace pretzel {
 
+namespace {
+
+// Output width of one featurizer branch (0 for non-feature-producing ops).
+size_t BranchDim(const OpParams& params) {
+  switch (params.kind()) {
+    case OpKind::kCharNgram:
+      return static_cast<const CharNgramParams&>(params).dict.size();
+    case OpKind::kWordNgram:
+      return static_cast<const WordNgramParams&>(params).dict.size();
+    case OpKind::kPca:
+      return static_cast<const PcaParams&>(params).out_dim;
+    case OpKind::kKMeans:
+      return static_cast<const KMeansParams&>(params).k;
+    case OpKind::kTreeFeaturizer:
+      return static_cast<const TreeFeaturizerParams&>(params)
+          .forest.roots.size();
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<LogicalProgram> FlourContext::FromPipeline(
     const PipelineSpec& spec) {
   auto program = std::make_unique<LogicalProgram>();
@@ -13,6 +36,24 @@ std::unique_ptr<LogicalProgram> FlourContext::FromPipeline(
     op.params = store_ != nullptr ? store_->Intern(node.params) : node.params;
     program->ops.push_back(std::move(op));
   }
+  // Concat layout: featurizer branches in pipeline (== concat) order, with
+  // their offsets in the joined feature space.
+  size_t offset = 0;
+  for (size_t i = 0; i < program->ops.size(); ++i) {
+    const OpParams& params = *program->ops[i].params;
+    const size_t dim = BranchDim(params);
+    if (dim == 0) {
+      continue;
+    }
+    ConcatSource source;
+    source.kind = params.kind();
+    source.op_index = i;
+    source.dim = dim;
+    source.offset = offset;
+    program->concat_layout.push_back(source);
+    offset += dim;
+  }
+  program->concat_dim = offset;
   return program;
 }
 

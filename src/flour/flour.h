@@ -19,6 +19,19 @@ struct LogicalOp {
   std::shared_ptr<const OpParams> params;
 };
 
+// One branch feeding the program's Concat join: which operator produces it,
+// its output width, and its offset in the concatenated feature space. Flour
+// derives this layout once at lowering time; the Oven consumes it to split
+// or offset the final model's weights per source (the linear-push and
+// sparse-fuse rewrites), so no compile pass re-derives dimensions from raw
+// params.
+struct ConcatSource {
+  OpKind kind = OpKind::kConcat;
+  size_t op_index = 0;  // Index into LogicalProgram::ops.
+  size_t dim = 0;       // Output width of this branch.
+  size_t offset = 0;    // Start of this branch in the concat space.
+};
+
 // A validated, store-interned operator DAG (linear chain with implicit
 // branch/join structure derived from operator kinds, matching the two
 // pipeline families the workloads emit).
@@ -26,6 +39,11 @@ struct LogicalProgram {
   std::string source_name;
   std::vector<LogicalOp> ops;
   ObjectStore* store = nullptr;
+  // Concat layout metadata: the featurizer branches in concat order (empty
+  // when the program has no feature-producing branches). concat_dim is the
+  // total width of the joined feature space.
+  std::vector<ConcatSource> concat_layout;
+  size_t concat_dim = 0;
 
   size_t ParameterBytes() const {
     size_t total = 0;

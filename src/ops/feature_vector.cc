@@ -1,0 +1,123 @@
+#include "src/ops/feature_vector.h"
+
+#include <utility>
+
+// The pool lives one layer up (runtime owns buffer pooling); only this TU
+// needs the definition, the header forward-declares.
+#include "src/runtime/exec_context.h"
+
+namespace pretzel {
+
+void FeatureVector::EnsureValueCapacity(size_t n) {
+  if (pool_ == nullptr || vals_.capacity() >= n) {
+    return;  // Pool-less vectors grow through the allocator as usual.
+  }
+  if (vals_.capacity() > 0) {
+    pool_->ReleaseFloats(std::move(vals_));
+  }
+  vals_ = pool_->AcquireFloats(n);
+}
+
+void FeatureVector::ReleaseStorage() {
+  if (pool_ != nullptr && vals_.capacity() > 0) {
+    pool_->ReleaseFloats(std::move(vals_));
+    vals_ = std::vector<float>();
+  } else {
+    std::vector<float>().swap(vals_);
+  }
+  std::vector<uint32_t>().swap(ids_);
+  rep_ = Rep::kEmpty;
+  dim_ = 0;
+}
+
+void FeatureVector::SortCoalesce() {
+  if (!is_sparse() || ids_.size() < 2) {
+    return;
+  }
+  std::vector<std::pair<uint32_t, float>> entries;
+  entries.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    entries.emplace_back(ids_[i], vals_[i]);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ids_.clear();
+  vals_.clear();
+  for (size_t i = 0; i < entries.size();) {
+    float sum = 0.0f;
+    size_t j = i;
+    while (j < entries.size() && entries[j].first == entries[i].first) {
+      sum += entries[j].second;
+      ++j;
+    }
+    ids_.push_back(entries[i].first);
+    vals_.push_back(sum);
+    i = j;
+  }
+}
+
+void FeatureVector::AssignCounts(std::vector<uint32_t>& raw_hits, size_t dim) {
+  std::sort(raw_hits.begin(), raw_hits.end());
+  BeginSparse(dim);
+  for (size_t i = 0; i < raw_hits.size();) {
+    size_t j = i;
+    while (j < raw_hits.size() && raw_hits[j] == raw_hits[i]) {
+      ++j;
+    }
+    ids_.push_back(raw_hits[i]);
+    vals_.push_back(static_cast<float>(j - i));
+    i = j;
+  }
+}
+
+void FeatureVector::AssignConcat(const FeatureVector& a, const FeatureVector& b,
+                                 uint32_t b_offset) {
+  BeginSparse(static_cast<size_t>(b_offset) + b.dim());
+  ids_.reserve(a.nnz() + b.nnz());
+  vals_.reserve(a.nnz() + b.nnz());
+  ids_.insert(ids_.end(), a.ids_.begin(), a.ids_.end());
+  vals_.insert(vals_.end(), a.vals_.begin(), a.vals_.end());
+  for (size_t i = 0; i < b.ids_.size(); ++i) {
+    ids_.push_back(b.ids_[i] + b_offset);
+    vals_.push_back(b.vals_[i]);
+  }
+}
+
+void FeatureVector::Densify() {
+  if (rep_ == Rep::kDense) {
+    return;
+  }
+  std::vector<float> dense =
+      pool_ != nullptr ? pool_->AcquireFloats(dim_) : std::vector<float>(dim_);
+  std::fill(dense.begin(), dense.end(), 0.0f);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] < dim_) {
+      dense[ids_[i]] += vals_[i];
+    }
+  }
+  if (pool_ != nullptr && vals_.capacity() > 0) {
+    pool_->ReleaseFloats(std::move(vals_));
+  }
+  vals_ = std::move(dense);
+  ids_.clear();
+  rep_ = Rep::kDense;
+}
+
+void FeatureVector::Sparsify() {
+  if (rep_ != Rep::kDense) {
+    rep_ = Rep::kSparse;
+    return;
+  }
+  ids_.clear();
+  size_t out = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    if (vals_[i] != 0.0f) {
+      ids_.push_back(static_cast<uint32_t>(i));
+      vals_[out++] = vals_[i];  // In-place gather: out never passes i.
+    }
+  }
+  vals_.resize(out);
+  rep_ = Rep::kSparse;
+}
+
+}  // namespace pretzel

@@ -1,0 +1,151 @@
+// FeatureVector: the operator data-path value type. A stage's output is
+// either a dense float span or a sorted sparse (id, value) pair list over
+// the same logical dimension — the representation contract the ops layer
+// owns and every downstream consumer (Oven-fused stages, Runtime executors,
+// the black-box baseline's boxed values) speaks.
+//
+// Storage discipline: the float value buffer can be leased from a
+// VectorPool (the ExecContext-pooled arena), so a warm context reuses one
+// allocation across predictions and the hot path stays allocation-free even
+// with variable-size sparse outputs. Release returns the lease; Reset keeps
+// it warm. The id array is plain warm capacity (the pool only leases float
+// buffers).
+#ifndef PRETZEL_OPS_FEATURE_VECTOR_H_
+#define PRETZEL_OPS_FEATURE_VECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/ops/kernels.h"
+
+namespace pretzel {
+
+class VectorPool;
+
+class FeatureVector {
+ public:
+  enum class Rep { kEmpty, kDense, kSparse };
+
+  FeatureVector() = default;
+  explicit FeatureVector(VectorPool* pool) : pool_(pool) {}
+  ~FeatureVector() { ReleaseStorage(); }
+
+  FeatureVector(const FeatureVector&) = delete;
+  FeatureVector& operator=(const FeatureVector&) = delete;
+
+  Rep rep() const { return rep_; }
+  bool is_dense() const { return rep_ == Rep::kDense; }
+  bool is_sparse() const { return rep_ == Rep::kSparse; }
+  // Logical dimension of the feature space (not the stored count).
+  size_t dim() const { return dim_; }
+  // Stored non-zeros (sparse) or dim (dense).
+  size_t nnz() const { return is_dense() ? dim_ : ids_.size(); }
+
+  const float* dense_data() const { return vals_.data(); }
+  const uint32_t* ids() const { return ids_.data(); }
+  const float* values() const { return vals_.data(); }
+
+  // Switches to dense over `dim`; returns the writable span. Zero-filled by
+  // default; pass zero_fill = false when the caller overwrites every slot
+  // (the fused featurize stages), keeping the warm-buffer path store-free.
+  float* MutableDense(size_t dim, bool zero_fill = true) {
+    rep_ = Rep::kDense;
+    dim_ = dim;
+    ids_.clear();
+    EnsureValueCapacity(dim);
+    if (zero_fill) {
+      vals_.assign(dim, 0.0f);
+    } else {
+      vals_.resize(dim);
+    }
+    return vals_.data();
+  }
+
+  // Switches to an empty sparse vector over `dim`. A pool-attached vector's
+  // first use leases a starter value buffer, so typical sparse outputs (a
+  // few hundred non-zeros) ride the pool like dense ones do; only outputs
+  // that outgrow the lease fall back to allocator growth.
+  void BeginSparse(size_t dim) {
+    rep_ = Rep::kSparse;
+    dim_ = dim;
+    ids_.clear();
+    if (vals_.capacity() == 0) {
+      EnsureValueCapacity(kSparseLeaseFloats);
+    }
+    vals_.clear();
+  }
+
+  // Appends one sparse entry; ids may arrive unsorted and duplicated —
+  // SortCoalesce establishes the sorted-unique invariant.
+  void Append(uint32_t id, float value) {
+    ids_.push_back(id);
+    vals_.push_back(value);
+  }
+
+  // Sorts by id and sums duplicate entries (general sparse normalization).
+  void SortCoalesce();
+
+  // Builds the sparse COUNT vector of a scan's raw hit ids: sorts `raw_hits`
+  // in place and stores (unique id, occurrence count) pairs — the operator
+  // contract of the n-gram featurizers.
+  void AssignCounts(std::vector<uint32_t>& raw_hits, size_t dim);
+
+  // Sparse concat: `*this` = a ++ b, with b's ids rebased by `b_offset`.
+  // Both inputs must be sparse; dim becomes b_offset + b.dim().
+  void AssignConcat(const FeatureVector& a, const FeatureVector& b,
+                    uint32_t b_offset);
+
+  // In-place conversions. Densify scatters the sparse entries over dim();
+  // Sparsify gathers non-zeros. Round-trips are exact.
+  void Densify();
+  void Sparsify();
+
+  // Dot product against a dense weight array bounded by w_dim; ids at or
+  // beyond w_dim contribute nothing (the defensive contract the unfused
+  // Linear stage always had). Double accumulation, either representation.
+  double Dot(const float* weights, size_t w_dim) const {
+    if (is_dense()) {
+      const size_t n = std::min(dim_, w_dim);
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += static_cast<double>(vals_[i]) * weights[i];
+      }
+      return acc;
+    }
+    return SparseDot(ids_.data(), vals_.data(), ids_.size(), weights, w_dim);
+  }
+
+  // Forgets representation and contents; capacity stays warm.
+  void Reset() {
+    rep_ = Rep::kEmpty;
+    dim_ = 0;
+    ids_.clear();
+    vals_.clear();
+  }
+
+  // Leases the value buffer back to the pool (no-op when pool-less) and
+  // drops all capacity — the cold-context path.
+  void ReleaseStorage();
+
+  // Introspection for tests: current float-buffer capacity.
+  size_t value_capacity() const { return vals_.capacity(); }
+
+ private:
+  // Starter lease for sparse value storage (floats).
+  static constexpr size_t kSparseLeaseFloats = 256;
+
+  // First growth pulls a pooled buffer so a warm context's sparse/dense
+  // values ride the lock-free free list instead of the allocator.
+  void EnsureValueCapacity(size_t n);
+
+  Rep rep_ = Rep::kEmpty;
+  size_t dim_ = 0;
+  VectorPool* pool_ = nullptr;
+  std::vector<uint32_t> ids_;
+  std::vector<float> vals_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_OPS_FEATURE_VECTOR_H_

@@ -17,17 +17,7 @@ void HashDict::Reserve(size_t expected_entries) {
   size_ = 0;
 }
 
-bool HashDict::Insert(uint64_t key, uint32_t id) {
-  if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
-    // Grow: rebuild with doubled capacity.
-    std::vector<Slot> old = std::move(slots_);
-    Reserve(std::max<size_t>(size_ * 2, 16));
-    for (const Slot& s : old) {
-      if (s.key != kEmpty) {
-        Insert(s.key, s.id);
-      }
-    }
-  }
+bool HashDict::InsertNoGrow(uint64_t key, uint32_t id) {
   size_t i = Mix(key) & mask_;
   while (true) {
     Slot& s = slots_[i];
@@ -42,6 +32,27 @@ bool HashDict::Insert(uint64_t key, uint32_t id) {
     }
     i = (i + 1) & mask_;
   }
+}
+
+void HashDict::Grow() {
+  // Rebuild once at double the live size: Reserve sizes the new table from
+  // size_ directly, and the rehash loop inserts without re-entering this
+  // growth check per element (the old path re-evaluated it on every moved
+  // key, and deserialization rebuilds dictionaries entry by entry).
+  std::vector<Slot> old = std::move(slots_);
+  Reserve(std::max<size_t>(size_ * 2, 16));
+  for (const Slot& s : old) {
+    if (s.key != kEmpty) {
+      InsertNoGrow(s.key, s.id);
+    }
+  }
+}
+
+bool HashDict::Insert(uint64_t key, uint32_t id) {
+  if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+    Grow();
+  }
+  return InsertNoGrow(key, id);
 }
 
 void TokenizeText(const std::string& input, std::string* text,
@@ -76,29 +87,262 @@ void TokenizeText(const std::string& input, std::string* text,
   }
 }
 
-void MatVec(const float* matrix, size_t out_dim, size_t in_dim, const float* in,
-            float* out) {
+// ---------------------------------------------------------------------------
+// Dense kernels: portable scalar backend + per-process dispatch.
+
+namespace internal {
+
+float DotF32Scalar(const float* a, const float* b, size_t n) {
+  // Four independent accumulators: breaks the serial FP dependence chain
+  // (FMA-friendly) and is reassociation the vectorizer may lift to SIMD
+  // lanes without -ffast-math.
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) {
+    acc0 += a[i] * b[i];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void MatVecScalar(const float* matrix, size_t out_dim, size_t in_dim,
+                  const float* in, float* out) {
+  for (size_t r = 0; r < out_dim; ++r) {
+    out[r] = DotF32Scalar(matrix + r * in_dim, in, in_dim);
+  }
+}
+
+void KMeansTransformScalar(const float* centroids, size_t k, size_t dim,
+                           const float* in, float* out) {
+  for (size_t i = 0; i < k; ++i) {
+    const float* c = centroids + i * dim;
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    size_t j = 0;
+    for (; j + 4 <= dim; j += 4) {
+      const float d0 = in[j] - c[j];
+      const float d1 = in[j + 1] - c[j + 1];
+      const float d2 = in[j + 2] - c[j + 2];
+      const float d3 = in[j + 3] - c[j + 3];
+      acc0 += d0 * d0;
+      acc1 += d1 * d1;
+      acc2 += d2 * d2;
+      acc3 += d3 * d3;
+    }
+    for (; j < dim; ++j) {
+      const float d = in[j] - c[j];
+      acc0 += d * d;
+    }
+    out[i] = -((acc0 + acc1) + (acc2 + acc3));
+  }
+}
+
+void MatVecBatchSoAScalar(const float* matrix, size_t out_dim, size_t in_dim,
+                          const float* in_soa, size_t batch, float* out_soa) {
+  // Register-tiled: each pass holds an 8-lane accumulator tile for one
+  // output row across 8 records and streams the whole input dimension
+  // through it — the long loop is innermost, the tile never leaves
+  // registers, one matrix-row read serves 8 records, and there is no
+  // horizontal reduction (the cost per-record dot products always pay).
+  constexpr size_t kLanes = 8;
   for (size_t r = 0; r < out_dim; ++r) {
     const float* row = matrix + r * in_dim;
-    float acc = 0.0f;
-    for (size_t c = 0; c < in_dim; ++c) {
-      acc += row[c] * in[c];
+    float* out = out_soa + r * batch;
+    size_t b = 0;
+    for (; b + kLanes <= batch; b += kLanes) {
+      float acc[kLanes] = {0.0f};
+      const float* col = in_soa + b;
+      for (size_t c = 0; c < in_dim; ++c, col += batch) {
+        const float m = row[c];
+        for (size_t l = 0; l < kLanes; ++l) {
+          acc[l] += m * col[l];
+        }
+      }
+      for (size_t l = 0; l < kLanes; ++l) {
+        out[b + l] = acc[l];
+      }
     }
-    out[r] = acc;
+    for (; b < batch; ++b) {
+      float acc = 0.0f;
+      const float* col = in_soa + b;
+      for (size_t c = 0; c < in_dim; ++c, col += batch) {
+        acc += row[c] * col[0];
+      }
+      out[b] = acc;
+    }
   }
+}
+
+void KMeansTransformBatchSoAScalar(const float* centroids, size_t k,
+                                   size_t dim, const float* in_soa,
+                                   size_t batch, float* out_soa) {
+  constexpr size_t kLanes = 8;
+  for (size_t i = 0; i < k; ++i) {
+    const float* cent = centroids + i * dim;
+    float* out = out_soa + i * batch;
+    size_t b = 0;
+    for (; b + kLanes <= batch; b += kLanes) {
+      float acc[kLanes] = {0.0f};
+      const float* col = in_soa + b;
+      for (size_t c = 0; c < dim; ++c, col += batch) {
+        const float cc = cent[c];
+        for (size_t l = 0; l < kLanes; ++l) {
+          const float d = col[l] - cc;
+          acc[l] += d * d;
+        }
+      }
+      for (size_t l = 0; l < kLanes; ++l) {
+        out[b + l] = -acc[l];
+      }
+    }
+    for (; b < batch; ++b) {
+      float acc = 0.0f;
+      const float* col = in_soa + b;
+      for (size_t c = 0; c < dim; ++c, col += batch) {
+        const float d = col[0] - cent[c];
+        acc += d * d;
+      }
+      out[b] = -acc;
+    }
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+// Force-scalar override for parity baselines and before/after sweeps.
+// Plain bool: flipped only from single-threaded test/bench setup.
+bool g_force_scalar = false;
+
+bool UseAvx2() {
+#ifdef PRETZEL_HAVE_AVX2
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported && !g_force_scalar;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool SetForceScalarKernels(bool force) {
+  const bool prev = g_force_scalar;
+  g_force_scalar = force;
+  return prev;
+}
+
+KernelBackend ActiveKernelBackend() {
+  return UseAvx2() ? KernelBackend::kAvx2 : KernelBackend::kScalar;
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+float DotF32(const float* a, const float* b, size_t n) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    return internal::DotF32Avx2(a, b, n);
+  }
+#endif
+  return internal::DotF32Scalar(a, b, n);
+}
+
+void MatVec(const float* matrix, size_t out_dim, size_t in_dim, const float* in,
+            float* out) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    internal::MatVecAvx2(matrix, out_dim, in_dim, in, out);
+    return;
+  }
+#endif
+  internal::MatVecScalar(matrix, out_dim, in_dim, in, out);
 }
 
 void KMeansTransform(const float* centroids, size_t k, size_t dim,
                      const float* in, float* out) {
-  for (size_t i = 0; i < k; ++i) {
-    const float* c = centroids + i * dim;
-    float d2 = 0.0f;
-    for (size_t j = 0; j < dim; ++j) {
-      const float d = in[j] - c[j];
-      d2 += d * d;
-    }
-    out[i] = -d2;
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    internal::KMeansTransformAvx2(centroids, k, dim, in, out);
+    return;
   }
+#endif
+  internal::KMeansTransformScalar(centroids, k, dim, in, out);
+}
+
+void MatVecBatchSoA(const float* matrix, size_t out_dim, size_t in_dim,
+                    const float* in_soa, size_t batch, float* out_soa) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    internal::MatVecBatchSoAAvx2(matrix, out_dim, in_dim, in_soa, batch,
+                                 out_soa);
+    return;
+  }
+#endif
+  internal::MatVecBatchSoAScalar(matrix, out_dim, in_dim, in_soa, batch,
+                                 out_soa);
+}
+
+void KMeansTransformBatchSoA(const float* centroids, size_t k, size_t dim,
+                             const float* in_soa, size_t batch,
+                             float* out_soa) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    internal::KMeansTransformBatchSoAAvx2(centroids, k, dim, in_soa, batch,
+                                          out_soa);
+    return;
+  }
+#endif
+  internal::KMeansTransformBatchSoAScalar(centroids, k, dim, in_soa, batch,
+                                          out_soa);
+}
+
+void TransposeToSoA(const float* rows, size_t batch, size_t row_stride,
+                    size_t in_dim, float* soa) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    internal::TransposeToSoAAvx2(rows, batch, row_stride, in_dim, soa);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < batch; ++b) {
+    const float* row = rows + b * row_stride;
+    for (size_t c = 0; c < in_dim; ++c) {
+      soa[c * batch + b] = row[c];
+    }
+  }
+}
+
+double SparseDot(const uint32_t* ids, const float* vals, size_t nnz,
+                 const float* weights, size_t w_dim) {
+  double acc0 = 0.0, acc1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= nnz; i += 2) {
+    const uint32_t id0 = ids[i];
+    const uint32_t id1 = ids[i + 1];
+    if (id0 < w_dim) {
+      acc0 += static_cast<double>(weights[id0]) * vals[i];
+    }
+    if (id1 < w_dim) {
+      acc1 += static_cast<double>(weights[id1]) * vals[i + 1];
+    }
+  }
+  if (i < nnz && ids[i] < w_dim) {
+    acc0 += static_cast<double>(weights[ids[i]]) * vals[i];
+  }
+  return acc0 + acc1;
 }
 
 float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }

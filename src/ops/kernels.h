@@ -5,6 +5,7 @@
 #ifndef PRETZEL_OPS_KERNELS_H_
 #define PRETZEL_OPS_KERNELS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -45,6 +46,15 @@ class HashDict {
     }
   }
 
+  // Lookup prefetch hint: pulls the key's home cache line toward L1 so a
+  // scan can overlap the table-miss latency of lookup k+1 with the probe of
+  // lookup k (the dictionaries are far larger than L2 at paper scale).
+  void Prefetch(uint64_t key) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[Mix(key) & mask_], /*rw=*/0, /*locality=*/1);
+    }
+  }
+
   size_t size() const { return size_; }
   size_t HeapBytes() const { return slots_.capacity() * sizeof(Slot); }
 
@@ -67,6 +77,11 @@ class HashDict {
   static constexpr uint64_t kEmpty = 0;
 
   static uint64_t Mix(uint64_t k) { return SplitMix64(k); }
+
+  // Probe-and-write without the growth check; the rehash loop uses this so
+  // rebuilding a table never re-enters the grow path per element.
+  bool InsertNoGrow(uint64_t key, uint32_t id);
+  void Grow();
 
   std::vector<Slot> slots_;
   size_t mask_ = 0;
@@ -125,16 +140,31 @@ inline uint64_t WordBigramKey(uint64_t a, uint64_t b) {
   return h == 0 ? 1 : h;
 }
 
+// Both scans hash every candidate key for one position up front, prefetch
+// each key's probe line (HashDict::Prefetch), then resolve the lookups —
+// the table misses of a position's candidates overlap instead of
+// serializing. Keys are hashed exactly once either way.
 template <typename Fn>
 void ScanCharNgrams(const std::string& text, const HashDict& dict,
                     const NgramScanConfig& cfg, Fn&& fn) {
   const size_t len = text.size();
+  uint64_t keys[16];  // Prefetch window; wider order ranges run in blocks.
   for (size_t begin = 0; begin < len; ++begin) {
     const size_t max_n = std::min<size_t>(cfg.max_n, len - begin);
-    for (size_t n = cfg.min_n; n <= max_n; ++n) {
-      const int64_t id = dict.Find(CharNgramKey(text, begin, n));
-      if (id >= 0) {
-        fn(static_cast<uint32_t>(id));
+    if (cfg.min_n > max_n) {
+      continue;
+    }
+    for (size_t n0 = cfg.min_n; n0 <= max_n; n0 += 16) {
+      const size_t orders = std::min<size_t>(max_n - n0 + 1, 16);
+      for (size_t o = 0; o < orders; ++o) {
+        keys[o] = CharNgramKey(text, begin, n0 + o);
+        dict.Prefetch(keys[o]);
+      }
+      for (size_t o = 0; o < orders; ++o) {
+        const int64_t id = dict.Find(keys[o]);
+        if (id >= 0) {
+          fn(static_cast<uint32_t>(id));
+        }
       }
     }
   }
@@ -147,12 +177,18 @@ void ScanWordNgrams(const std::string& text,
   uint64_t prev_key = 0;
   for (size_t t = 0; t < spans.size(); ++t) {
     const uint64_t key = WordKey(text, spans[t].first, spans[t].second);
+    dict.Prefetch(key);
+    const uint64_t bigram_key =
+        cfg.word_orders >= 2 && t > 0 ? WordBigramKey(prev_key, key) : 0;
+    if (bigram_key != 0) {
+      dict.Prefetch(bigram_key);
+    }
     int64_t id = dict.Find(key);
     if (id >= 0) {
       fn(static_cast<uint32_t>(id));
     }
-    if (cfg.word_orders >= 2 && t > 0) {
-      id = dict.Find(WordBigramKey(prev_key, key));
+    if (bigram_key != 0) {
+      id = dict.Find(bigram_key);
       if (id >= 0) {
         fn(static_cast<uint32_t>(id));
       }
@@ -162,7 +198,26 @@ void ScanWordNgrams(const std::string& text,
 }
 
 // ---------------------------------------------------------------------------
-// Dense kernels.
+// Dense kernels. Two backends share every signature: a portable scalar
+// implementation (4x-unrolled independent accumulators, FMA-friendly and
+// auto-vectorizable) and, when the binary is built with PRETZEL_AVX2, an
+// AVX2+FMA implementation selected per process by runtime CPU detection.
+// All backends agree with the scalar reference within 1e-5 (the golden-
+// parity suite pins this).
+
+enum class KernelBackend { kScalar, kAvx2 };
+
+// The backend dense kernels dispatch to right now (CPU support AND the
+// force-scalar override).
+KernelBackend ActiveKernelBackend();
+const char* KernelBackendName(KernelBackend backend);
+
+// Testing/bench hook: pin dispatch to the portable scalar path (parity
+// baselines, before/after sweeps). Returns the previous setting.
+bool SetForceScalarKernels(bool force);
+
+// Dot product over n floats.
+float DotF32(const float* a, const float* b, size_t n);
 
 // out[r] = sum_c matrix[r * in_dim + c] * in[c]; matrix is row-major.
 void MatVec(const float* matrix, size_t out_dim, size_t in_dim, const float* in,
@@ -172,6 +227,56 @@ void MatVec(const float* matrix, size_t out_dim, size_t in_dim, const float* in,
 // closer — usable directly as a feature).
 void KMeansTransform(const float* centroids, size_t k, size_t dim,
                      const float* in, float* out);
+
+// Batch-major (structure-of-arrays) variants: `in_soa` holds `in_dim` rows
+// of `batch` contiguous lanes (in_soa[c * batch + b] = record b, dim c), so
+// the inner loop runs across the batch with no reduction — one blocked
+// matrix-matrix kernel replaces `batch` matvecs. Outputs use the same
+// layout (out_soa[r * batch + b]).
+void MatVecBatchSoA(const float* matrix, size_t out_dim, size_t in_dim,
+                    const float* in_soa, size_t batch, float* out_soa);
+void KMeansTransformBatchSoA(const float* centroids, size_t k, size_t dim,
+                             const float* in_soa, size_t batch, float* out_soa);
+
+// rows[b * row_stride + c] -> soa[c * batch + b] for c < in_dim.
+void TransposeToSoA(const float* rows, size_t batch, size_t row_stride,
+                    size_t in_dim, float* soa);
+
+// Sparse dot product against a dense weight array; ids at or beyond w_dim
+// contribute nothing. Double accumulation (matches the Linear stages).
+double SparseDot(const uint32_t* ids, const float* vals, size_t nnz,
+                 const float* weights, size_t w_dim);
+
+namespace internal {
+// Portable scalar backend, callable directly (parity references and the
+// before/after bench sweep measure it against the dispatched entry points).
+float DotF32Scalar(const float* a, const float* b, size_t n);
+void MatVecScalar(const float* matrix, size_t out_dim, size_t in_dim,
+                  const float* in, float* out);
+void KMeansTransformScalar(const float* centroids, size_t k, size_t dim,
+                           const float* in, float* out);
+void MatVecBatchSoAScalar(const float* matrix, size_t out_dim, size_t in_dim,
+                          const float* in_soa, size_t batch, float* out_soa);
+void KMeansTransformBatchSoAScalar(const float* centroids, size_t k,
+                                   size_t dim, const float* in_soa,
+                                   size_t batch, float* out_soa);
+#ifdef PRETZEL_HAVE_AVX2
+// AVX2+FMA backend (separate TU compiled with -mavx2 -mfma; only ever
+// called after runtime CPU detection).
+float DotF32Avx2(const float* a, const float* b, size_t n);
+void MatVecAvx2(const float* matrix, size_t out_dim, size_t in_dim,
+                const float* in, float* out);
+void KMeansTransformAvx2(const float* centroids, size_t k, size_t dim,
+                         const float* in, float* out);
+void MatVecBatchSoAAvx2(const float* matrix, size_t out_dim, size_t in_dim,
+                        const float* in_soa, size_t batch, float* out_soa);
+void KMeansTransformBatchSoAAvx2(const float* centroids, size_t k, size_t dim,
+                                 const float* in_soa, size_t batch,
+                                 float* out_soa);
+void TransposeToSoAAvx2(const float* rows, size_t batch, size_t row_stride,
+                        size_t in_dim, float* soa);
+#endif  // PRETZEL_HAVE_AVX2
+}  // namespace internal
 
 float Sigmoid(float x);
 

@@ -22,6 +22,8 @@ const char* StageKindName(StageKind kind) {
       return "FusedFeaturize";
     case StageKind::kFusedSaScore:
       return "FusedSaScore";
+    case StageKind::kSparseLinear:
+      return "SparseLinear";
     case StageKind::kParse:
       return "Parse";
     case StageKind::kPca:
@@ -50,8 +52,7 @@ size_t ModelPlan::OverheadBytes() const {
   size_t total = 256 + stages_.capacity() * sizeof(PlanStage) +
                  ops_.capacity() * sizeof(LogicalOp);
   if (bound_done_) {
-    total += (text_.char_weights.capacity() + text_.word_weights.capacity()) *
-             sizeof(float);
+    total += text_.fused_weights.capacity() * sizeof(float);
     total += dense_.bound_final.HeapBytes();
   }
   return total;
@@ -63,27 +64,34 @@ void ModelPlan::EnsureBound() const {
 
 void ModelPlan::BindLocked() const {
   if (family_ == Family::kText) {
-    // Split the linear model's weights along the concat boundary so each
-    // scan branch owns a contiguous weight array.
+    // Split the linear model's weights along the concat boundary into the
+    // fused per-source layout: one contiguous array, each source padded to
+    // an 8-float multiple (full SIMD lanes, no tail handling for bound
+    // consumers).
     const auto* lin = text_.linear;
     if (lin != nullptr) {
+      const auto padded = [](size_t n) { return (n + 7) & ~size_t{7}; };
       const size_t char_dim = text_.char_dim;
-      const size_t word_dim =
-          std::min(text_.word_dim, lin->weights.size() > char_dim
-                                       ? lin->weights.size() - char_dim
-                                       : 0);
-      text_.char_weights.assign(
-          lin->weights.begin(),
-          lin->weights.begin() +
-              static_cast<ptrdiff_t>(std::min(char_dim, lin->weights.size())));
-      text_.char_weights.resize(char_dim, 0.0f);
-      text_.word_weights.assign(
-          lin->weights.begin() +
-              static_cast<ptrdiff_t>(std::min(char_dim, lin->weights.size())),
-          lin->weights.begin() +
-              static_cast<ptrdiff_t>(
-                  std::min(char_dim + word_dim, lin->weights.size())));
-      text_.word_weights.resize(text_.word_dim, 0.0f);
+      const size_t word_dim = text_.word_dim;
+      text_.char_w_off = 0;
+      text_.word_w_off = padded(char_dim);
+      text_.fused_weights.assign(text_.word_w_off + padded(word_dim), 0.0f);
+      // Clamped copies: a linear model narrower than the concat space is
+      // legal (missing weights read as zero, matching the unfused stage's
+      // `id < w.size()` guard), so never form an iterator past end().
+      const size_t have_char = std::min(char_dim, lin->weights.size());
+      std::copy(lin->weights.begin(),
+                lin->weights.begin() + static_cast<ptrdiff_t>(have_char),
+                text_.fused_weights.begin());
+      const size_t have_word =
+          std::min(word_dim, lin->weights.size() > char_dim
+                                 ? lin->weights.size() - char_dim
+                                 : 0);
+      std::copy(lin->weights.begin() + static_cast<ptrdiff_t>(have_char),
+                lin->weights.begin() +
+                    static_cast<ptrdiff_t>(have_char + have_word),
+                text_.fused_weights.begin() +
+                    static_cast<ptrdiff_t>(text_.word_w_off));
       text_.bias = lin->bias;
     }
   } else {
@@ -143,8 +151,17 @@ Result<std::shared_ptr<ModelPlan>> CompilePlan(const LogicalProgram& program,
         bound.linear == nullptr) {
       return Status::InvalidArgument("unsupported text pipeline shape: " + name);
     }
+    // Branch dimensions come from Flour's concat-layout metadata; fall back
+    // to the raw params for programs lowered without it.
     bound.char_dim = bound.char_ngram->dict.size();
     bound.word_dim = bound.word_ngram->dict.size();
+    for (const ConcatSource& source : program.concat_layout) {
+      if (source.kind == OpKind::kCharNgram) {
+        bound.char_dim = source.dim;
+      } else if (source.kind == OpKind::kWordNgram) {
+        bound.word_dim = source.dim;
+      }
+    }
 
     const bool push = opt.enable_linear_push && HasKind(ops, OpKind::kConcat);
     auto& stages = plan->stages_;
@@ -163,6 +180,18 @@ Result<std::shared_ptr<ModelPlan>> CompilePlan(const LogicalProgram& program,
           stages.back().kind == StageKind::kBias) {
         stages.pop_back();
         stages.back().inlined_bias = true;
+      }
+    } else if (opt.enable_sparse_fuse && HasKind(ops, OpKind::kConcat)) {
+      // Sparse fuse: the branches still materialize their sparse count
+      // vectors (the operator contract), but Concat + Linear collapse into
+      // one stage of per-source sparse dots at the Flour layout offsets —
+      // the concatenated vector never exists.
+      stages = {{StageKind::kTokenize},
+                {StageKind::kCharScan},
+                {StageKind::kWordScan},
+                {StageKind::kSparseLinear}};
+      if (opt.enable_stage_merge) {
+        stages = {{StageKind::kFusedFeaturize}, {StageKind::kSparseLinear}};
       }
     } else {
       stages = {{StageKind::kTokenize},
@@ -188,10 +217,24 @@ Result<std::shared_ptr<ModelPlan>> CompilePlan(const LogicalProgram& program,
         bound.tree_feat == nullptr || bound.final_forest == nullptr) {
       return Status::InvalidArgument("unsupported dense pipeline shape: " + name);
     }
+    // Feature-space offsets come from Flour's concat layout (pipeline
+    // order); fall back to the canonical Pca|KMeans|Tree order otherwise.
     bound.pca_off = 0;
     bound.kmeans_off = bound.pca->out_dim;
     bound.tree_off = bound.kmeans_off + bound.kmeans->k;
     bound.feature_dim = bound.tree_off + bound.tree_feat->forest.roots.size();
+    for (const ConcatSource& source : program.concat_layout) {
+      if (source.kind == OpKind::kPca) {
+        bound.pca_off = source.offset;
+      } else if (source.kind == OpKind::kKMeans) {
+        bound.kmeans_off = source.offset;
+      } else if (source.kind == OpKind::kTreeFeaturizer) {
+        bound.tree_off = source.offset;
+      }
+    }
+    if (program.concat_dim > 0) {
+      bound.feature_dim = program.concat_dim;
+    }
 
     auto& stages = plan->stages_;
     stages = {{StageKind::kParse},   {StageKind::kPca},

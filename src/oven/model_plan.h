@@ -32,6 +32,11 @@ struct OptimizerOptions {
   bool enable_linear_push = true;
   bool enable_stage_merge = true;
   bool enable_inline = true;
+  // Concat -> LinearBinary fusion for plans that keep materialized sparse
+  // features (linear push disabled or inapplicable): the model stage dots
+  // each branch's sparse vector against the weights at that branch's
+  // per-source offset, so the concatenated vector is never materialized.
+  bool enable_sparse_fuse = true;
 };
 
 struct CompileOptions {
@@ -49,6 +54,7 @@ enum class StageKind {
   kBias,
   kFusedFeaturize,  // Tokenize + both scans, materializing sparse ids.
   kFusedSaScore,    // Tokenize + both scans with pushed weights (no sparse vec).
+  kSparseLinear,    // Concat + Linear fused: per-source sparse dots, no concat.
   // Dense family.
   kParse,
   kPca,
@@ -89,13 +95,21 @@ class ModelPlan {
     const CharNgramParams* char_ngram = nullptr;
     const WordNgramParams* word_ngram = nullptr;
     const LinearBinaryParams* linear = nullptr;
-    // Branch weight arrays, materialized at bind time (the AOT work): the
-    // linear model split along the concat boundary.
-    std::vector<float> char_weights;
-    std::vector<float> word_weights;
+    // Fused per-source weight layout, materialized at bind time (the AOT
+    // work): the linear model split along the Flour concat layout into one
+    // contiguous array [char | word], each source zero-padded to an 8-float
+    // multiple so vectorized consumers can always run full lanes. The scan
+    // branches index their source at its offset — exactly the per-source
+    // view the linear-push and sparse-fuse stages accumulate through.
+    std::vector<float> fused_weights;
+    size_t char_w_off = 0;
+    size_t word_w_off = 0;
     float bias = 0.0f;
     size_t char_dim = 0;
     size_t word_dim = 0;
+
+    const float* char_weights() const { return fused_weights.data() + char_w_off; }
+    const float* word_weights() const { return fused_weights.data() + word_w_off; }
   };
 
   struct BoundDense {

@@ -29,7 +29,7 @@ std::vector<float> VectorPool::AcquireFloats(size_t size) {
   return std::vector<float>(size);
 }
 
-void VectorPool::ReleaseFloats(std::vector<float> v) {
+void VectorPool::ReleaseFloats(std::vector<float>&& v) {
   if (!options_.pooling_enabled) {
     return;  // Dropped; the next acquire allocates.
   }
@@ -63,19 +63,20 @@ VectorPool::Stats VectorPool::GetStats() const {
 void ExecContext::ReleaseScratch() {
   std::string().swap(text);
   std::vector<std::pair<uint32_t, uint32_t>>().swap(spans);
-  std::vector<uint32_t>().swap(char_ids);
-  std::vector<uint32_t>().swap(word_ids);
-  std::vector<uint32_t>().swap(concat_ids);
   std::vector<uint32_t>().swap(cache_ids);
-  std::vector<float>().swap(char_vals);
-  std::vector<float>().swap(word_vals);
-  std::vector<float>().swap(concat_vals);
   std::vector<uint32_t>().swap(raw_hits);
+  char_features.ReleaseStorage();
+  word_features.ReleaseStorage();
+  concat_features.ReleaseStorage();
+  dense_features.ReleaseStorage();
   std::vector<float>().swap(dense_in);
   std::vector<float>().swap(pca_out);
   std::vector<float>().swap(kmeans_out);
   std::vector<float>().swap(tree_out);
-  std::vector<float>().swap(features);
+  std::vector<float>().swap(batch_rows);
+  std::vector<float>().swap(batch_soa);
+  std::vector<float>().swap(batch_stage);
+  std::vector<float>().swap(batch_features);
 }
 
 ExecContextPool::ExecContextPool(VectorPool* pool, bool reuse_enabled)
@@ -118,25 +119,6 @@ inline uint64_t InputHash(const std::string& input) {
   return ContentHash64(input.data(), input.size(), 0xF00D);
 }
 
-// Builds the operator-contract output of a scan: a sparse feature vector
-// with count values (sorted ids + parallel counts). Unpushed plans must pay
-// this materialization; the linear-push rewrite removes it entirely.
-void MaterializeCounts(std::vector<uint32_t>& raw_hits,
-                       std::vector<uint32_t>* ids, std::vector<float>* vals) {
-  std::sort(raw_hits.begin(), raw_hits.end());
-  ids->clear();
-  vals->clear();
-  for (size_t i = 0; i < raw_hits.size();) {
-    size_t j = i;
-    while (j < raw_hits.size() && raw_hits[j] == raw_hits[i]) {
-      ++j;
-    }
-    ids->push_back(raw_hits[i]);
-    vals->push_back(static_cast<float>(j - i));
-    i = j;
-  }
-}
-
 Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
                           ExecContext& ctx) {
   const ModelPlan::BoundText& b = plan.bound_text();
@@ -152,16 +134,16 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
   };
 
   // Runs one scan branch. With the weights pushed, returns the partial dot
-  // product; otherwise materializes hit ids into *ids_out. Either way the
-  // sub-plan cache (when attached) short-circuits tokenize + scan for
-  // (input, dictionary) pairs another pipeline already materialized.
+  // product; otherwise materializes raw hit ids into *raw_out (the staging
+  // buffer a FeatureVector coalesces into counts). Either way the sub-plan
+  // cache (when attached) short-circuits tokenize + scan for (input,
+  // dictionary) pairs another pipeline already materialized.
   const auto run_branch = [&](bool is_char, bool pushed, double* acc,
-                              std::vector<uint32_t>* ids_out) {
+                              std::vector<uint32_t>* raw_out) {
     const uint64_t key =
         is_char ? input_hash ^ b.char_ngram->ContentChecksum()
                 : input_hash ^ b.word_ngram->ContentChecksum();
-    const float* weights =
-        is_char ? b.char_weights.data() : b.word_weights.data();
+    const float* weights = is_char ? b.char_weights() : b.word_weights();
     if (pushed && cache == nullptr) {
       // Fully fused: accumulate during the scan, no ids materialized.
       tokenize_once();
@@ -183,14 +165,14 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
             *acc += weights[id];
           }
         } else {
-          // MaterializeCounts sorts in place, so unpushed consumers need a
-          // private copy of the cached scan.
-          ids_out->assign(hit->begin(), hit->end());
+          // AssignCounts sorts the staging buffer in place, so unpushed
+          // consumers need a private copy of the cached scan.
+          raw_out->assign(hit->begin(), hit->end());
         }
         return;
       }
     }
-    std::vector<uint32_t>* ids = pushed ? &ctx.cache_ids : ids_out;
+    std::vector<uint32_t>* ids = pushed ? &ctx.cache_ids : raw_out;
     tokenize_once();
     ids->clear();
     if (is_char) {
@@ -211,6 +193,13 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
     }
   };
 
+  // The unpushed operator contract: scan, then coalesce the raw hits into
+  // the branch's sparse count FeatureVector.
+  const auto featurize_branch = [&](bool is_char, FeatureVector& out) {
+    run_branch(is_char, /*pushed=*/false, nullptr, &ctx.raw_hits);
+    out.AssignCounts(ctx.raw_hits, is_char ? b.char_dim : b.word_dim);
+  };
+
   double acc = 0.0;
   float score = 0.0f;
   for (const PlanStage& stage : plan.stages()) {
@@ -222,16 +211,14 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
         if (stage.weights_pushed) {
           run_branch(/*is_char=*/true, /*pushed=*/true, &acc, &ctx.raw_hits);
         } else {
-          run_branch(/*is_char=*/true, /*pushed=*/false, &acc, &ctx.raw_hits);
-          MaterializeCounts(ctx.raw_hits, &ctx.char_ids, &ctx.char_vals);
+          featurize_branch(/*is_char=*/true, ctx.char_features);
         }
         break;
       case StageKind::kWordScan:
         if (stage.weights_pushed) {
           run_branch(/*is_char=*/false, /*pushed=*/true, &acc, &ctx.raw_hits);
         } else {
-          run_branch(/*is_char=*/false, /*pushed=*/false, &acc, &ctx.raw_hits);
-          MaterializeCounts(ctx.raw_hits, &ctx.word_ids, &ctx.word_vals);
+          featurize_branch(/*is_char=*/false, ctx.word_features);
         }
         if (stage.inlined_bias) {
           score = Sigmoid(static_cast<float>(acc) + b.bias);
@@ -245,40 +232,28 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
         }
         break;
       case StageKind::kFusedFeaturize:
-        run_branch(/*is_char=*/true, /*pushed=*/false, &acc, &ctx.raw_hits);
-        MaterializeCounts(ctx.raw_hits, &ctx.char_ids, &ctx.char_vals);
-        run_branch(/*is_char=*/false, /*pushed=*/false, &acc, &ctx.raw_hits);
-        MaterializeCounts(ctx.raw_hits, &ctx.word_ids, &ctx.word_vals);
+        featurize_branch(/*is_char=*/true, ctx.char_features);
+        featurize_branch(/*is_char=*/false, ctx.word_features);
         break;
-      case StageKind::kConcat: {
-        // Materialize the concatenated sparse feature vector — both
-        // parallel arrays (the copy the linear push removes).
-        ctx.concat_ids.clear();
-        ctx.concat_vals.clear();
-        ctx.concat_ids.reserve(ctx.char_ids.size() + ctx.word_ids.size());
-        ctx.concat_vals.reserve(ctx.char_ids.size() + ctx.word_ids.size());
-        ctx.concat_ids.insert(ctx.concat_ids.end(), ctx.char_ids.begin(),
-                              ctx.char_ids.end());
-        ctx.concat_vals.insert(ctx.concat_vals.end(), ctx.char_vals.begin(),
-                               ctx.char_vals.end());
-        const uint32_t offset = static_cast<uint32_t>(b.char_dim);
-        for (size_t w = 0; w < ctx.word_ids.size(); ++w) {
-          ctx.concat_ids.push_back(ctx.word_ids[w] + offset);
-          ctx.concat_vals.push_back(ctx.word_vals[w]);
-        }
+      case StageKind::kConcat:
+        // Materialize the concatenated sparse feature vector (the copy the
+        // linear-push and sparse-fuse rewrites both remove).
+        ctx.concat_features.AssignConcat(ctx.char_features, ctx.word_features,
+                                         static_cast<uint32_t>(b.char_dim));
         break;
-      }
       case StageKind::kLinear: {
         const std::vector<float>& w = b.linear->weights;
-        for (size_t f = 0; f < ctx.concat_ids.size(); ++f) {
-          const uint32_t id = ctx.concat_ids[f];
-          if (id < w.size()) {
-            acc += static_cast<double>(w[id]) * ctx.concat_vals[f];
-          }
-        }
+        acc += ctx.concat_features.Dot(w.data(), w.size());
         score = Sigmoid(static_cast<float>(acc) + b.bias);
         break;
       }
+      case StageKind::kSparseLinear:
+        // Concat + Linear fused: per-source sparse dots at the Flour layout
+        // offsets — the concatenated vector never exists.
+        acc += ctx.char_features.Dot(b.char_weights(), b.char_dim);
+        acc += ctx.word_features.Dot(b.word_weights(), b.word_dim);
+        score = Sigmoid(static_cast<float>(acc) + b.bias);
+        break;
       case StageKind::kBias:
         score = Sigmoid(static_cast<float>(acc) + b.bias);
         break;
@@ -323,23 +298,24 @@ Result<float> ExecuteDense(const ModelPlan& plan, const std::string& input,
         }
         break;
       }
-      case StageKind::kConcat:
-        ctx.features.clear();
-        ctx.features.reserve(b.feature_dim);
-        ctx.features.insert(ctx.features.end(), ctx.pca_out.begin(),
-                            ctx.pca_out.end());
-        ctx.features.insert(ctx.features.end(), ctx.kmeans_out.begin(),
-                            ctx.kmeans_out.end());
-        ctx.features.insert(ctx.features.end(), ctx.tree_out.begin(),
-                            ctx.tree_out.end());
+      case StageKind::kConcat: {
+        // The branch slices cover every slot; no zero-fill needed.
+        float* out =
+            ctx.dense_features.MutableDense(b.feature_dim, /*zero_fill=*/false);
+        std::copy(ctx.pca_out.begin(), ctx.pca_out.end(), out + b.pca_off);
+        std::copy(ctx.kmeans_out.begin(), ctx.kmeans_out.end(),
+                  out + b.kmeans_off);
+        std::copy(ctx.tree_out.begin(), ctx.tree_out.end(), out + b.tree_off);
         break;
+      }
       case StageKind::kForest:
-        score = b.bound_final.Eval(ctx.features.data());
+        score = b.bound_final.Eval(ctx.dense_features.dense_data());
         break;
       case StageKind::kFusedAcFeaturize: {
-        // Branches write disjoint slices of one buffer: no Concat copy.
-        ctx.features.resize(b.feature_dim);
-        float* out = ctx.features.data();
+        // Branches write disjoint slices of one buffer: no Concat copy (and
+        // the slices cover every slot, so no zero-fill either).
+        float* out =
+            ctx.dense_features.MutableDense(b.feature_dim, /*zero_fill=*/false);
         MatVec(b.pca->matrix.data(), b.pca->out_dim, b.pca->in_dim,
                ctx.dense_in.data(), out + b.pca_off);
         KMeansTransform(b.kmeans->centroids.data(), b.kmeans->k, b.kmeans->dim,
@@ -349,7 +325,7 @@ Result<float> ExecuteDense(const ModelPlan& plan, const std::string& input,
           out[b.tree_off + t] = forest.EvalTree(t, ctx.dense_in.data());
         }
         if (stage.inlined_forest) {
-          score = b.bound_final.Eval(ctx.features.data());
+          score = b.bound_final.Eval(ctx.dense_features.dense_data());
         }
         break;
       }
@@ -372,6 +348,91 @@ Result<float> ExecutePlan(const ModelPlan& plan, const std::string& input,
     ctx.ReleaseScratch();
   }
   return result;
+}
+
+size_t ExecutePlanPerRecord(const ModelPlan& plan, const std::string* inputs,
+                            size_t n, float* scores, ExecContext& ctx,
+                            Status* first_error) {
+  size_t failed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Result<float> r = ExecutePlan(plan, inputs[i], ctx);
+    if (r.ok()) {
+      scores[i] = *r;
+    } else {
+      scores[i] = 0.0f;
+      if (failed++ == 0 && first_error != nullptr) {
+        *first_error = r.status();
+      }
+    }
+  }
+  return failed;
+}
+
+size_t ExecutePlanBatch(const ModelPlan& plan, const std::string* inputs,
+                        size_t n, float* scores, ExecContext& ctx,
+                        Status* first_error) {
+  plan.EnsureBound();
+  if (plan.family() != ModelPlan::Family::kDense || n < 2) {
+    return ExecutePlanPerRecord(plan, inputs, n, scores, ctx, first_error);
+  }
+  const ModelPlan::BoundDense& b = plan.bound_dense();
+  const size_t row_dim =
+      std::max<size_t>(std::max<size_t>(b.pca->in_dim, b.kmeans->dim),
+                       b.tree_feat->forest.num_features);
+
+  // Parse every record into an AoS staging row (trees branch on it). Any
+  // invalid record sends the whole quantum down the per-record path so its
+  // error is attributed exactly as the unbatched executor would.
+  ctx.batch_rows.resize(n * row_dim);
+  float* rows = ctx.batch_rows.data();
+  for (size_t i = 0; i < n; ++i) {
+    ParseDenseInput(inputs[i], &ctx.dense_in);
+    if (ctx.dense_in.size() < row_dim) {
+      return ExecutePlanPerRecord(plan, inputs, n, scores, ctx, first_error);
+    }
+    std::copy(ctx.dense_in.begin(),
+              ctx.dense_in.begin() + static_cast<ptrdiff_t>(row_dim),
+              rows + i * row_dim);
+  }
+
+  // Batch-major dense stages: transpose to structure-of-arrays (the 8x8
+  // blocked kernel on AVX2 builds), then one blocked matrix-matrix kernel
+  // per stage instead of n matvecs. This is where the adaptive batcher's
+  // coalescing buys compute throughput.
+  ctx.batch_soa.resize(row_dim * n);
+  TransposeToSoA(rows, n, row_dim, row_dim, ctx.batch_soa.data());
+  const size_t pca_dim = b.pca->out_dim;
+  const size_t km_k = b.kmeans->k;
+  ctx.batch_stage.resize((pca_dim + km_k) * n);
+  float* pca_soa = ctx.batch_stage.data();
+  float* km_soa = pca_soa + pca_dim * n;
+  MatVecBatchSoA(b.pca->matrix.data(), pca_dim, b.pca->in_dim,
+                 ctx.batch_soa.data(), n, pca_soa);
+  KMeansTransformBatchSoA(b.kmeans->centroids.data(), km_k, b.kmeans->dim,
+                          ctx.batch_soa.data(), n, km_soa);
+
+  // Trees and the final forest branch per record; gather each record's
+  // feature row from the SoA stage outputs.
+  const Forest& trees = b.tree_feat->forest;
+  ctx.batch_features.resize(b.feature_dim);
+  float* feats = ctx.batch_features.data();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < pca_dim; ++r) {
+      feats[b.pca_off + r] = pca_soa[r * n + i];
+    }
+    for (size_t r = 0; r < km_k; ++r) {
+      feats[b.kmeans_off + r] = km_soa[r * n + i];
+    }
+    const float* row = ctx.batch_rows.data() + i * row_dim;
+    for (size_t t = 0; t < trees.roots.size(); ++t) {
+      feats[b.tree_off + t] = trees.EvalTree(t, row);
+    }
+    scores[i] = b.bound_final.Eval(feats);
+  }
+  if (ctx.pool != nullptr && !ctx.pool->pooling_enabled()) {
+    ctx.ReleaseScratch();
+  }
+  return 0;
 }
 
 }  // namespace pretzel

@@ -18,6 +18,7 @@
 
 #include "src/common/lockfree.h"
 #include "src/common/status.h"
+#include "src/ops/feature_vector.h"
 
 namespace pretzel {
 
@@ -61,9 +62,10 @@ class VectorPool {
 
   // Free-listed float buffers for callers that need transient vectors
   // outside an ExecContext (batch assembly and tests). Lock-free: one CAS
-  // to pop a cached buffer, one to return the emptied slot.
+  // to pop a cached buffer, one to return the emptied slot. Release takes
+  // an rvalue: the buffer is moved in, never copied.
   std::vector<float> AcquireFloats(size_t size);
-  void ReleaseFloats(std::vector<float> v);
+  void ReleaseFloats(std::vector<float>&& v);
 
   Stats GetStats() const;
 
@@ -86,8 +88,15 @@ class VectorPool {
 
 // All scratch an executing prediction touches. Reused across predictions
 // (warm buffers, zero allocation); a fresh context models the unpooled path.
+// Operator outputs ride FeatureVectors (dense span | sorted sparse) whose
+// value storage leases from this context's pool.
 struct ExecContext {
-  explicit ExecContext(VectorPool* p) : pool(p) {}
+  explicit ExecContext(VectorPool* p)
+      : pool(p),
+        char_features(p),
+        word_features(p),
+        concat_features(p),
+        dense_features(p) {}
 
   VectorPool* pool = nullptr;
   // Optional sub-plan materialization cache (bench/figure 10). Not owned.
@@ -96,22 +105,25 @@ struct ExecContext {
   // Text-family scratch.
   std::string text;
   std::vector<std::pair<uint32_t, uint32_t>> spans;
-  std::vector<uint32_t> char_ids;
-  std::vector<uint32_t> word_ids;
-  std::vector<uint32_t> concat_ids;
   std::vector<uint32_t> cache_ids;
-  // Materialized sparse feature vectors (unpushed plans): parallel
-  // id/count arrays per branch and for the concatenated space.
-  std::vector<float> char_vals;
-  std::vector<float> word_vals;
-  std::vector<float> concat_vals;
   std::vector<uint32_t> raw_hits;
+  // Materialized operator outputs (unpushed plans): sparse count vectors
+  // per branch, plus the concatenated space for plans that keep the Concat.
+  FeatureVector char_features;
+  FeatureVector word_features;
+  FeatureVector concat_features;
   // Dense-family scratch.
   std::vector<float> dense_in;
   std::vector<float> pca_out;
   std::vector<float> kmeans_out;
   std::vector<float> tree_out;
-  std::vector<float> features;
+  FeatureVector dense_features;
+  // Batch-major scratch (ExecutePlanBatch): AoS parse rows, their SoA
+  // transpose, SoA stage outputs, and the per-record feature row.
+  std::vector<float> batch_rows;
+  std::vector<float> batch_soa;
+  std::vector<float> batch_stage;
+  std::vector<float> batch_features;
 
   // Drops buffer capacity (the no-pooling path calls this after every
   // prediction).
@@ -147,6 +159,26 @@ class ExecContextPool {
 // compilation deferred it (no-AOT). Thread-safe across distinct contexts.
 Result<float> ExecutePlan(const ModelPlan& plan, const std::string& input,
                           ExecContext& ctx);
+
+// Executes `n` inputs through the plan, writing one score per record to
+// `scores`. Dense-family plans with n >= 2 run batch-major: the parsed
+// records are transposed to structure-of-arrays and the PCA/KMeans stages
+// become one blocked matrix-matrix kernel each instead of n matvecs (trees
+// and the final forest stay per-record). Text-family plans — and any batch
+// containing an invalid record — fall back to per-record execution.
+// Returns the number of failed records; failed records score 0.0f and
+// *first_error (when non-null) receives the first failure.
+size_t ExecutePlanBatch(const ModelPlan& plan, const std::string* inputs,
+                        size_t n, float* scores, ExecContext& ctx,
+                        Status* first_error);
+
+// The per-record loop with the same score/error contract as
+// ExecutePlanBatch (it is also that function's internal fallback). The
+// executor's batch_major=false path calls this so both modes share one
+// attribution implementation.
+size_t ExecutePlanPerRecord(const ModelPlan& plan, const std::string* inputs,
+                            size_t n, float* scores, ExecContext& ctx,
+                            Status* first_error);
 
 }  // namespace pretzel
 

@@ -8,11 +8,16 @@
 namespace pretzel {
 
 // One logical batch request. Executors decrement `remaining` as they finish
-// sub-ranges; the last one out invokes the callback.
+// sub-ranges; the last one out invokes the callback. Inputs and results are
+// either owned (async submissions) or borrowed from a blocked synchronous
+// caller (the span PredictBatch — no string copies, no result copy).
 struct Runtime::BatchJob {
   std::shared_ptr<ModelPlan> plan;
-  std::vector<std::string> inputs;
-  std::vector<float> results;
+  std::vector<std::string> owned_inputs;
+  std::vector<float> owned_results;
+  const std::string* inputs = nullptr;
+  float* results = nullptr;
+  size_t count = 0;
   std::atomic<size_t> remaining{0};
   BatchCallback callback;
 
@@ -600,31 +605,13 @@ Status Runtime::PredictAsync(PlanId id, std::string input,
   return EnqueueOne(pq, std::move(event));
 }
 
-Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
-                                  BatchCallback callback, size_t max_batch) {
-  PlanQueue* pq = GetQueue(id);
-  if (pq == nullptr) {
-    return Status::NotFound("plan " + std::to_string(id));
-  }
-  if (callback == nullptr) {
-    return Status::InvalidArgument("null callback");
-  }
-  if (inputs.empty()) {
-    callback(Status::OK(), {});
-    return Status::OK();
-  }
-  auto job = std::make_shared<BatchJob>();
-  job->plan = pq->plan;
-  job->inputs = std::move(inputs);
-  job->results.assign(job->inputs.size(), 0.0f);
-  job->remaining.store(job->inputs.size());
-  job->callback = std::move(callback);
-
-  // Sub-batch size: fill every executor that serves this plan, but never
-  // exceed max_batch. Each chunk is one scheduling quantum, so other plans
-  // interleave between chunks instead of waiting out the whole batch.
+// Sub-batch size: fill every executor that serves this plan, but never
+// exceed max_batch. Each chunk is one scheduling quantum, so other plans
+// interleave between chunks instead of waiting out the whole batch.
+Status Runtime::SubmitBatchJob(PlanQueue* pq, std::shared_ptr<BatchJob> job,
+                               size_t max_batch) {
   const size_t parallelism = std::max<size_t>(1, pq->group->num_executors);
-  const size_t n = job->inputs.size();
+  const size_t n = job->count;
   size_t chunk = (n + parallelism - 1) / parallelism;
   if (max_batch > 0) {
     chunk = std::min(chunk, max_batch);
@@ -642,28 +629,77 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
   return Enqueue(pq, std::move(events));
 }
 
-Result<std::vector<float>> Runtime::PredictBatch(
-    PlanId id, const std::vector<std::string>& inputs, size_t max_batch) {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status;
-  std::vector<float> scores;
-  Status submit = PredictBatchAsync(
-      id, inputs,
-      [&](Status s, std::span<const float> results) {
-        std::lock_guard<std::mutex> lock(mu);
-        status = std::move(s);
-        scores.assign(results.begin(), results.end());
-        done = true;
-        cv.notify_one();
-      },
-      max_batch);
+Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
+                                  BatchCallback callback, size_t max_batch) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  if (callback == nullptr) {
+    return Status::InvalidArgument("null callback");
+  }
+  if (inputs.empty()) {
+    callback(Status::OK(), {});
+    return Status::OK();
+  }
+  auto job = std::make_shared<BatchJob>();
+  job->plan = pq->plan;
+  job->owned_inputs = std::move(inputs);
+  job->owned_results.assign(job->owned_inputs.size(), 0.0f);
+  job->inputs = job->owned_inputs.data();
+  job->results = job->owned_results.data();
+  job->count = job->owned_inputs.size();
+  job->remaining.store(job->count);
+  job->callback = std::move(callback);
+  return SubmitBatchJob(pq, std::move(job), max_batch);
+}
+
+Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
+                             size_t max_batch, std::span<float> out) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  if (inputs.empty()) {
+    return Status::OK();
+  }
+  if (out.size() < inputs.size()) {
+    return Status::InvalidArgument("output span narrower than batch");
+  }
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  } waiter;
+  // Borrowed inputs/results: this caller blocks until the last chunk
+  // completes, so the executors write scores straight through the caller's
+  // span and read the caller's strings in place — no copy on either side.
+  auto job = std::make_shared<BatchJob>();
+  job->plan = pq->plan;
+  job->inputs = inputs.data();
+  job->results = out.data();
+  job->count = inputs.size();
+  job->remaining.store(job->count);
+  job->callback = [&waiter](Status s, std::span<const float>) {
+    std::lock_guard<std::mutex> lock(waiter.mu);
+    waiter.status = std::move(s);
+    waiter.done = true;
+    waiter.cv.notify_one();
+  };
+  Status submit = SubmitBatchJob(pq, std::move(job), max_batch);
   if (!submit.ok()) {
     return submit;
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done; });
+  std::unique_lock<std::mutex> lock(waiter.mu);
+  waiter.cv.wait(lock, [&] { return waiter.done; });
+  return waiter.status;
+}
+
+Result<std::vector<float>> Runtime::PredictBatch(
+    PlanId id, const std::vector<std::string>& inputs, size_t max_batch) {
+  std::vector<float> scores(inputs.size(), 0.0f);
+  Status status = PredictBatch(id, inputs, max_batch, std::span<float>(scores));
   if (!status.ok()) {
     return status;
   }
@@ -910,27 +946,33 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
   if (batch.front().job != nullptr) {
     const Event& item = batch.front();
     BatchJob& job = *item.job;
+    const size_t count = item.end - item.begin;
+    const std::string* in = job.inputs + item.begin;
+    float* out = job.results + item.begin;
     size_t failed = 0;
-    for (size_t i = item.begin; i < item.end; ++i) {
-      Result<float> r = ExecutePlan(*job.plan, job.inputs[i], ctx);
-      if (r.ok()) {
-        job.results[i] = *r;
-      } else {
-        ++failed;
-        std::lock_guard<std::mutex> lock(job.error_mu);
-        if (job.first_error.ok()) {
-          job.first_error = r.status();
-        }
+    Status chunk_error;
+    if (options_.batch_major && count > 1) {
+      // Batch-major: dense-family chunks run their PCA/KMeans stages as one
+      // SoA matrix-matrix kernel over the whole chunk (text-family and
+      // invalid-record chunks fall back to the per-record loop inside).
+      failed = ExecutePlanBatch(*job.plan, in, count, out, ctx, &chunk_error);
+    } else {
+      failed =
+          ExecutePlanPerRecord(*job.plan, in, count, out, ctx, &chunk_error);
+    }
+    if (failed > 0) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (job.first_error.ok()) {
+        job.first_error = chunk_error;
       }
     }
-    const size_t count = item.end - item.begin;
     if (job.remaining.fetch_sub(count) == count) {
       Status status;
       {
         std::lock_guard<std::mutex> lock(job.error_mu);
         status = job.first_error;
       }
-      job.callback(status, std::span<const float>(job.results));
+      job.callback(status, std::span<const float>(job.results, job.count));
     }
     if (failed > 0) {
       pq->errors.fetch_add(failed, std::memory_order_relaxed);

@@ -96,6 +96,11 @@ struct RuntimeOptions {
   // correctness and admission semantics are unchanged, only that tail
   // leaves the single-CAS fast path. Lock-free mode only.
   size_t event_ring_capacity = 256;
+  // Batch-major execution of dense-family batch chunks: a chunk's records
+  // are transposed to structure-of-arrays and the PCA/KMeans stages run as
+  // one blocked matrix-matrix kernel instead of per-record matvecs. False
+  // restores the per-record loop (the before/after bench baseline).
+  bool batch_major = true;
 };
 
 struct PlanRegistration {
@@ -187,6 +192,13 @@ class Runtime {
                                           const std::vector<std::string>& inputs,
                                           size_t max_batch);
 
+  // Copy-free variant: executors write scores straight through the caller's
+  // span (out.size() >= inputs.size()), and the inputs are borrowed, not
+  // copied — the caller blocks until completion, so both stay valid. This
+  // is the batch hot path; the vector-returning overload wraps it.
+  Status PredictBatch(PlanId id, const std::vector<std::string>& inputs,
+                      size_t max_batch, std::span<float> out);
+
   // Asynchronous batch: returns after enqueueing; `callback` fires exactly
   // once, from an executor thread, with scores in input order.
   Status PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
@@ -219,6 +231,9 @@ class Runtime {
   struct SpillSegment;
 
   void SpawnExecutor(ExecGroup* group);
+  // Chunks a prepared BatchJob into per-quantum events and enqueues them.
+  Status SubmitBatchJob(PlanQueue* pq, std::shared_ptr<BatchJob> job,
+                        size_t max_batch);
   void ExecutorLoop(ExecGroup* group, SubPlanCache* cache, VectorPool* pool,
                     size_t shard_idx);
   void ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx, size_t shard_idx);

@@ -165,6 +165,35 @@ ShardedMetrics ShardRouter::GetMetrics() const {
     metrics.store_objects = global_store_->NumObjects();
     metrics.store_bytes = global_store_->TotalBytes();
   }
+  // Load imbalance: fold each shard's plan queue-delay EWMAs into one
+  // event-weighted number per shard, then compare the hottest shard to the
+  // mean (the hot-shard bound bench_shard reports under Zipf skew).
+  metrics.shard_queue_delay_us.reserve(metrics.shards.size());
+  double sum = 0.0;
+  for (const ShardMetrics& shard : metrics.shards) {
+    double weighted = 0.0;
+    double events = 0.0;
+    for (const PlanMetrics& pm : shard.runtime.plans) {
+      const double weight = static_cast<double>(pm.enqueued_events);
+      weighted += static_cast<double>(pm.queue_delay_ewma_us) * weight;
+      events += weight;
+    }
+    const double load = events > 0.0 ? weighted / events : 0.0;
+    metrics.shard_queue_delay_us.push_back(load);
+    sum += load;
+    if (load > metrics.max_shard_queue_delay_us) {
+      metrics.max_shard_queue_delay_us = load;
+      metrics.hottest_shard = metrics.shard_queue_delay_us.size() - 1;
+    }
+  }
+  if (!metrics.shard_queue_delay_us.empty()) {
+    metrics.mean_shard_queue_delay_us =
+        sum / static_cast<double>(metrics.shard_queue_delay_us.size());
+  }
+  if (metrics.mean_shard_queue_delay_us > 0.0) {
+    metrics.queue_delay_imbalance =
+        metrics.max_shard_queue_delay_us / metrics.mean_shard_queue_delay_us;
+  }
   return metrics;
 }
 

@@ -76,6 +76,16 @@ struct ShardedMetrics {
   // the global store's uniques (global scope).
   size_t store_objects = 0;
   size_t store_bytes = 0;
+  // Per-shard load (index == shard): the event-weighted mean of the shard's
+  // plan queue-delay EWMAs — hot plans dominate their shard's number, which
+  // is exactly the hot-shard bound Zipf skew produces. `imbalance` is
+  // max/mean across shards (1.0 = perfectly balanced; meaningless — and
+  // left at 1.0 — when no shard has observed queue delay).
+  std::vector<double> shard_queue_delay_us;
+  double max_shard_queue_delay_us = 0.0;
+  double mean_shard_queue_delay_us = 0.0;
+  double queue_delay_imbalance = 1.0;
+  size_t hottest_shard = 0;
 };
 
 class ShardRouter {

@@ -1,0 +1,190 @@
+// Golden-parity suite for the operator data path: every execution variant —
+// scalar-forced, dispatched (SIMD when built+supported), sparse-fused,
+// unfused dense, and batch-major — must score within 1e-5 of the scalar
+// black-box reference for every SA/AC workload plan. This is the contract
+// that lets the Oven and Runtime pick representations and kernels freely.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/blackbox/blackbox_model.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/exec_context.h"
+#include "src/workload/ac_workload.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+namespace {
+
+// The optimizer configurations that exercise each data-path variant.
+std::vector<std::pair<const char*, OptimizerOptions>> Configs() {
+  OptimizerOptions full;  // Push (SA) / fused featurize (AC).
+  OptimizerOptions sparse_fused;
+  sparse_fused.enable_linear_push = false;  // Forces kSparseLinear on SA.
+  OptimizerOptions sparse_unmerged = sparse_fused;
+  sparse_unmerged.enable_stage_merge = false;
+  OptimizerOptions unfused;  // Materialized Concat + Linear, no rewrites.
+  unfused.enable_linear_push = false;
+  unfused.enable_stage_merge = false;
+  unfused.enable_inline = false;
+  unfused.enable_sparse_fuse = false;
+  return {{"full", full},
+          {"sparse-fused", sparse_fused},
+          {"sparse-unmerged", sparse_unmerged},
+          {"unfused", unfused}};
+}
+
+template <typename Workload>
+void CheckFamily(const Workload& workload, uint64_t seed, bool is_dense) {
+  ObjectStore store;
+  FlourContext flour(&store);
+  VectorPool pool;
+  ExecContext ctx(&pool);
+  Rng rng(seed);
+  const auto configs = Configs();
+
+  for (const auto& spec : workload.pipelines()) {
+    // Golden reference: the black-box operator-at-a-time execution on the
+    // forced-scalar backend.
+    auto model = BlackBoxModel::Load(SaveModelImage(spec), BlackBoxOptions());
+    CHECK(model.ok());
+    auto program = flour.FromPipeline(spec);
+    std::vector<std::shared_ptr<ModelPlan>> plans;
+    for (const auto& [name, opts] : configs) {
+      CompileOptions copts;
+      copts.optimizer = opts;
+      auto plan = CompilePlan(*program, spec.name, copts);
+      CHECK_MSG(plan.ok(), "compile %s/%s", spec.name.c_str(), name);
+      plans.push_back(*plan);
+    }
+
+    std::vector<std::string> inputs;
+    for (int i = 0; i < 6; ++i) {
+      inputs.push_back(workload.SampleInput(rng));
+    }
+    std::vector<float> golden;
+    SetForceScalarKernels(true);
+    for (const auto& input : inputs) {
+      auto expected = (*model)->Predict(input);
+      CHECK(expected.ok());
+      golden.push_back(*expected);
+    }
+
+    for (const bool force_scalar : {true, false}) {
+      SetForceScalarKernels(force_scalar);
+      // Per-record execution, every plan variant.
+      for (size_t p = 0; p < plans.size(); ++p) {
+        for (size_t i = 0; i < inputs.size(); ++i) {
+          auto got = ExecutePlan(*plans[p], inputs[i], ctx);
+          CHECK_MSG(got.ok(), "%s/%s", spec.name.c_str(), configs[p].first);
+          CHECK_NEAR(*got, golden[i], 1e-5);
+        }
+      }
+      // Batch-major execution (dense plans take the SoA path; text plans
+      // must fall back bit-for-bit).
+      std::vector<float> scores(inputs.size(), 0.0f);
+      Status first_error;
+      const size_t failed = ExecutePlanBatch(
+          *plans[0], inputs.data(), inputs.size(), scores.data(), ctx,
+          &first_error);
+      CHECK_MSG(failed == 0, "batch failed: %s",
+                first_error.ToString().c_str());
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        CHECK_NEAR(scores[i], golden[i], 1e-5);
+      }
+    }
+    SetForceScalarKernels(false);
+
+    if (is_dense) {
+      // A batch containing an invalid record must fall back to per-record
+      // attribution: valid records still score, invalid ones fail.
+      SetForceScalarKernels(false);
+      std::vector<std::string> mixed = {inputs[0], "1.0,2.0", inputs[1]};
+      std::vector<float> scores(mixed.size(), -1.0f);
+      Status first_error;
+      const size_t failed = ExecutePlanBatch(*plans[0], mixed.data(),
+                                             mixed.size(), scores.data(), ctx,
+                                             &first_error);
+      CHECK_EQ(failed, size_t{1});
+      CHECK(!first_error.ok());
+      CHECK_NEAR(scores[0], golden[0], 1e-5);
+      CHECK_NEAR(scores[1], 0.0f, 1e-9);
+      CHECK_NEAR(scores[2], golden[1], 1e-5);
+    }
+  }
+}
+
+// A linear model narrower than the concat space is legal (missing weights
+// read as zero); binding and every execution path must handle it without
+// walking past the weight array.
+void CheckShortWeights() {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = 1;
+  opts.char_dict_entries = 300;
+  opts.word_dict_entries = 100;
+  opts.vocabulary_size = 200;
+  const auto sa = SaWorkload::Generate(opts);
+  PipelineSpec spec = sa.pipelines()[0];
+  for (auto& node : spec.nodes) {
+    if (node.params->kind() == OpKind::kLinearBinary) {
+      auto short_lin = std::make_shared<LinearBinaryParams>();
+      const auto& full =
+          static_cast<const LinearBinaryParams&>(*node.params);
+      short_lin->weights.assign(full.weights.begin(),
+                                full.weights.begin() + 5);
+      short_lin->bias = full.bias;
+      short_lin->Finalize();
+      node.params = short_lin;
+    }
+  }
+  auto model = BlackBoxModel::Load(SaveModelImage(spec), BlackBoxOptions());
+  CHECK(model.ok());
+  ObjectStore store;
+  FlourContext flour(&store);
+  VectorPool pool;
+  ExecContext ctx(&pool);
+  auto program = flour.FromPipeline(spec);
+  Rng rng(99);
+  for (const auto& [name, opts2] : Configs()) {
+    CompileOptions copts;
+    copts.optimizer = opts2;
+    auto plan = CompilePlan(*program, "short", copts);
+    CHECK(plan.ok());
+    for (int i = 0; i < 3; ++i) {
+      const std::string input = sa.SampleInput(rng);
+      auto expected = (*model)->Predict(input);
+      auto got = ExecutePlan(**plan, input, ctx);
+      CHECK(expected.ok());
+      CHECK_MSG(got.ok(), "short-weights %s", name);
+      CHECK_NEAR(*got, *expected, 1e-5);
+    }
+  }
+  std::printf("short-weights parity: PASS\n");
+}
+
+}  // namespace
+
+int main() {
+  SaWorkloadOptions sa_opts;
+  sa_opts.num_pipelines = 6;
+  sa_opts.char_dict_entries = 600;
+  sa_opts.word_dict_entries = 200;
+  sa_opts.vocabulary_size = 400;
+  CheckFamily(SaWorkload::Generate(sa_opts), 4321, /*is_dense=*/false);
+
+  AcWorkloadOptions ac_opts;
+  ac_opts.num_pipelines = 5;
+  ac_opts.featurizer_trees = 12;
+  ac_opts.featurizer_depth = 5;
+  ac_opts.final_trees = 8;
+  ac_opts.final_depth = 4;
+  CheckFamily(AcWorkload::Generate(ac_opts), 8765, /*is_dense=*/true);
+  CheckShortWeights();
+
+  std::printf("datapath_parity_test: PASS (backend %s)\n",
+              KernelBackendName(ActiveKernelBackend()));
+  return 0;
+}

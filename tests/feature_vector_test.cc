@@ -1,0 +1,174 @@
+// FeatureVector unit tests (dense<->sparse round-trips, pooled-storage
+// reuse) plus HashDict structural tests (collision-heavy probe chains, the
+// no-regrow rehash path, prefetch hint safety).
+#include <cstdio>
+#include <vector>
+
+#include "src/ops/feature_vector.h"
+#include "src/ops/kernels.h"
+#include "src/runtime/exec_context.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+static void TestSparseRoundTrip() {
+  FeatureVector fv;
+  fv.BeginSparse(100);
+  fv.Append(7, 2.0f);
+  fv.Append(3, 1.0f);
+  fv.Append(7, 0.5f);  // Duplicate: coalesces to 2.5.
+  fv.Append(99, -4.0f);
+  fv.SortCoalesce();
+  CHECK(fv.is_sparse());
+  CHECK_EQ(fv.nnz(), size_t{3});
+  CHECK_EQ(fv.ids()[0], 3u);
+  CHECK_EQ(fv.ids()[1], 7u);
+  CHECK_EQ(fv.ids()[2], 99u);
+  CHECK_NEAR(fv.values()[1], 2.5f, 1e-6);
+
+  std::vector<float> weights(100, 0.0f);
+  weights[3] = 2.0f;
+  weights[7] = 1.0f;
+  weights[99] = 0.25f;
+  const double sparse_dot = fv.Dot(weights.data(), weights.size());
+  CHECK_NEAR(sparse_dot, 2.0 + 2.5 - 1.0, 1e-6);
+
+  // Densify: scatter, same dot, then Sparsify back to the same entries.
+  fv.Densify();
+  CHECK(fv.is_dense());
+  CHECK_EQ(fv.dim(), size_t{100});
+  CHECK_NEAR(fv.dense_data()[7], 2.5f, 1e-6);
+  CHECK_NEAR(fv.dense_data()[0], 0.0f, 1e-6);
+  CHECK_NEAR(fv.Dot(weights.data(), weights.size()), sparse_dot, 1e-6);
+  fv.Sparsify();
+  CHECK(fv.is_sparse());
+  CHECK_EQ(fv.nnz(), size_t{3});
+  CHECK_EQ(fv.ids()[2], 99u);
+  CHECK_NEAR(fv.values()[2], -4.0f, 1e-6);
+  CHECK_NEAR(fv.Dot(weights.data(), weights.size()), sparse_dot, 1e-6);
+  std::printf("sparse round-trip: PASS\n");
+}
+
+static void TestAssignCountsAndConcat() {
+  FeatureVector a, b, cat;
+  std::vector<uint32_t> hits = {5, 1, 5, 5, 2};
+  a.AssignCounts(hits, 10);
+  CHECK_EQ(a.nnz(), size_t{3});
+  CHECK_EQ(a.ids()[0], 1u);
+  CHECK_NEAR(a.values()[2], 3.0f, 1e-6);  // id 5 hit three times.
+
+  hits = {0, 4, 0};
+  b.AssignCounts(hits, 6);
+  cat.AssignConcat(a, b, /*b_offset=*/10);
+  CHECK_EQ(cat.dim(), size_t{16});
+  CHECK_EQ(cat.nnz(), size_t{5});
+  CHECK_EQ(cat.ids()[3], 10u);  // b's id 0, rebased.
+  CHECK_NEAR(cat.values()[3], 2.0f, 1e-6);
+  CHECK_EQ(cat.ids()[4], 14u);
+  std::printf("counts + concat: PASS\n");
+}
+
+static void TestPooledStorageReuse() {
+  VectorPool pool;
+  {
+    FeatureVector fv(&pool);
+    fv.MutableDense(512);
+    CHECK(fv.value_capacity() >= 512);
+    fv.ReleaseStorage();  // Lease returns to the pool.
+    CHECK_EQ(fv.value_capacity(), size_t{0});
+  }
+  const VectorPool::Stats after_release = pool.GetStats();
+  CHECK(after_release.released >= 1);
+
+  // A second vector's first growth is served from the free list, and a warm
+  // vector re-densified at the same size does not re-lease.
+  FeatureVector fv2(&pool);
+  fv2.MutableDense(256);
+  const VectorPool::Stats after_acquire = pool.GetStats();
+  CHECK(after_acquire.hits >= 1);
+  const size_t cap = fv2.value_capacity();
+  CHECK(cap >= 512);  // The recycled 512-float lease.
+  fv2.Reset();
+  fv2.MutableDense(256);
+  CHECK_EQ(fv2.value_capacity(), cap);  // No new lease, warm buffer reused.
+  const VectorPool::Stats after_reuse = pool.GetStats();
+  CHECK_EQ(after_reuse.hits, after_acquire.hits);
+  fv2.ReleaseStorage();
+  std::printf("pooled-storage reuse: PASS\n");
+}
+
+// Collision-heavy HashDict: hundreds of keys whose mixed hash lands in the
+// same bucket of a 1024-slot table, forcing one long linear-probe chain.
+static void TestHashDictCollisions() {
+  const size_t mask = 1023;
+  std::vector<uint64_t> colliders;
+  uint64_t candidate = 1;
+  while (colliders.size() < 256) {
+    if ((SplitMix64(candidate) & mask) == 0) {
+      colliders.push_back(candidate);
+    }
+    ++candidate;
+  }
+  HashDict dict;
+  dict.Reserve(512);  // 1024 slots at the 0.7 load factor.
+  for (size_t i = 0; i < colliders.size(); ++i) {
+    CHECK(dict.Insert(colliders[i], static_cast<uint32_t>(i)));
+  }
+  CHECK_EQ(dict.size(), colliders.size());
+  for (size_t i = 0; i < colliders.size(); ++i) {
+    dict.Prefetch(colliders[i]);  // Hint must be safe on any key.
+    CHECK_EQ(dict.Find(colliders[i]), static_cast<int64_t>(i));
+    CHECK(!dict.Insert(colliders[i], 0));  // Duplicate insert is rejected.
+  }
+  // Misses that hash into the cluster must walk the whole chain and still
+  // terminate at the trailing empty slot.
+  size_t probed_misses = 0;
+  while (probed_misses < 64) {
+    if ((SplitMix64(candidate) & mask) == 0) {
+      dict.Prefetch(candidate);
+      CHECK_EQ(dict.Find(candidate), int64_t{-1});
+      ++probed_misses;
+    }
+    ++candidate;
+  }
+  std::printf("hash-dict collisions: PASS\n");
+}
+
+// Growth path: start tiny so thousands of inserts force repeated rehash
+// cycles; every key must survive every rebuild.
+static void TestHashDictGrowth() {
+  HashDict dict;  // No Reserve: first insert builds the minimum table.
+  Rng rng(77);
+  std::vector<uint64_t> keys;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    uint64_t k = rng.NextU64();
+    if (k == 0) {
+      k = 1;
+    }
+    keys.push_back(k);
+  }
+  size_t unique = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (dict.Insert(keys[i], static_cast<uint32_t>(i))) {
+      ++unique;
+    }
+  }
+  CHECK_EQ(dict.size(), unique);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CHECK(dict.Find(keys[i]) >= 0);
+  }
+  size_t enumerated = 0;
+  dict.ForEach([&enumerated](uint64_t, uint32_t) { ++enumerated; });
+  CHECK_EQ(enumerated, unique);
+  std::printf("hash-dict growth: PASS\n");
+}
+
+int main() {
+  TestSparseRoundTrip();
+  TestAssignCountsAndConcat();
+  TestPooledStorageReuse();
+  TestHashDictCollisions();
+  TestHashDictGrowth();
+  std::printf("feature_vector_test: PASS\n");
+  return 0;
+}
