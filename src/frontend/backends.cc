@@ -39,6 +39,15 @@ void PretzelBackend::PredictAsync(const std::string& name,
   }
 }
 
+Result<float> PretzelBackend::PredictBinary(const std::string& name,
+                                            std::span<const uint8_t> record) {
+  Result<Runtime::PlanId> id = Route(name);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return runtime_->PredictBinary(*id, record);
+}
+
 Result<float> ClipperBackend::Predict(const std::string& name,
                                       const std::string& input) {
   return cluster_->Predict(name, input);

@@ -28,6 +28,11 @@ class PretzelBackend : public Backend {
   void PredictAsync(const std::string& name, const std::string& input,
                     std::function<void(Result<float>)> callback) override;
 
+  // Zero-copy: the borrowed record bytes go straight to
+  // Runtime::PredictBinary (validated in place, never converted).
+  Result<float> PredictBinary(const std::string& name,
+                              std::span<const uint8_t> record) override;
+
  private:
   Result<Runtime::PlanId> Route(const std::string& name) const;
 

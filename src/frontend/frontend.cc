@@ -37,6 +37,14 @@ Result<float> FrontEnd::Request(const std::string& name,
   return result;
 }
 
+Result<float> FrontEnd::RequestBinary(const std::string& name,
+                                      std::span<const uint8_t> record) {
+  SleepUs(options_.network_delay_us);  // Client -> frontend.
+  Result<float> result = backend_->PredictBinary(name, record);
+  SleepUs(options_.network_delay_us);  // Frontend -> client.
+  return result;
+}
+
 Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
                               std::function<void(Result<float>)> callback) {
   {

@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +43,15 @@ class Backend {
   virtual void PredictAsync(const std::string& name, const std::string& input,
                             std::function<void(Result<float>)> callback) {
     callback(Predict(name, input));
+  }
+  // Binary wire record (src/common/serialize.h). The default copies the
+  // bytes through the text entry point — zero-parse backends override it to
+  // hand the borrowed bytes to the runtime without a copy.
+  virtual Result<float> PredictBinary(const std::string& name,
+                                      std::span<const uint8_t> record) {
+    return Predict(name,
+                   std::string(reinterpret_cast<const char*>(record.data()),
+                               record.size()));
   }
 };
 
@@ -64,6 +74,12 @@ class FrontEnd {
 
   // Synchronous request on the caller's thread (hop + predict + hop).
   Result<float> Request(const std::string& name, const std::string& input);
+
+  // Synchronous binary-wire request: same hops, but the record bytes reach
+  // the backend borrowed — a zero-parse backend validates and scores them
+  // in place (no text parse, no copy).
+  Result<float> RequestBinary(const std::string& name,
+                              std::span<const uint8_t> record);
 
   // Queues the request for the IO pool; the callback fires from an IO
   // thread after the response hop. Fails fast (callback never runs) with

@@ -1,8 +1,10 @@
 #include "src/ops/kernels.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <system_error>
 
 namespace pretzel {
 
@@ -55,7 +57,7 @@ bool HashDict::Insert(uint64_t key, uint32_t id) {
   return InsertNoGrow(key, id);
 }
 
-void TokenizeText(const std::string& input, std::string* text,
+void TokenizeText(std::string_view input, std::string* text,
                   std::vector<std::pair<uint32_t, uint32_t>>* spans) {
   text->clear();
   spans->clear();
@@ -325,8 +327,35 @@ void TransposeToSoA(const float* rows, size_t batch, size_t row_stride,
   }
 }
 
+void TransposeRowsToSoA(const float* const* rows, size_t batch, size_t in_dim,
+                        float* soa) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    internal::TransposeRowsToSoAAvx2(rows, batch, in_dim, soa);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < batch; ++b) {
+    const float* row = rows[b];
+    for (size_t c = 0; c < in_dim; ++c) {
+      soa[c * batch + b] = row[c];
+    }
+  }
+}
+
 double SparseDot(const uint32_t* ids, const float* vals, size_t nnz,
                  const float* weights, size_t w_dim) {
+#ifdef PRETZEL_HAVE_AVX2
+  if (UseAvx2()) {
+    return internal::SparseDotAvx2(ids, vals, nnz, weights, w_dim);
+  }
+#endif
+  return internal::SparseDotScalar(ids, vals, nnz, weights, w_dim);
+}
+
+namespace internal {
+double SparseDotScalar(const uint32_t* ids, const float* vals, size_t nnz,
+                       const float* weights, size_t w_dim) {
   double acc0 = 0.0, acc1 = 0.0;
   size_t i = 0;
   for (; i + 2 <= nnz; i += 2) {
@@ -344,17 +373,20 @@ double SparseDot(const uint32_t* ids, const float* vals, size_t nnz,
   }
   return acc0 + acc1;
 }
+}  // namespace internal
 
 float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
-size_t ParseDenseInput(const std::string& input, std::vector<float>* out) {
+// from_chars: bounded by [p, end) with no NUL-termination requirement, so
+// borrowed string_view slices (wire batch buffers) parse in place.
+size_t ParseDenseInput(std::string_view input, std::vector<float>* out) {
   out->clear();
-  const char* p = input.c_str();
+  const char* p = input.data();
   const char* end = p + input.size();
   while (p < end) {
-    char* next = nullptr;
-    const float v = std::strtof(p, &next);
-    if (next == p) {
+    float v;
+    const auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc() || next == p) {
       ++p;
       continue;
     }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -112,7 +113,7 @@ inline uint64_t ContentHash64(const char* data, size_t len, uint64_t seed = 0) {
 
 struct TokenizerParams;  // Defined in params.h; the kernel only needs the tag.
 
-void TokenizeText(const std::string& input, std::string* text,
+void TokenizeText(std::string_view input, std::string* text,
                   std::vector<std::pair<uint32_t, uint32_t>>* spans);
 
 // ---------------------------------------------------------------------------
@@ -242,8 +243,16 @@ void KMeansTransformBatchSoA(const float* centroids, size_t k, size_t dim,
 void TransposeToSoA(const float* rows, size_t batch, size_t row_stride,
                     size_t in_dim, float* soa);
 
+// Gather variant for rows that are not contiguous: rows[b][c] ->
+// soa[c * batch + b]. This is how binary wire records (each row aliasing
+// its record's payload in place) enter the SoA spine with no AoS staging
+// copy, and how a masked batch transposes only its valid rows.
+void TransposeRowsToSoA(const float* const* rows, size_t batch, size_t in_dim,
+                        float* soa);
+
 // Sparse dot product against a dense weight array; ids at or beyond w_dim
 // contribute nothing. Double accumulation (matches the Linear stages).
+// Dispatched: AVX2 builds use a masked-gather kernel on supporting CPUs.
 double SparseDot(const uint32_t* ids, const float* vals, size_t nnz,
                  const float* weights, size_t w_dim);
 
@@ -260,6 +269,8 @@ void MatVecBatchSoAScalar(const float* matrix, size_t out_dim, size_t in_dim,
 void KMeansTransformBatchSoAScalar(const float* centroids, size_t k,
                                    size_t dim, const float* in_soa,
                                    size_t batch, float* out_soa);
+double SparseDotScalar(const uint32_t* ids, const float* vals, size_t nnz,
+                       const float* weights, size_t w_dim);
 #ifdef PRETZEL_HAVE_AVX2
 // AVX2+FMA backend (separate TU compiled with -mavx2 -mfma; only ever
 // called after runtime CPU detection).
@@ -275,13 +286,17 @@ void KMeansTransformBatchSoAAvx2(const float* centroids, size_t k, size_t dim,
                                  float* out_soa);
 void TransposeToSoAAvx2(const float* rows, size_t batch, size_t row_stride,
                         size_t in_dim, float* soa);
+void TransposeRowsToSoAAvx2(const float* const* rows, size_t batch,
+                            size_t in_dim, float* soa);
+double SparseDotAvx2(const uint32_t* ids, const float* vals, size_t nnz,
+                     const float* weights, size_t w_dim);
 #endif  // PRETZEL_HAVE_AVX2
 }  // namespace internal
 
 float Sigmoid(float x);
 
 // Parses "f0,f1,...,fn" into out; returns the number of parsed values.
-size_t ParseDenseInput(const std::string& input, std::vector<float>* out);
+size_t ParseDenseInput(std::string_view input, std::vector<float>* out);
 
 // ---------------------------------------------------------------------------
 // Decision forests. Flat node array; leaves have feature < 0.

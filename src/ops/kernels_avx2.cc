@@ -257,6 +257,79 @@ void TransposeToSoAAvx2(const float* rows, size_t batch, size_t row_stride,
   }
 }
 
+void TransposeRowsToSoAAvx2(const float* const* rows, size_t batch,
+                            size_t in_dim, float* soa) {
+  size_t b = 0;
+  for (; b + 8 <= batch; b += 8) {
+    size_t c = 0;
+    for (; c + 8 <= in_dim; c += 8) {
+      __m256 r[8];
+      for (int i = 0; i < 8; ++i) {
+        r[i] = _mm256_loadu_ps(rows[b + i] + c);
+      }
+      Transpose8x8(r);
+      for (int i = 0; i < 8; ++i) {
+        _mm256_storeu_ps(soa + (c + i) * batch + b, r[i]);
+      }
+    }
+    for (; c < in_dim; ++c) {
+      for (size_t i = 0; i < 8; ++i) {
+        soa[c * batch + b + i] = rows[b + i][c];
+      }
+    }
+  }
+  for (; b < batch; ++b) {
+    const float* row = rows[b];
+    for (size_t c = 0; c < in_dim; ++c) {
+      soa[c * batch + b] = row[c];
+    }
+  }
+}
+
+// Masked-gather sparse dot. Per 8-id group: an unsigned id < w_dim compare
+// builds the gather mask (out-of-range ids contribute nothing AND touch no
+// memory — masked-off gather lanes are architecturally suppressed, so a
+// hostile id can never read out of bounds), then weights and values are
+// widened to double before the FMA so every term matches the scalar
+// backend's double(w) * double(v) product exactly (float*float is exact in
+// double); only the association order differs.
+double SparseDotAvx2(const uint32_t* ids, const float* vals, size_t nnz,
+                     const float* weights, size_t w_dim) {
+  if (w_dim > static_cast<size_t>(INT32_MAX)) {
+    return SparseDotScalar(ids, vals, nnz, weights, w_dim);
+  }
+  const __m256i sign = _mm256_set1_epi32(INT32_MIN);
+  const __m256i dim_biased =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int32_t>(w_dim)), sign);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m256i idv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    // Unsigned compare via sign-bias: mask lane = (id < w_dim).
+    const __m256i mask =
+        _mm256_cmpgt_epi32(dim_biased, _mm256_xor_si256(idv, sign));
+    const __m256 w = _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), weights, idv, _mm256_castsi256_ps(mask), 4);
+    const __m256 v = _mm256_loadu_ps(vals + i);
+    acc0 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(w)),
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(v)), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(w, 1)),
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), acc1);
+  }
+  const __m256d both = _mm256_add_pd(acc0, acc1);
+  const __m128d half = _mm_add_pd(_mm256_castpd256_pd128(both),
+                                  _mm256_extractf128_pd(both, 1));
+  double acc = _mm_cvtsd_f64(_mm_add_sd(half, _mm_unpackhi_pd(half, half)));
+  for (; i < nnz; ++i) {
+    if (ids[i] < w_dim) {
+      acc += static_cast<double>(weights[ids[i]]) * vals[i];
+    }
+  }
+  return acc;
+}
+
 }  // namespace internal
 }  // namespace pretzel
 

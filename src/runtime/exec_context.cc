@@ -1,7 +1,9 @@
 #include "src/runtime/exec_context.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "src/common/serialize.h"
 #include "src/ops/kernels.h"
 #include "src/oven/model_plan.h"
 #include "src/oven/subplan_cache.h"
@@ -73,10 +75,17 @@ void ExecContext::ReleaseScratch() {
   std::vector<float>().swap(pca_out);
   std::vector<float>().swap(kmeans_out);
   std::vector<float>().swap(tree_out);
+  std::vector<uint32_t>().swap(sparse_ids);
+  std::vector<float>().swap(sparse_vals);
   std::vector<float>().swap(batch_rows);
+  std::vector<const float*>().swap(batch_row_ptrs);
+  std::vector<uint32_t>().swap(batch_valid);
   std::vector<float>().swap(batch_soa);
   std::vector<float>().swap(batch_stage);
   std::vector<float>().swap(batch_features);
+  std::vector<std::string_view>().swap(batch_views);
+  std::vector<float>().swap(batch_scores);
+  std::vector<uint8_t>().swap(batch_failed);
 }
 
 ExecContextPool::ExecContextPool(VectorPool* pool, bool reuse_enabled)
@@ -115,13 +124,72 @@ void ExecContextPool::Release(std::unique_ptr<ExecContext> ctx) {
 namespace {
 
 // Cache keys tie a materialized scan to (input content, dictionary version).
-inline uint64_t InputHash(const std::string& input) {
+inline uint64_t InputHash(std::string_view input) {
   return ContentHash64(input.data(), input.size(), 0xF00D);
 }
 
-Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
+// Pre-featurized sparse wire record on a text-family plan: the record's ids
+// live in the plan's concat space (char ids first, word ids offset by
+// char_dim), so scoring is two sparse dots against the bound fused weight
+// layout plus the bias — featurization (tokenize + scans) is skipped
+// entirely. Every optimizer config of a text plan computes
+// sigmoid(w . x + bias) over that space, so one scoring path serves all of
+// them, validated, never converted.
+Result<float> ExecuteSparseWireRecord(const ModelPlan::BoundText& b,
+                                      std::string_view input,
+                                      ExecContext& ctx) {
+  BinaryRecordView view;
+  Status status = ParseBinaryRecord(input, &view);
+  if (!status.ok()) {
+    return status;
+  }
+  if (!view.valid) {
+    return Status::InvalidArgument("binary record marked invalid");
+  }
+  if (view.format != BinaryRecordFormat::kSparse) {
+    return Status::InvalidArgument("dense binary record on text plan");
+  }
+  if (view.dim != b.char_dim + b.word_dim) {
+    return Status::InvalidArgument("sparse record dim != plan concat space");
+  }
+  if (b.fused_weights.empty() && view.dim > 0) {
+    return Status::InvalidArgument("text plan has no bound linear weights");
+  }
+  const uint32_t* ids = view.ids;
+  const float* vals = view.values;
+  if (!view.aligned) {
+    // Odd-offset slice of a batch buffer: stage the payload once.
+    ctx.sparse_ids.resize(view.nnz);
+    ctx.sparse_vals.resize(view.nnz);
+    CopySparsePayload(view, ctx.sparse_ids.data(), ctx.sparse_vals.data());
+    ids = ctx.sparse_ids.data();
+    vals = ctx.sparse_vals.data();
+  }
+  // Ids are strictly ascending (wire invariant), so the char/word boundary
+  // is one partition point.
+  const uint32_t char_dim = static_cast<uint32_t>(b.char_dim);
+  const size_t split =
+      std::lower_bound(ids, ids + view.nnz, char_dim) - ids;
+  double acc = SparseDot(ids, vals, split, b.char_weights(), b.char_dim);
+  const size_t word_n = view.nnz - split;
+  if (word_n > 0) {
+    // Rebase word ids to the word-weight slice's origin.
+    ctx.sparse_ids.resize(word_n);
+    for (size_t j = 0; j < word_n; ++j) {
+      ctx.sparse_ids[j] = ids[split + j] - char_dim;
+    }
+    acc += SparseDot(ctx.sparse_ids.data(), vals + split, word_n,
+                     b.word_weights(), b.word_dim);
+  }
+  return Sigmoid(static_cast<float>(acc) + b.bias);
+}
+
+Result<float> ExecuteText(const ModelPlan& plan, std::string_view input,
                           ExecContext& ctx) {
   const ModelPlan::BoundText& b = plan.bound_text();
+  if (IsBinaryRecord(input)) {
+    return ExecuteSparseWireRecord(b, input, ctx);
+  }
   SubPlanCache* cache = ctx.subplan_cache;
   const uint64_t input_hash = cache != nullptr ? InputHash(input) : 0;
 
@@ -264,37 +332,66 @@ Result<float> ExecuteText(const ModelPlan& plan, const std::string& input,
   return score;
 }
 
-Result<float> ExecuteDense(const ModelPlan& plan, const std::string& input,
+Result<float> ExecuteDense(const ModelPlan& plan, std::string_view input,
                            ExecContext& ctx) {
   const ModelPlan::BoundDense& b = plan.bound_dense();
+  // The featurizer input span. Text records parse into ctx.dense_in; an
+  // aligned binary record aliases its wire payload — validated, never
+  // converted — and only a misaligned one stages through ctx.dense_in.
+  const float* dense = nullptr;
+  size_t dense_n = 0;
   float score = 0.0f;
   for (const PlanStage& stage : plan.stages()) {
     switch (stage.kind) {
       case StageKind::kParse:
-        ParseDenseInput(input, &ctx.dense_in);
+        if (IsBinaryRecord(input)) {
+          BinaryRecordView view;
+          Status status = ParseBinaryRecord(input, &view);
+          if (!status.ok()) {
+            return status;
+          }
+          if (!view.valid) {
+            return Status::InvalidArgument("binary record marked invalid");
+          }
+          if (view.format != BinaryRecordFormat::kDense) {
+            return Status::InvalidArgument(
+                "sparse binary record on dense plan");
+          }
+          if (view.aligned) {
+            dense = view.values;
+          } else {
+            ctx.dense_in.resize(view.dim);
+            CopyDenseValues(view, ctx.dense_in.data());
+            dense = ctx.dense_in.data();
+          }
+          dense_n = view.dim;
+        } else {
+          ParseDenseInput(input, &ctx.dense_in);
+          dense = ctx.dense_in.data();
+          dense_n = ctx.dense_in.size();
+        }
         // Every featurizer branch reads the parsed vector; validate against
         // the widest consumer once, up front.
-        if (ctx.dense_in.size() < b.pca->in_dim ||
-            ctx.dense_in.size() < b.kmeans->dim ||
-            ctx.dense_in.size() < b.tree_feat->forest.num_features) {
+        if (dense_n < b.pca->in_dim || dense_n < b.kmeans->dim ||
+            dense_n < b.tree_feat->forest.num_features) {
           return Status::InvalidArgument("dense input narrower than pipeline");
         }
         break;
       case StageKind::kPca:
         ctx.pca_out.resize(b.pca->out_dim);
         MatVec(b.pca->matrix.data(), b.pca->out_dim, b.pca->in_dim,
-               ctx.dense_in.data(), ctx.pca_out.data());
+               dense, ctx.pca_out.data());
         break;
       case StageKind::kKMeans:
         ctx.kmeans_out.resize(b.kmeans->k);
         KMeansTransform(b.kmeans->centroids.data(), b.kmeans->k, b.kmeans->dim,
-                        ctx.dense_in.data(), ctx.kmeans_out.data());
+                        dense, ctx.kmeans_out.data());
         break;
       case StageKind::kTreeFeaturize: {
         const Forest& forest = b.tree_feat->forest;
         ctx.tree_out.resize(forest.roots.size());
         for (size_t t = 0; t < forest.roots.size(); ++t) {
-          ctx.tree_out[t] = forest.EvalTree(t, ctx.dense_in.data());
+          ctx.tree_out[t] = forest.EvalTree(t, dense);
         }
         break;
       }
@@ -317,12 +414,12 @@ Result<float> ExecuteDense(const ModelPlan& plan, const std::string& input,
         float* out =
             ctx.dense_features.MutableDense(b.feature_dim, /*zero_fill=*/false);
         MatVec(b.pca->matrix.data(), b.pca->out_dim, b.pca->in_dim,
-               ctx.dense_in.data(), out + b.pca_off);
+               dense, out + b.pca_off);
         KMeansTransform(b.kmeans->centroids.data(), b.kmeans->k, b.kmeans->dim,
-                        ctx.dense_in.data(), out + b.kmeans_off);
+                        dense, out + b.kmeans_off);
         const Forest& forest = b.tree_feat->forest;
         for (size_t t = 0; t < forest.roots.size(); ++t) {
-          out[b.tree_off + t] = forest.EvalTree(t, ctx.dense_in.data());
+          out[b.tree_off + t] = forest.EvalTree(t, dense);
         }
         if (stage.inlined_forest) {
           score = b.bound_final.Eval(ctx.dense_features.dense_data());
@@ -338,7 +435,7 @@ Result<float> ExecuteDense(const ModelPlan& plan, const std::string& input,
 
 }  // namespace
 
-Result<float> ExecutePlan(const ModelPlan& plan, const std::string& input,
+Result<float> ExecutePlan(const ModelPlan& plan, std::string_view input,
                           ExecContext& ctx) {
   plan.EnsureBound();
   Result<float> result = plan.family() == ModelPlan::Family::kText
@@ -350,16 +447,23 @@ Result<float> ExecutePlan(const ModelPlan& plan, const std::string& input,
   return result;
 }
 
-size_t ExecutePlanPerRecord(const ModelPlan& plan, const std::string* inputs,
-                            size_t n, float* scores, ExecContext& ctx,
-                            Status* first_error) {
+size_t ExecutePlanPerRecord(const ModelPlan& plan,
+                            const std::string_view* inputs, size_t n,
+                            float* scores, ExecContext& ctx,
+                            Status* first_error, uint8_t* failed_flags) {
   size_t failed = 0;
   for (size_t i = 0; i < n; ++i) {
     Result<float> r = ExecutePlan(plan, inputs[i], ctx);
     if (r.ok()) {
       scores[i] = *r;
+      if (failed_flags != nullptr) {
+        failed_flags[i] = 0;
+      }
     } else {
       scores[i] = 0.0f;
+      if (failed_flags != nullptr) {
+        failed_flags[i] = 1;
+      }
       if (failed++ == 0 && first_error != nullptr) {
         *first_error = r.status();
       }
@@ -368,71 +472,148 @@ size_t ExecutePlanPerRecord(const ModelPlan& plan, const std::string* inputs,
   return failed;
 }
 
-size_t ExecutePlanBatch(const ModelPlan& plan, const std::string* inputs,
+size_t ExecutePlanBatch(const ModelPlan& plan, const std::string_view* inputs,
                         size_t n, float* scores, ExecContext& ctx,
-                        Status* first_error) {
+                        Status* first_error, uint8_t* failed_flags) {
   plan.EnsureBound();
   if (plan.family() != ModelPlan::Family::kDense || n < 2) {
-    return ExecutePlanPerRecord(plan, inputs, n, scores, ctx, first_error);
+    return ExecutePlanPerRecord(plan, inputs, n, scores, ctx, first_error,
+                                failed_flags);
   }
   const ModelPlan::BoundDense& b = plan.bound_dense();
   const size_t row_dim =
       std::max<size_t>(std::max<size_t>(b.pca->in_dim, b.kmeans->dim),
                        b.tree_feat->forest.num_features);
 
-  // Parse every record into an AoS staging row (trees branch on it). Any
-  // invalid record sends the whole quantum down the per-record path so its
-  // error is attributed exactly as the unbatched executor would.
+  // Gather every record into a row pointer: an aligned dense binary record
+  // aliases its wire payload (validated, never converted — no AoS staging
+  // copy), while text records and misaligned payloads stage through
+  // ctx.batch_rows. Invalid records are masked out of the transpose and
+  // attributed individually; the valid rows still run batch-major.
+  size_t failed = 0;
+  const auto fail = [&](size_t i, Status status) {
+    scores[i] = 0.0f;
+    if (failed_flags != nullptr) {
+      failed_flags[i] = 1;
+    }
+    if (failed++ == 0 && first_error != nullptr) {
+      *first_error = std::move(status);
+    }
+  };
   ctx.batch_rows.resize(n * row_dim);
+  ctx.batch_row_ptrs.resize(n);
+  ctx.batch_valid.clear();
   float* rows = ctx.batch_rows.data();
   for (size_t i = 0; i < n; ++i) {
-    ParseDenseInput(inputs[i], &ctx.dense_in);
-    if (ctx.dense_in.size() < row_dim) {
-      return ExecutePlanPerRecord(plan, inputs, n, scores, ctx, first_error);
+    if (failed_flags != nullptr) {
+      failed_flags[i] = 0;
     }
-    std::copy(ctx.dense_in.begin(),
-              ctx.dense_in.begin() + static_cast<ptrdiff_t>(row_dim),
-              rows + i * row_dim);
+    const float* row = nullptr;
+    if (IsBinaryRecord(inputs[i])) {
+      BinaryRecordView view;
+      Status status = ParseBinaryRecord(inputs[i], &view);
+      if (!status.ok()) {
+        fail(i, std::move(status));
+        continue;
+      }
+      if (!view.valid) {
+        fail(i, Status::InvalidArgument("binary record marked invalid"));
+        continue;
+      }
+      if (view.format != BinaryRecordFormat::kDense) {
+        fail(i, Status::InvalidArgument("sparse binary record on dense plan"));
+        continue;
+      }
+      if (view.dim < row_dim) {
+        fail(i, Status::InvalidArgument("dense input narrower than pipeline"));
+        continue;
+      }
+      if (view.aligned) {
+        row = view.values;
+      } else {
+        std::memcpy(rows + i * row_dim, view.payload, row_dim * sizeof(float));
+        row = rows + i * row_dim;
+      }
+    } else {
+      ParseDenseInput(inputs[i], &ctx.dense_in);
+      if (ctx.dense_in.size() < row_dim) {
+        fail(i, Status::InvalidArgument("dense input narrower than pipeline"));
+        continue;
+      }
+      std::copy(ctx.dense_in.begin(),
+                ctx.dense_in.begin() + static_cast<ptrdiff_t>(row_dim),
+                rows + i * row_dim);
+      row = rows + i * row_dim;
+    }
+    ctx.batch_row_ptrs[ctx.batch_valid.size()] = row;
+    ctx.batch_valid.push_back(static_cast<uint32_t>(i));
+  }
+  const size_t m = ctx.batch_valid.size();
+  if (m == 0) {
+    if (ctx.pool != nullptr && !ctx.pool->pooling_enabled()) {
+      ctx.ReleaseScratch();
+    }
+    return failed;
   }
 
-  // Batch-major dense stages: transpose to structure-of-arrays (the 8x8
-  // blocked kernel on AVX2 builds), then one blocked matrix-matrix kernel
-  // per stage instead of n matvecs. This is where the adaptive batcher's
-  // coalescing buys compute throughput.
-  ctx.batch_soa.resize(row_dim * n);
-  TransposeToSoA(rows, n, row_dim, row_dim, ctx.batch_soa.data());
+  // Batch-major dense stages over the m valid lanes: gather the row
+  // pointers into a structure-of-arrays transpose (8x8 blocked on AVX2
+  // builds), then one blocked matrix-matrix kernel per stage instead of m
+  // matvecs. This is where the adaptive batcher's coalescing buys compute
+  // throughput.
+  ctx.batch_soa.resize(row_dim * m);
+  TransposeRowsToSoA(ctx.batch_row_ptrs.data(), m, row_dim,
+                     ctx.batch_soa.data());
   const size_t pca_dim = b.pca->out_dim;
   const size_t km_k = b.kmeans->k;
-  ctx.batch_stage.resize((pca_dim + km_k) * n);
+  ctx.batch_stage.resize((pca_dim + km_k) * m);
   float* pca_soa = ctx.batch_stage.data();
-  float* km_soa = pca_soa + pca_dim * n;
+  float* km_soa = pca_soa + pca_dim * m;
   MatVecBatchSoA(b.pca->matrix.data(), pca_dim, b.pca->in_dim,
-                 ctx.batch_soa.data(), n, pca_soa);
+                 ctx.batch_soa.data(), m, pca_soa);
   KMeansTransformBatchSoA(b.kmeans->centroids.data(), km_k, b.kmeans->dim,
-                          ctx.batch_soa.data(), n, km_soa);
+                          ctx.batch_soa.data(), m, km_soa);
 
-  // Trees and the final forest branch per record; gather each record's
-  // feature row from the SoA stage outputs.
+  // Trees and the final forest branch per record; gather each lane's
+  // feature row from the SoA stage outputs (trees read the lane's row
+  // pointer directly — for aligned binary records that is still the wire
+  // payload).
   const Forest& trees = b.tree_feat->forest;
   ctx.batch_features.resize(b.feature_dim);
   float* feats = ctx.batch_features.data();
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t lane = 0; lane < m; ++lane) {
     for (size_t r = 0; r < pca_dim; ++r) {
-      feats[b.pca_off + r] = pca_soa[r * n + i];
+      feats[b.pca_off + r] = pca_soa[r * m + lane];
     }
     for (size_t r = 0; r < km_k; ++r) {
-      feats[b.kmeans_off + r] = km_soa[r * n + i];
+      feats[b.kmeans_off + r] = km_soa[r * m + lane];
     }
-    const float* row = ctx.batch_rows.data() + i * row_dim;
+    const float* row = ctx.batch_row_ptrs[lane];
     for (size_t t = 0; t < trees.roots.size(); ++t) {
       feats[b.tree_off + t] = trees.EvalTree(t, row);
     }
-    scores[i] = b.bound_final.Eval(feats);
+    scores[ctx.batch_valid[lane]] = b.bound_final.Eval(feats);
   }
   if (ctx.pool != nullptr && !ctx.pool->pooling_enabled()) {
     ctx.ReleaseScratch();
   }
-  return 0;
+  return failed;
+}
+
+size_t ExecutePlanBatch(const ModelPlan& plan, const std::string* inputs,
+                        size_t n, float* scores, ExecContext& ctx,
+                        Status* first_error, uint8_t* failed_flags) {
+  std::vector<std::string_view> views(inputs, inputs + n);
+  return ExecutePlanBatch(plan, views.data(), n, scores, ctx, first_error,
+                          failed_flags);
+}
+
+size_t ExecutePlanPerRecord(const ModelPlan& plan, const std::string* inputs,
+                            size_t n, float* scores, ExecContext& ctx,
+                            Status* first_error, uint8_t* failed_flags) {
+  std::vector<std::string_view> views(inputs, inputs + n);
+  return ExecutePlanPerRecord(plan, views.data(), n, scores, ctx, first_error,
+                              failed_flags);
 }
 
 }  // namespace pretzel

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/clock.h"
+#include "src/common/serialize.h"
 
 namespace pretzel {
 
@@ -14,8 +15,15 @@ namespace pretzel {
 struct Runtime::BatchJob {
   std::shared_ptr<ModelPlan> plan;
   std::vector<std::string> owned_inputs;
+  // Binary batch framing: per-record views into the caller's wire buffer
+  // (the caller blocks, so the buffer outlives the job).
+  std::vector<std::string_view> owned_views;
   std::vector<float> owned_results;
-  const std::string* inputs = nullptr;
+  // Exactly one of these two is set: string records (owned or borrowed
+  // from a blocked caller) or borrowed record views (text or binary wire
+  // bytes).
+  const std::string* str_inputs = nullptr;
+  const std::string_view* view_inputs = nullptr;
   float* results = nullptr;
   size_t count = 0;
   std::atomic<size_t> remaining{0};
@@ -219,6 +227,7 @@ struct Runtime::PlanQueue {
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> dispatches{0};
   std::atomic<uint64_t> coalesced{0};
+  std::atomic<uint64_t> singles_batched{0};
   std::atomic<uint64_t> errors{0};
   std::vector<std::unique_ptr<MetricShard>> shards;  // One per group executor.
 };
@@ -550,7 +559,7 @@ bool Runtime::PopSpill(PlanQueue* pq, Event* out) {
 // ---------------------------------------------------------------------------
 // Public prediction entry points.
 
-Result<float> Runtime::Predict(PlanId id, const std::string& input) {
+Result<float> Runtime::Predict(PlanId id, std::string_view input) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
@@ -574,7 +583,7 @@ Result<float> Runtime::Predict(PlanId id, const std::string& input) {
     Result<float> result = Status::Error("pending");
   } waiter;
   Event event;
-  event.input = input;
+  event.input = std::string(input);
   event.done = [&waiter](Result<float> r) {
     std::lock_guard<std::mutex> lock(waiter.mu);
     waiter.result = std::move(r);
@@ -588,6 +597,15 @@ Result<float> Runtime::Predict(PlanId id, const std::string& input) {
   std::unique_lock<std::mutex> lock(waiter.mu);
   waiter.cv.wait(lock, [&] { return waiter.done; });
   return std::move(waiter.result);
+}
+
+Result<float> Runtime::PredictBinary(PlanId id,
+                                     std::span<const uint8_t> record) {
+  // One wire record, borrowed: the executor validates it in place and an
+  // aligned dense payload aliases straight into the kernels.
+  return Predict(id,
+                 std::string_view(reinterpret_cast<const char*>(record.data()),
+                                  record.size()));
 }
 
 Status Runtime::PredictAsync(PlanId id, std::string input,
@@ -646,12 +664,39 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
   job->plan = pq->plan;
   job->owned_inputs = std::move(inputs);
   job->owned_results.assign(job->owned_inputs.size(), 0.0f);
-  job->inputs = job->owned_inputs.data();
+  job->str_inputs = job->owned_inputs.data();
   job->results = job->owned_results.data();
   job->count = job->owned_inputs.size();
   job->remaining.store(job->count);
   job->callback = std::move(callback);
   return SubmitBatchJob(pq, std::move(job), max_batch);
+}
+
+// The synchronous borrowed-input protocol: submit, block until the last
+// chunk's callback fires. Blocking is what makes borrowing safe — the
+// caller's inputs and output span outlive every executor touch.
+Status Runtime::SubmitBatchJobAndWait(PlanQueue* pq,
+                                      std::shared_ptr<BatchJob> job,
+                                      size_t max_batch) {
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  } waiter;
+  job->callback = [&waiter](Status s, std::span<const float>) {
+    std::lock_guard<std::mutex> lock(waiter.mu);
+    waiter.status = std::move(s);
+    waiter.done = true;
+    waiter.cv.notify_one();
+  };
+  Status submit = SubmitBatchJob(pq, std::move(job), max_batch);
+  if (!submit.ok()) {
+    return submit;
+  }
+  std::unique_lock<std::mutex> lock(waiter.mu);
+  waiter.cv.wait(lock, [&] { return waiter.done; });
+  return waiter.status;
 }
 
 Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
@@ -666,34 +711,69 @@ Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
   if (out.size() < inputs.size()) {
     return Status::InvalidArgument("output span narrower than batch");
   }
-  struct Waiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status status;
-  } waiter;
   // Borrowed inputs/results: this caller blocks until the last chunk
   // completes, so the executors write scores straight through the caller's
   // span and read the caller's strings in place — no copy on either side.
   auto job = std::make_shared<BatchJob>();
   job->plan = pq->plan;
-  job->inputs = inputs.data();
+  job->str_inputs = inputs.data();
   job->results = out.data();
   job->count = inputs.size();
   job->remaining.store(job->count);
-  job->callback = [&waiter](Status s, std::span<const float>) {
-    std::lock_guard<std::mutex> lock(waiter.mu);
-    waiter.status = std::move(s);
-    waiter.done = true;
-    waiter.cv.notify_one();
-  };
-  Status submit = SubmitBatchJob(pq, std::move(job), max_batch);
-  if (!submit.ok()) {
-    return submit;
+  return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+}
+
+Status Runtime::PredictBatch(PlanId id, const std::string_view* inputs,
+                             size_t n, size_t max_batch,
+                             std::span<float> out) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
   }
-  std::unique_lock<std::mutex> lock(waiter.mu);
-  waiter.cv.wait(lock, [&] { return waiter.done; });
-  return waiter.status;
+  if (n == 0) {
+    return Status::OK();
+  }
+  if (out.size() < n) {
+    return Status::InvalidArgument("output span narrower than batch");
+  }
+  auto job = std::make_shared<BatchJob>();
+  job->plan = pq->plan;
+  job->view_inputs = inputs;
+  job->results = out.data();
+  job->count = n;
+  job->remaining.store(n);
+  return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+}
+
+Status Runtime::PredictBinary(PlanId id, std::span<const uint8_t> records,
+                              size_t max_batch, std::span<float> out) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  // Frame the wire buffer into per-record views — a header walk, no record
+  // is parsed or copied — then ride the borrowed-views batch path: aligned
+  // dense payloads are gathered straight into the SoA transpose.
+  auto job = std::make_shared<BatchJob>();
+  Status split = SplitBinaryBatch(
+      std::string_view(reinterpret_cast<const char*>(records.data()),
+                       records.size()),
+      &job->owned_views);
+  if (!split.ok()) {
+    return split;
+  }
+  if (job->owned_views.empty()) {
+    return Status::OK();
+  }
+  if (out.size() < job->owned_views.size()) {
+    return Status::InvalidArgument("output span narrower than batch");
+  }
+  job->plan = pq->plan;
+  job->view_inputs = job->owned_views.data();
+  job->results = out.data();
+  job->count = job->owned_views.size();
+  job->remaining.store(job->count);
+  return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
 }
 
 Result<std::vector<float>> Runtime::PredictBatch(
@@ -947,18 +1027,37 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
     const Event& item = batch.front();
     BatchJob& job = *item.job;
     const size_t count = item.end - item.begin;
-    const std::string* in = job.inputs + item.begin;
     float* out = job.results + item.begin;
+    // Executors consume record views; string jobs stage borrowed views in
+    // scratch moved out of the context for the duration (ExecutePlan's
+    // no-pooling ablation calls ReleaseScratch mid-chunk, which would
+    // otherwise free the views out from under the loop).
+    std::vector<std::string_view> views;
+    const std::string_view* in;
+    if (job.view_inputs != nullptr) {
+      in = job.view_inputs + item.begin;
+    } else {
+      views = std::move(ctx.batch_views);
+      views.resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        views[i] = job.str_inputs[item.begin + i];
+      }
+      in = views.data();
+    }
     size_t failed = 0;
     Status chunk_error;
     if (options_.batch_major && count > 1) {
       // Batch-major: dense-family chunks run their PCA/KMeans stages as one
-      // SoA matrix-matrix kernel over the whole chunk (text-family and
-      // invalid-record chunks fall back to the per-record loop inside).
+      // SoA matrix-matrix kernel over the whole chunk (text-family chunks
+      // fall back to the per-record loop inside; invalid records are masked
+      // out of the transpose and attributed individually).
       failed = ExecutePlanBatch(*job.plan, in, count, out, ctx, &chunk_error);
     } else {
       failed =
           ExecutePlanPerRecord(*job.plan, in, count, out, ctx, &chunk_error);
+    }
+    if (!views.empty()) {
+      ctx.batch_views = std::move(views);
     }
     if (failed > 0) {
       std::lock_guard<std::mutex> lock(job.error_mu);
@@ -980,12 +1079,48 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
     return;
   }
   size_t failed = 0;
-  for (Event& event : batch) {
-    Result<float> r = ExecutePlan(*pq->plan, event.input, ctx);
-    if (!r.ok()) {
-      ++failed;
+  if (options_.batch_major && batch.size() > 1 &&
+      pq->plan->family() == ModelPlan::Family::kDense) {
+    // A coalesced group of same-plan singles is a batch the adaptive
+    // batcher built — run it batch-major so scheduler coalescing composes
+    // with the SoA batch kernels (one blocked matrix-matrix per stage
+    // instead of one matvec per event). Scratch is moved out of the
+    // context for the duration: the no-pooling ablation's mid-run
+    // ReleaseScratch would otherwise free these buffers while the scores
+    // are still being delivered.
+    const size_t n = batch.size();
+    std::vector<std::string_view> views = std::move(ctx.batch_views);
+    std::vector<float> scores = std::move(ctx.batch_scores);
+    std::vector<uint8_t> flags = std::move(ctx.batch_failed);
+    views.resize(n);
+    scores.resize(n);
+    flags.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      views[i] = batch[i].input;
     }
-    event.done(std::move(r));
+    failed = ExecutePlanBatch(*pq->plan, views.data(), n, scores.data(), ctx,
+                              nullptr, flags.data());
+    pq->singles_batched.fetch_add(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      if (flags[i] == 0) {
+        batch[i].done(scores[i]);
+        continue;
+      }
+      // Re-run the (rare) failed record alone to recover its exact Status —
+      // failures reject before any compute, so this costs one validation.
+      batch[i].done(ExecutePlan(*pq->plan, batch[i].input, ctx));
+    }
+    ctx.batch_views = std::move(views);
+    ctx.batch_scores = std::move(scores);
+    ctx.batch_failed = std::move(flags);
+  } else {
+    for (Event& event : batch) {
+      Result<float> r = ExecutePlan(*pq->plan, event.input, ctx);
+      if (!r.ok()) {
+        ++failed;
+      }
+      event.done(std::move(r));
+    }
   }
   // Sampled latency: one observation per dispatch, for the oldest event in
   // the group (the group's worst case) — keeps the per-event hot path free
@@ -1020,6 +1155,7 @@ RuntimeMetrics Runtime::GetMetrics() const {
     pm.rejected_events = pq->rejected.load(std::memory_order_relaxed);
     pm.dispatches = pq->dispatches.load(std::memory_order_relaxed);
     pm.coalesced_singles = pq->coalesced.load(std::memory_order_relaxed);
+    pm.batched_singles = pq->singles_batched.load(std::memory_order_relaxed);
     pm.errors = pq->errors.load(std::memory_order_relaxed);
     pm.queue_delay_ewma_us =
         pq->queue_delay_ewma_us.load(std::memory_order_relaxed);

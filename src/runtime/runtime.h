@@ -57,6 +57,7 @@
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -129,6 +130,10 @@ struct PlanMetrics {
   uint64_t rejected_events = 0;     // Backpressure drops.
   uint64_t dispatches = 0;          // Executor pulls (quanta).
   uint64_t coalesced_singles = 0;   // Singles dispatched via coalescing.
+  // Coalesced singles that executed batch-major (dense-family groups routed
+  // through ExecutePlanBatch instead of the per-event loop) — the scheduler
+  // coalescing composing with the SoA batch kernels.
+  uint64_t batched_singles = 0;
   uint64_t errors = 0;              // Failed records/singles.
   // EWMA of enqueue->dispatch delay (the retry-after hint attached to this
   // plan's ResourceExhausted rejections).
@@ -178,8 +183,24 @@ class Runtime {
 
   // Synchronous single prediction. Unreserved plans execute inline on the
   // caller's thread; reserved plans ride their dedicated queue so latency
-  // isolation holds for sync traffic too.
-  Result<float> Predict(PlanId id, const std::string& input);
+  // isolation holds for sync traffic too. The input bytes are borrowed for
+  // the call and may be a text record or a BinaryRecord wire record
+  // (src/common/serialize.h) — binary records take the zero-parse path.
+  Result<float> Predict(PlanId id, std::string_view input);
+
+  // Zero-copy binary entry point: `record` is one BinaryRecord, validated
+  // and executed in place (an aligned dense payload aliases straight into
+  // the kernels; no parse, no conversion).
+  Result<float> PredictBinary(PlanId id, std::span<const uint8_t> record);
+
+  // Zero-copy binary batch: `records` is a back-to-back concatenation of
+  // BinaryRecords (the wire batch framing — SplitBinaryBatch). The buffer
+  // is split into borrowed per-record views and ridden through the
+  // borrowed-span batch path: executors gather aligned payloads straight
+  // into the SoA transpose and write scores through `out`
+  // (out.size() >= record count). Blocks until completion.
+  Status PredictBinary(PlanId id, std::span<const uint8_t> records,
+                       size_t max_batch, std::span<float> out);
 
   // Asynchronous single prediction: an event on the plan's queue, eligible
   // for coalescing with other queued singles of the same plan. `callback`
@@ -197,6 +218,12 @@ class Runtime {
   // copied — the caller blocks until completion, so both stay valid. This
   // is the batch hot path; the vector-returning overload wraps it.
   Status PredictBatch(PlanId id, const std::vector<std::string>& inputs,
+                      size_t max_batch, std::span<float> out);
+
+  // Borrowed-views variant of the span overload: `inputs` points at `n`
+  // record views (text or binary wire bytes) that stay valid for the call.
+  // This is the path the binary batch entry point rides.
+  Status PredictBatch(PlanId id, const std::string_view* inputs, size_t n,
                       size_t max_batch, std::span<float> out);
 
   // Asynchronous batch: returns after enqueueing; `callback` fires exactly
@@ -234,6 +261,10 @@ class Runtime {
   // Chunks a prepared BatchJob into per-quantum events and enqueues them.
   Status SubmitBatchJob(PlanQueue* pq, std::shared_ptr<BatchJob> job,
                         size_t max_batch);
+  // Submits a borrowed-input job and blocks until its callback fires
+  // (the synchronous span/views/binary batch entry points share this).
+  Status SubmitBatchJobAndWait(PlanQueue* pq, std::shared_ptr<BatchJob> job,
+                               size_t max_batch);
   void ExecutorLoop(ExecGroup* group, SubPlanCache* cache, VectorPool* pool,
                     size_t shard_idx);
   void ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx, size_t shard_idx);

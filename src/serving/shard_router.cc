@@ -125,6 +125,16 @@ Result<float> ShardRouter::Predict(const std::string& name,
   return shards_[placement->shard]->runtime->Predict(placement->plan_id, input);
 }
 
+Result<float> ShardRouter::PredictBinary(const std::string& name,
+                                         std::span<const uint8_t> record) {
+  Result<ShardPlacement> placement = Placement(name);
+  if (!placement.ok()) {
+    return placement.status();
+  }
+  return shards_[placement->shard]->runtime->PredictBinary(placement->plan_id,
+                                                           record);
+}
+
 Status ShardRouter::PredictAsync(const std::string& name, std::string input,
                                  Runtime::SingleCallback callback) {
   Result<ShardPlacement> placement = Placement(name);

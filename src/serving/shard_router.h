@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -111,6 +112,10 @@ class ShardRouter {
 
   // Request routing: one placement lookup, then the owning shard's Runtime.
   Result<float> Predict(const std::string& name, const std::string& input);
+  // Binary wire record, borrowed: routed to the owning shard's zero-parse
+  // entry point without copy or conversion.
+  Result<float> PredictBinary(const std::string& name,
+                              std::span<const uint8_t> record);
   Status PredictAsync(const std::string& name, std::string input,
                       Runtime::SingleCallback callback);
   Result<std::vector<float>> PredictBatch(const std::string& name,

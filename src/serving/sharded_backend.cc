@@ -13,6 +13,15 @@ Result<float> ShardedBackend::Predict(const std::string& name,
   return result;
 }
 
+Result<float> ShardedBackend::PredictBinary(const std::string& name,
+                                            std::span<const uint8_t> record) {
+  Result<float> result = router_->PredictBinary(name, record);
+  if (!result.ok() && result.status().IsResourceExhausted()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
 void ShardedBackend::PredictAsync(const std::string& name,
                                   const std::string& input,
                                   std::function<void(Result<float>)> callback) {

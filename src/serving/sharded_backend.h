@@ -32,6 +32,11 @@ class ShardedBackend : public Backend {
   void PredictAsync(const std::string& name, const std::string& input,
                     std::function<void(Result<float>)> callback) override;
 
+  // Zero-copy: the borrowed wire record routes to the owning shard's
+  // binary entry point; admission drops land in the same counter.
+  Result<float> PredictBinary(const std::string& name,
+                              std::span<const uint8_t> record) override;
+
   // Predictions shed by any shard's admission control, summed router-wide.
   uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);

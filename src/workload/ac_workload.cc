@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/ops/kernels.h"
+
 namespace pretzel {
 
 AcWorkload AcWorkload::Generate(const AcWorkloadOptions& options) {
@@ -88,6 +90,24 @@ std::string AcWorkload::SampleInput(Rng& rng) const {
     input.append(buf);
   }
   return input;
+}
+
+std::string AcWorkload::SampleInput(Rng& rng, WireFormat format,
+                                    size_t /*model_index*/) const {
+  if (format == WireFormat::kText) {
+    return SampleInput(rng);
+  }
+  std::vector<float> values(input_dim_);
+  for (float& v : values) {
+    v = static_cast<float>(rng.Normal());
+  }
+  return EncodeDenseRecord(values.data(), values.size());
+}
+
+std::string AcWorkload::BinaryFromText(std::string_view text) {
+  std::vector<float> values;
+  ParseDenseInput(text, &values);
+  return EncodeDenseRecord(values.data(), values.size());
 }
 
 }  // namespace pretzel

@@ -6,9 +6,11 @@
 #define PRETZEL_WORKLOAD_AC_WORKLOAD_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/serialize.h"
 #include "src/ops/params.h"
 
 namespace pretzel {
@@ -36,6 +38,17 @@ class AcWorkload {
 
   // A structured input: input_dim comma-separated floats.
   std::string SampleInput(Rng& rng) const;
+
+  // Wire-format-aware sampling: kText emits the comma-separated record
+  // above, kBinary a dense BinaryRecord (zero-parse path). `model_index` is
+  // accepted for driver uniformity with SaWorkload; every AC pipeline
+  // shares one input schema, so it is unused.
+  std::string SampleInput(Rng& rng, WireFormat format,
+                          size_t model_index = 0) const;
+
+  // Re-encodes a text record as a dense BinaryRecord — the parity harness:
+  // both encodings of one sample must score identically.
+  static std::string BinaryFromText(std::string_view text);
 
  private:
   size_t input_dim_ = 40;

@@ -6,7 +6,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/serialize.h"
 
 namespace pretzel {
 
@@ -25,6 +29,23 @@ std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
 // the sharded serving stack).
 std::vector<size_t> ZipfModelSequence(size_t num_models, size_t count,
                                       double zipf_alpha, uint64_t seed);
+
+// Pre-sampled input pool for one model in either wire format. Works with
+// any workload exposing SampleInput(Rng&, WireFormat, size_t) — AC and SA
+// both do — so drivers toggle text vs. binary ingestion with one flag
+// instead of format-specific sampling loops.
+template <typename Workload>
+std::vector<std::string> GenerateInputPool(const Workload& workload,
+                                           size_t model_index, size_t count,
+                                           WireFormat format, uint64_t seed) {
+  Rng rng(seed ^ (0x1290ull + model_index));
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pool.push_back(workload.SampleInput(rng, format, model_index));
+  }
+  return pool;
+}
 
 }  // namespace pretzel
 

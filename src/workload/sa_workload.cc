@@ -143,4 +143,53 @@ std::string SaWorkload::SampleInput(Rng& rng) const {
   return input;
 }
 
+std::string SaWorkload::SampleInput(Rng& rng, WireFormat format,
+                                    size_t model_index) const {
+  std::string text = SampleInput(rng);
+  if (format == WireFormat::kText) {
+    return text;
+  }
+  return BinaryFromText(text, model_index);
+}
+
+std::string SaWorkload::BinaryFromText(std::string_view text,
+                                       size_t pipeline_index) const {
+  const PipelineSpec& spec = pipelines_[pipeline_index % pipelines_.size()];
+  // Pipeline layout is fixed at generation time:
+  // {tokenizer, char_dict, word_dict, concat, linear}.
+  const auto* char_params =
+      static_cast<const CharNgramParams*>(spec.nodes[1].params.get());
+  const auto* word_params =
+      static_cast<const WordNgramParams*>(spec.nodes[2].params.get());
+  const uint32_t char_dim = static_cast<uint32_t>(char_params->dict.size());
+  const uint32_t word_dim = static_cast<uint32_t>(word_params->dict.size());
+
+  std::string tokenized;
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  TokenizeText(text, &tokenized, &spans);
+
+  // Raw hits, char branch first with word ids rebased into the concat
+  // space, then coalesced into sorted (id, count) pairs — exactly the
+  // count vector the unpushed operator path materializes.
+  std::vector<uint32_t> hits;
+  ScanCharNgrams(tokenized, char_params->dict, char_params->scan,
+                 [&](uint32_t id) { hits.push_back(id); });
+  ScanWordNgrams(tokenized, spans, word_params->dict, word_params->scan,
+                 [&](uint32_t id) { hits.push_back(id + char_dim); });
+  std::sort(hits.begin(), hits.end());
+  std::vector<uint32_t> ids;
+  std::vector<float> counts;
+  for (size_t i = 0; i < hits.size();) {
+    size_t j = i;
+    while (j < hits.size() && hits[j] == hits[i]) {
+      ++j;
+    }
+    ids.push_back(hits[i]);
+    counts.push_back(static_cast<float>(j - i));
+    i = j;
+  }
+  return EncodeSparseRecord(ids.data(), counts.data(), ids.size(),
+                            char_dim + word_dim);
+}
+
 }  // namespace pretzel

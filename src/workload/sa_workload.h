@@ -7,9 +7,11 @@
 #define PRETZEL_WORKLOAD_SA_WORKLOAD_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/serialize.h"
 #include "src/ops/params.h"
 
 namespace pretzel {
@@ -32,6 +34,22 @@ class SaWorkload {
 
   // A plain-text input: a variable-length sentence over the vocabulary.
   std::string SampleInput(Rng& rng) const;
+
+  // Wire-format-aware sampling: kText emits the sentence above; kBinary
+  // pre-featurizes a sampled sentence with pipeline `model_index`'s own
+  // dictionaries into a sparse BinaryRecord over that plan's concat space
+  // (a binary record is dictionary-specific — SA inputs are only
+  // pre-featurizable against the pipeline that will score them).
+  std::string SampleInput(Rng& rng, WireFormat format,
+                          size_t model_index) const;
+
+  // Featurizes `text` exactly as pipeline `pipeline_index` would (tokenize,
+  // char/word n-gram scans against its dictionary versions, hit counts)
+  // and encodes the counts as a sparse BinaryRecord: char ids as-is, word
+  // ids offset by the char dictionary's size. The parity harness: the
+  // record must score identically to the text under every optimizer config.
+  std::string BinaryFromText(std::string_view text,
+                             size_t pipeline_index) const;
 
  private:
   std::vector<PipelineSpec> pipelines_;

@@ -4,11 +4,15 @@
 // black-box reference for every SA/AC workload plan. This is the contract
 // that lets the Oven and Runtime pick representations and kernels freely.
 #include <cstdio>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/blackbox/blackbox_model.h"
+#include "src/common/serialize.h"
 #include "src/flour/flour.h"
+#include "src/ops/kernels.h"
 #include "src/oven/model_plan.h"
 #include "src/runtime/exec_context.h"
 #include "src/workload/ac_workload.h"
@@ -18,6 +22,10 @@
 using namespace pretzel;
 
 namespace {
+
+// Pre-featurizes `text` into the BinaryRecord wire encoding for pipeline
+// `index`, or returns "" if the workload has no binary encoding for it.
+using MakeBinary = std::function<std::string(size_t, const std::string&)>;
 
 // The optimizer configurations that exercise each data-path variant.
 std::vector<std::pair<const char*, OptimizerOptions>> Configs() {
@@ -38,7 +46,8 @@ std::vector<std::pair<const char*, OptimizerOptions>> Configs() {
 }
 
 template <typename Workload>
-void CheckFamily(const Workload& workload, uint64_t seed, bool is_dense) {
+void CheckFamily(const Workload& workload, uint64_t seed, bool is_dense,
+                 const MakeBinary& make_binary) {
   ObjectStore store;
   FlourContext flour(&store);
   VectorPool pool;
@@ -46,7 +55,9 @@ void CheckFamily(const Workload& workload, uint64_t seed, bool is_dense) {
   Rng rng(seed);
   const auto configs = Configs();
 
-  for (const auto& spec : workload.pipelines()) {
+  for (size_t spec_idx = 0; spec_idx < workload.pipelines().size();
+       ++spec_idx) {
+    const auto& spec = workload.pipelines()[spec_idx];
     // Golden reference: the black-box operator-at-a-time execution on the
     // forced-scalar backend.
     auto model = BlackBoxModel::Load(SaveModelImage(spec), BlackBoxOptions());
@@ -98,6 +109,36 @@ void CheckFamily(const Workload& workload, uint64_t seed, bool is_dense) {
     }
     SetForceScalarKernels(false);
 
+    // BinaryRecord twins of the same inputs: the zero-parse wire format
+    // must hit the same goldens through every plan variant, per-record and
+    // batch-major, on both kernel backends.
+    std::vector<std::string> binaries;
+    for (const auto& input : inputs) {
+      binaries.push_back(make_binary(spec_idx, input));
+    }
+    for (const bool force_scalar : {true, false}) {
+      SetForceScalarKernels(force_scalar);
+      for (size_t p = 0; p < plans.size(); ++p) {
+        for (size_t i = 0; i < binaries.size(); ++i) {
+          auto got = ExecutePlan(*plans[p], binaries[i], ctx);
+          CHECK_MSG(got.ok(), "binary %s/%s", spec.name.c_str(),
+                    configs[p].first);
+          CHECK_NEAR(*got, golden[i], 1e-5);
+        }
+      }
+      std::vector<float> scores(binaries.size(), 0.0f);
+      Status first_error;
+      const size_t failed = ExecutePlanBatch(
+          *plans[0], binaries.data(), binaries.size(), scores.data(), ctx,
+          &first_error);
+      CHECK_MSG(failed == 0, "binary batch failed: %s",
+                first_error.ToString().c_str());
+      for (size_t i = 0; i < binaries.size(); ++i) {
+        CHECK_NEAR(scores[i], golden[i], 1e-5);
+      }
+    }
+    SetForceScalarKernels(false);
+
     if (is_dense) {
       // A batch containing an invalid record must fall back to per-record
       // attribution: valid records still score, invalid ones fail.
@@ -113,8 +154,76 @@ void CheckFamily(const Workload& workload, uint64_t seed, bool is_dense) {
       CHECK_NEAR(scores[0], golden[0], 1e-5);
       CHECK_NEAR(scores[1], 0.0f, 1e-9);
       CHECK_NEAR(scores[2], golden[1], 1e-5);
+
+      // Same attribution for a binary record whose validity bit is clear:
+      // it is masked out of the SoA gather, neighbors score untouched, and
+      // the per-record failure flags name exactly the masked lane.
+      std::vector<float> values;
+      CHECK(ParseDenseInput(inputs[1], &values) == values.size() &&
+            !values.empty());
+      const std::string invalid =
+          EncodeDenseRecord(values.data(), values.size(), /*valid=*/false);
+      std::vector<std::string> bmixed = {binaries[0], invalid, binaries[1]};
+      std::vector<float> bscores(bmixed.size(), -1.0f);
+      std::vector<uint8_t> flags(bmixed.size(), 0xEE);
+      Status berror;
+      const size_t bfailed =
+          ExecutePlanBatch(*plans[0], bmixed.data(), bmixed.size(),
+                           bscores.data(), ctx, &berror, flags.data());
+      CHECK_EQ(bfailed, size_t{1});
+      CHECK(!berror.ok());
+      CHECK_EQ(flags[0], uint8_t{0});
+      CHECK_EQ(flags[1], uint8_t{1});
+      CHECK_EQ(flags[2], uint8_t{0});
+      CHECK_NEAR(bscores[0], golden[0], 1e-5);
+      CHECK_NEAR(bscores[1], 0.0f, 1e-9);
+      CHECK_NEAR(bscores[2], golden[1], 1e-5);
     }
   }
+}
+
+// SparseDot unit parity: the dispatched kernel (AVX2 masked gather where
+// built+supported) must match the scalar backend exactly — double
+// accumulation in both — and ids at or beyond w_dim, including hostile
+// near-UINT32_MAX values, must contribute nothing and touch no memory
+// (the ASan job is the witness for the latter).
+void CheckSparseDotUnit() {
+  Rng rng(777);
+  std::vector<float> weights(1000);
+  for (float& w : weights) {
+    w = static_cast<float>(rng.Normal());
+  }
+  for (const size_t nnz : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                           size_t{500}}) {
+    std::vector<uint32_t> ids;
+    std::vector<float> vals;
+    uint32_t next = 0;
+    for (size_t i = 0; i < nnz; ++i) {
+      next += 1 + static_cast<uint32_t>(rng.UniformInt(5));
+      ids.push_back(next);
+      vals.push_back(static_cast<float>(rng.Normal()));
+    }
+    for (const size_t w_dim : {weights.size(), size_t{256}, size_t{3}}) {
+      const double ref = internal::SparseDotScalar(ids.data(), vals.data(),
+                                                   nnz, weights.data(), w_dim);
+      const double got =
+          SparseDot(ids.data(), vals.data(), nnz, weights.data(), w_dim);
+      CHECK_NEAR(got, ref, 1e-12);
+    }
+  }
+  // Hostile ids against a tiny weight array: everything out of range, the
+  // top ones chosen to break a signed or wrapping index computation.
+  const std::vector<uint32_t> hostile = {3,          4,          1000,
+                                         0x7FFFFFFF, 0x80000000, 0xFFFFFFFF};
+  const std::vector<float> hvals(hostile.size(), 2.0f);
+  std::vector<float> tiny = {1.0f, 1.0f, 1.0f};
+  const double got = SparseDot(hostile.data(), hvals.data(), hostile.size(),
+                               tiny.data(), tiny.size());
+  CHECK_NEAR(got, 0.0, 1e-12);
+  const double ref = internal::SparseDotScalar(
+      hostile.data(), hvals.data(), hostile.size(), tiny.data(), tiny.size());
+  CHECK_NEAR(ref, 0.0, 1e-12);
+  std::printf("sparse-dot unit parity: PASS\n");
 }
 
 // A linear model narrower than the concat space is legal (missing weights
@@ -173,7 +282,11 @@ int main() {
   sa_opts.char_dict_entries = 600;
   sa_opts.word_dict_entries = 200;
   sa_opts.vocabulary_size = 400;
-  CheckFamily(SaWorkload::Generate(sa_opts), 4321, /*is_dense=*/false);
+  const auto sa = SaWorkload::Generate(sa_opts);
+  CheckFamily(sa, 4321, /*is_dense=*/false,
+              [&](size_t index, const std::string& text) {
+                return sa.BinaryFromText(text, index);
+              });
 
   AcWorkloadOptions ac_opts;
   ac_opts.num_pipelines = 5;
@@ -181,8 +294,12 @@ int main() {
   ac_opts.featurizer_depth = 5;
   ac_opts.final_trees = 8;
   ac_opts.final_depth = 4;
-  CheckFamily(AcWorkload::Generate(ac_opts), 8765, /*is_dense=*/true);
+  CheckFamily(AcWorkload::Generate(ac_opts), 8765, /*is_dense=*/true,
+              [](size_t, const std::string& text) {
+                return AcWorkload::BinaryFromText(text);
+              });
   CheckShortWeights();
+  CheckSparseDotUnit();
 
   std::printf("datapath_parity_test: PASS (backend %s)\n",
               KernelBackendName(ActiveKernelBackend()));
