@@ -3,7 +3,7 @@
 namespace pretzel {
 
 Status BlackBoxServer::AddModelImage(const std::string& name, std::string image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = models_.try_emplace(name);
   if (!inserted) {
     return Status::InvalidArgument("model already registered: " + name);
@@ -15,7 +15,7 @@ Status BlackBoxServer::AddModelImage(const std::string& name, std::string image)
 
 Result<float> BlackBoxServer::Predict(const std::string& name,
                                       const std::string& input, bool* was_cold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound(name);
@@ -35,7 +35,7 @@ Result<float> BlackBoxServer::Predict(const std::string& name,
 }
 
 std::vector<std::string> BlackBoxServer::ModelNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_;
 }
 
@@ -43,7 +43,7 @@ Result<std::unique_ptr<BlackBoxModel>> BlackBoxServer::CreateReplica(
     const std::string& name) const {
   std::string image;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = models_.find(name);
     if (it == models_.end()) {
       return Status::NotFound(name);
@@ -54,7 +54,7 @@ Result<std::unique_ptr<BlackBoxModel>> BlackBoxServer::CreateReplica(
 }
 
 size_t BlackBoxServer::LoadedMemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [name, entry] : models_) {
     if (entry.model != nullptr) {

@@ -7,12 +7,13 @@
 #define PRETZEL_BLACKBOX_BLACKBOX_SERVER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/blackbox/blackbox_model.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace pretzel {
 
@@ -43,9 +44,9 @@ class BlackBoxServer {
   };
 
   const BlackBoxOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> models_;
-  std::vector<std::string> names_;  // Registration order.
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> models_ GUARDED_BY(mu_);
+  std::vector<std::string> names_ GUARDED_BY(mu_);  // Registration order.
 };
 
 }  // namespace pretzel

@@ -17,7 +17,7 @@ Result<std::unique_ptr<Container>> Container::Deploy(
 Result<float> Container::Predict(const std::string& input) {
   // The container's single handler thread reads the RPC, predicts, and
   // writes the reply — all serialized.
-  std::lock_guard<std::mutex> lock(handler_mu_);
+  MutexLock lock(handler_mu_);
   SleepUs(options_.rpc_delay_us);
   Result<float> result = model_->Predict(input);
   SleepUs(options_.rpc_delay_us);
@@ -29,7 +29,7 @@ Status ClipperCluster::Deploy(const std::string& name, const std::string& image)
   if (!container.ok()) {
     return container.status();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = containers_.try_emplace(name, std::move(*container));
   if (!inserted) {
     return Status::InvalidArgument("container already deployed: " + name);
@@ -41,7 +41,7 @@ Result<float> ClipperCluster::Predict(const std::string& name,
                                       const std::string& input) {
   Container* container = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = containers_.find(name);
     if (it == containers_.end()) {
       return Status::NotFound(name);
@@ -52,12 +52,12 @@ Result<float> ClipperCluster::Predict(const std::string& name,
 }
 
 size_t ClipperCluster::NumContainers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return containers_.size();
 }
 
 size_t ClipperCluster::TotalMemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [name, container] : containers_) {
     total += container->MemoryBytes();

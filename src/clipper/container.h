@@ -7,12 +7,13 @@
 #define PRETZEL_CLIPPER_CONTAINER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/blackbox/blackbox_model.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace pretzel {
 
@@ -50,7 +51,7 @@ class Container {
   const std::string name_;
   std::unique_ptr<BlackBoxModel> model_;
   const ContainerOptions options_;
-  std::mutex handler_mu_;  // The container's single request handler.
+  Mutex handler_mu_;  // The container's single request handler.
 };
 
 // The container fleet: one container per deployed model.
@@ -66,8 +67,9 @@ class ClipperCluster {
 
  private:
   const ContainerOptions options_;
-  mutable std::mutex mu_;  // Guards the route table, not request handling.
-  std::unordered_map<std::string, std::unique_ptr<Container>> containers_;
+  mutable Mutex mu_;  // Guards the route table, not request handling.
+  std::unordered_map<std::string, std::unique_ptr<Container>> containers_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace pretzel

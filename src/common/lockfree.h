@@ -31,6 +31,34 @@
 #include <utility>
 #include <vector>
 
+// ---------------------------------------------------------------------------
+// Model-check instrumentation seam. Under PRETZEL_MODEL_CHECK the
+// deterministic model checker (tests/model_check/mc_runtime.h, which must be
+// included BEFORE this header) substitutes its own atomics, mutex, and
+// condvar for the std ones: every atomic access becomes a scheduler yield
+// point, relaxed/acquire loads may return coherence-permitted stale values,
+// and the PRETZEL_MO tag names let the checker's regression suite weaken
+// individual memory orders at runtime (seeded mutations the checker must
+// detect). PRETZEL_LF_MUTATION gates seeded *structural* bugs (e.g. a
+// dropped epoch bump) the same way. In normal builds everything below
+// compiles to the plain std forms with zero overhead: PRETZEL_MO(tag, o) is
+// std::memory_order_o and the mutation hook is a constant false the
+// optimizer deletes.
+#if defined(PRETZEL_MODEL_CHECK) && !defined(PRETZEL_ATOMIC)
+#error \
+    "PRETZEL_MODEL_CHECK builds must include tests/model_check/mc_runtime.h before src/common/lockfree.h"
+#endif
+#ifndef PRETZEL_ATOMIC
+#define PRETZEL_ATOMIC(T) std::atomic<T>
+#define PRETZEL_MC_VAR(T) T
+#define PRETZEL_MO(tag, order) std::memory_order_##order
+#define PRETZEL_LF_MUTEX std::mutex
+#define PRETZEL_LF_CONDVAR std::condition_variable
+#define PRETZEL_LF_UNIQUE_LOCK std::unique_lock<std::mutex>
+#define PRETZEL_LF_LOCK_GUARD std::lock_guard<std::mutex>
+#define PRETZEL_LF_MUTATION(name) false
+#endif
+
 namespace pretzel {
 
 // Bounded multi-producer/multi-consumer ring (Dmitry Vyukov's design). Each
@@ -52,7 +80,7 @@ class BoundedMpmcRing {
     mask_ = cap - 1;
     cells_ = std::make_unique<Cell[]>(cap);
     for (size_t i = 0; i < cap; ++i) {
-      cells_[i].seq.store(i, std::memory_order_relaxed);
+      cells_[i].seq.store(i, PRETZEL_MO(ring_init_seq, relaxed));
     }
   }
 
@@ -64,55 +92,65 @@ class BoundedMpmcRing {
   // False when full; `value` is left intact so the caller can divert it.
   bool TryPush(T&& value) {
     Cell* cell;
-    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    uint64_t pos = enqueue_pos_.load(PRETZEL_MO(ring_push_pos_load, relaxed));
     for (;;) {
       cell = &cells_[pos & mask_];
-      const uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      // acquire: pairs with the consumer's seq release in TryPop, so on
+      // wrap-around the consumer's read of the old value happens-before the
+      // write below.
+      const uint64_t seq = cell->seq.load(PRETZEL_MO(ring_push_seq_load, acquire));
       const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
       if (dif == 0) {
-        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
-                                               std::memory_order_relaxed)) {
+        // relaxed: the position counter only arbitrates claims; all
+        // publication ordering rides the per-cell seq.
+        if (enqueue_pos_.compare_exchange_weak(
+                pos, pos + 1, PRETZEL_MO(ring_push_pos_cas, relaxed))) {
           break;
         }
       } else if (dif < 0) {
         return false;  // Full.
       } else {
-        pos = enqueue_pos_.load(std::memory_order_relaxed);
+        pos = enqueue_pos_.load(PRETZEL_MO(ring_push_pos_reload, relaxed));
       }
     }
     cell->value = std::move(value);
-    cell->seq.store(pos + 1, std::memory_order_release);
+    // release: publishes the value write above to the consumer's seq acquire.
+    cell->seq.store(pos + 1, PRETZEL_MO(ring_push_seq_store, release));
     return true;
   }
 
   bool TryPop(T* out) {
     Cell* cell;
-    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    uint64_t pos = dequeue_pos_.load(PRETZEL_MO(ring_pop_pos_load, relaxed));
     for (;;) {
       cell = &cells_[pos & mask_];
-      const uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      // acquire: pairs with the producer's seq release above, ordering the
+      // value read below after the producer's value write.
+      const uint64_t seq = cell->seq.load(PRETZEL_MO(ring_pop_seq_load, acquire));
       const int64_t dif =
           static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
       if (dif == 0) {
-        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
-                                               std::memory_order_relaxed)) {
+        // relaxed: see the push-side CAS.
+        if (dequeue_pos_.compare_exchange_weak(
+                pos, pos + 1, PRETZEL_MO(ring_pop_pos_cas, relaxed))) {
           break;
         }
       } else if (dif < 0) {
         return false;  // Empty.
       } else {
-        pos = dequeue_pos_.load(std::memory_order_relaxed);
+        pos = dequeue_pos_.load(PRETZEL_MO(ring_pop_pos_reload, relaxed));
       }
     }
     *out = std::move(cell->value);
-    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    // release: hands the emptied cell back to producers (see push acquire).
+    cell->seq.store(pos + mask_ + 1, PRETZEL_MO(ring_pop_seq_store, release));
     return true;
   }
 
  private:
   struct Cell {
-    std::atomic<uint64_t> seq{0};
-    T value{};
+    PRETZEL_ATOMIC(uint64_t) seq{0};
+    PRETZEL_MC_VAR(T) value{};
   };
 
   size_t capacity_ = 0;
@@ -120,8 +158,8 @@ class BoundedMpmcRing {
   std::unique_ptr<Cell[]> cells_;
   // Producers and consumers advance independent counters; keep them on
   // separate cache lines.
-  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
-  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+  alignas(64) PRETZEL_ATOMIC(uint64_t) enqueue_pos_{0};
+  alignas(64) PRETZEL_ATOMIC(uint64_t) dequeue_pos_{0};
 };
 
 // Treiber stack over indices [0, capacity). The head word packs
@@ -138,31 +176,41 @@ class IndexStack {
   IndexStack& operator=(const IndexStack&) = delete;
 
   void Push(uint32_t idx) {
-    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t head = head_.load(PRETZEL_MO(stack_push_head_load, acquire));
     for (;;) {
+      // relaxed: published by the CAS release below; poppers reach this
+      // write only through an acquire of that (or a later) head.
       next_[idx].store(static_cast<uint32_t>(head & 0xFFFFFFFFull),
-                       std::memory_order_relaxed);
+                       PRETZEL_MO(stack_push_next_store, relaxed));
       const uint64_t next_head = Pack(idx, Tag(head) + 1);
+      // release on success: publishes the next_ link write above.
       if (head_.compare_exchange_weak(head, next_head,
-                                      std::memory_order_release,
-                                      std::memory_order_acquire)) {
+                                      PRETZEL_MO(stack_push_cas_ok, release),
+                                      PRETZEL_MO(stack_push_cas_fail, acquire))) {
         return;
       }
     }
   }
 
   bool TryPop(uint32_t* out) {
-    uint64_t head = head_.load(std::memory_order_acquire);
+    // acquire: synchronizes with the pushing CAS release (continued through
+    // intermediate RMWs as a release sequence), so the next_ read below sees
+    // the pusher's link write.
+    uint64_t head = head_.load(PRETZEL_MO(stack_pop_head_load, acquire));
     for (;;) {
       const uint32_t top = static_cast<uint32_t>(head & 0xFFFFFFFFull);
       if (top == kNil) {
         return false;
       }
-      const uint32_t next = next_[top].load(std::memory_order_relaxed);
+      // relaxed: ordered by the head acquire above (or the CAS failure
+      // acquire below on retry).
+      const uint32_t next = next_[top].load(PRETZEL_MO(stack_pop_next_load, relaxed));
       const uint64_t next_head = Pack(next, Tag(head) + 1);
+      // acquire on failure: the refreshed head is the HB source for the
+      // next_ read on the retry iteration.
       if (head_.compare_exchange_weak(head, next_head,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+                                      PRETZEL_MO(stack_pop_cas_ok, acq_rel),
+                                      PRETZEL_MO(stack_pop_cas_fail, acquire))) {
         *out = top;
         return true;
       }
@@ -177,14 +225,14 @@ class IndexStack {
   }
   static uint32_t Tag(uint64_t head) { return static_cast<uint32_t>(head >> 32); }
 
-  std::vector<std::atomic<uint32_t>> next_;
-  std::atomic<uint64_t> head_{Pack(kNil, 0)};
+  std::vector<PRETZEL_ATOMIC(uint32_t)> next_;
+  PRETZEL_ATOMIC(uint64_t) head_{Pack(kNil, 0)};
 };
 
 // Node base for MpscIntrusiveQueue: derive the queued type from it and
 // static_cast the popped pointer back.
 struct MpscNode {
-  std::atomic<MpscNode*> next{nullptr};
+  PRETZEL_ATOMIC(MpscNode*) next{nullptr};
 };
 
 // Vyukov's intrusive unbounded MPSC queue. Push is wait-free from any
@@ -202,11 +250,19 @@ class MpscIntrusiveQueue {
   MpscIntrusiveQueue& operator=(const MpscIntrusiveQueue&) = delete;
 
   void Push(MpscNode* node) {
-    node->next.store(nullptr, std::memory_order_relaxed);
-    MpscNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // relaxed: ordered before the exchange below in this thread's program
+    // order; the next pusher's store to node->next lands after the exchange
+    // hands it our node. Skipping the clear (seeded mutation
+    // mpsc_push_skip_clear) leaves a recycled node's stale link live, so the
+    // consumer can walk into nodes that were never re-pushed.
+    if (!PRETZEL_LF_MUTATION(mpsc_push_skip_clear)) {
+      node->next.store(nullptr, PRETZEL_MO(mpsc_push_next_clear, relaxed));
+    }
+    MpscNode* prev = head_.exchange(node, PRETZEL_MO(mpsc_push_xchg, acq_rel));
     // The queue is momentarily split here; pop reports empty until the link
-    // lands, which is the transient nullptr documented above.
-    prev->next.store(node, std::memory_order_release);
+    // lands, which is the transient nullptr documented above. release:
+    // publishes the node's payload to the consumer's next acquire.
+    prev->next.store(node, PRETZEL_MO(mpsc_push_link, release));
   }
 
   // Single consumer only. The stub node may travel through the chain (it is
@@ -214,26 +270,28 @@ class MpscIntrusiveQueue {
   // a caller node, never the stub.
   MpscNode* TryPop() {
     MpscNode* tail = tail_;
-    MpscNode* next = tail->next.load(std::memory_order_acquire);
+    // acquire: pairs with the pusher's link release, carrying the popped
+    // node's payload writes.
+    MpscNode* next = tail->next.load(PRETZEL_MO(mpsc_pop_next_load, acquire));
     if (tail == &stub_) {
       if (next == nullptr) {
         return nullptr;  // Empty (or a producer mid-push).
       }
       tail_ = next;
       tail = next;
-      next = next->next.load(std::memory_order_acquire);
+      next = next->next.load(PRETZEL_MO(mpsc_pop_stub_adv_load, acquire));
     }
     if (next != nullptr) {
       tail_ = next;
       return tail;
     }
-    if (tail != head_.load(std::memory_order_acquire)) {
+    if (tail != head_.load(PRETZEL_MO(mpsc_pop_head_load, acquire))) {
       return nullptr;  // Producer mid-push behind `tail`; retry later.
     }
     // `tail` is the last real node: recycle the stub behind it so the chain
     // stays non-empty, then detach `tail`.
     Push(&stub_);
-    next = tail->next.load(std::memory_order_acquire);
+    next = tail->next.load(PRETZEL_MO(mpsc_pop_tail_next_load, acquire));
     if (next != nullptr) {
       tail_ = next;
       return tail;
@@ -242,8 +300,8 @@ class MpscIntrusiveQueue {
   }
 
  private:
-  alignas(64) std::atomic<MpscNode*> head_;
-  alignas(64) MpscNode* tail_;
+  alignas(64) PRETZEL_ATOMIC(MpscNode*) head_;
+  alignas(64) MpscNode* tail_;  // Consumer-private cursor.
   MpscNode stub_;
 };
 
@@ -262,28 +320,30 @@ class MpscIntrusiveQueue {
 class EventCount {
  public:
   uint64_t PrepareWait() {
-    waiters_.fetch_add(1, std::memory_order_seq_cst);
-    return epoch_.load(std::memory_order_seq_cst);
+    waiters_.fetch_add(1, PRETZEL_MO(ec_prep_waiters_add, seq_cst));
+    return epoch_.load(PRETZEL_MO(ec_prep_epoch_load, seq_cst));
   }
 
-  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+  void CancelWait() {
+    waiters_.fetch_sub(1, PRETZEL_MO(ec_cancel_waiters_sub, seq_cst));
+  }
 
   void Wait(uint64_t ticket) {
-    std::unique_lock<std::mutex> lock(mu_);
+    PRETZEL_LF_UNIQUE_LOCK lock(mu_);
     cv_.wait(lock, [&] {
-      return epoch_.load(std::memory_order_seq_cst) != ticket;
+      return epoch_.load(PRETZEL_MO(ec_wait_epoch_load, seq_cst)) != ticket;
     });
-    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    waiters_.fetch_sub(1, PRETZEL_MO(ec_wait_waiters_sub, seq_cst));
   }
 
   // False on timeout (the epoch never moved past `ticket` by `deadline`).
   bool WaitUntil(uint64_t ticket,
                  std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mu_);
+    PRETZEL_LF_UNIQUE_LOCK lock(mu_);
     const bool notified = cv_.wait_until(lock, deadline, [&] {
-      return epoch_.load(std::memory_order_seq_cst) != ticket;
+      return epoch_.load(PRETZEL_MO(ec_waituntil_epoch_load, seq_cst)) != ticket;
     });
-    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    waiters_.fetch_sub(1, PRETZEL_MO(ec_waituntil_waiters_sub, seq_cst));
     return notified;
   }
 
@@ -292,13 +352,30 @@ class EventCount {
 
  private:
   void Notify(bool all) {
-    epoch_.fetch_add(1, std::memory_order_seq_cst);
-    if (waiters_.load(std::memory_order_seq_cst) == 0) {
+    // The bump must precede the waiters check: a waiter whose PrepareWait
+    // predates this notification then falls straight through Wait's
+    // predicate. Dropping it (seeded mutation ec_notify_skip_bump) loses
+    // exactly the wakeup racing the check-then-sleep window.
+    if (!PRETZEL_LF_MUTATION(ec_notify_skip_bump)) {
+      epoch_.fetch_add(1, PRETZEL_MO(ec_notify_bump, seq_cst));
+    }
+    if (waiters_.load(PRETZEL_MO(ec_notify_waiters_load, seq_cst)) == 0) {
       return;  // Every consumer is busy: no syscall, no lock.
+    }
+    if (PRETZEL_LF_MUTATION(ec_notify_skip_mutex)) {
+      // Seeded mutation: notify WITHOUT the mutex — reopens the window where
+      // a waiter has evaluated its predicate but not yet slept, so the
+      // notify lands on an empty waitlist and the waiter sleeps forever.
+      if (all) {
+        cv_.notify_all();
+      } else {
+        cv_.notify_one();
+      }
+      return;
     }
     // Taking the mutex orders this notify after any in-flight waiter's
     // predicate check, closing the check-then-sleep window.
-    std::lock_guard<std::mutex> lock(mu_);
+    PRETZEL_LF_LOCK_GUARD lock(mu_);
     if (all) {
       cv_.notify_all();
     } else {
@@ -306,10 +383,10 @@ class EventCount {
     }
   }
 
-  std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint32_t> waiters_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  PRETZEL_ATOMIC(uint64_t) epoch_{0};
+  PRETZEL_ATOMIC(uint32_t) waiters_{0};
+  PRETZEL_LF_MUTEX mu_;
+  PRETZEL_LF_CONDVAR cv_;
 };
 
 }  // namespace pretzel

@@ -1,0 +1,106 @@
+// Annotated mutex wrappers: thin shells over std::mutex / std::shared_mutex
+// that carry Clang capability attributes (src/common/thread_annotations.h),
+// so GUARDED_BY fields and REQUIRES functions are statically enforced by
+// the -Werror=thread-safety CI job. Zero-cost: every method is a single
+// forwarded call; the std primitives underneath are unchanged, so ASan/
+// TSan/UBSan instrumentation sees exactly the locking it always saw.
+//
+// Condition variables keep using std::condition_variable against
+// Mutex::native(); annotated code writes waits as explicit predicate loops
+// (`while (!pred) cv.wait(lock.native());`) inside a REQUIRES function so
+// the analysis tracks the guarded reads without lambda suppressions.
+#ifndef PRETZEL_COMMON_MUTEX_H_
+#define PRETZEL_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace pretzel {
+
+// Exclusive lockable capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The raw mutex, for std::condition_variable waits. A wait releases and
+  // reacquires the same capability, so code holding this Mutex across the
+  // wait stays consistent from the analysis's point of view.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Reader/writer lockable capability (deploy-time writes, serving reads).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over Mutex, condvar-compatible via native().
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For std::condition_variable::wait; see header comment.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// RAII exclusive (writer) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_MUTEX_H_

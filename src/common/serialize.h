@@ -3,6 +3,7 @@
 #ifndef PRETZEL_COMMON_SERIALIZE_H_
 #define PRETZEL_COMMON_SERIALIZE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -13,6 +14,20 @@
 #include "src/common/status.h"
 
 namespace pretzel {
+
+// The one sanctioned way to reinterpret wire bytes as typed words. Asserts
+// the alignment precondition that makes the in-place load defined — the
+// same property UBSan's -fsanitize=alignment checks on every dereference —
+// so a misaligned slice trips immediately in debug/sanitizer builds instead
+// of faulting (or silently degrading) on a stricter target.
+// tools/lint_invariants.py rejects reinterpret_casts in the serialize and
+// kernel alias paths that bypass this helper.
+template <typename T>
+inline const T* AlignedAliasCast(const char* p) {
+  assert(reinterpret_cast<uintptr_t>(p) % alignof(T) == 0 &&  // alias-ok: helper
+         "misaligned alias cast: stage through a memcpy copy instead");
+  return reinterpret_cast<const T*>(p);  // alias-ok: alignment asserted above
+}
 
 template <typename T>
 inline void AppendPod(std::string* out, const T& value) {
@@ -236,7 +251,7 @@ inline Status ParseBinaryRecord(std::string_view bytes, BinaryRecordView* view,
       return Status::InvalidArgument("dense binary record non-finite value");
     }
     if (view->aligned) {
-      view->values = reinterpret_cast<const float*>(payload);
+      view->values = AlignedAliasCast<float>(payload);
     }
   } else {
     const char* vals = payload + size_t{header.nnz} * sizeof(uint32_t);
@@ -253,8 +268,8 @@ inline Status ParseBinaryRecord(std::string_view bytes, BinaryRecordView* view,
       return Status::InvalidArgument("sparse binary record non-finite value");
     }
     if (view->aligned) {
-      view->ids = reinterpret_cast<const uint32_t*>(payload);
-      view->values = reinterpret_cast<const float*>(vals);
+      view->ids = AlignedAliasCast<uint32_t>(payload);
+      view->values = AlignedAliasCast<float>(vals);
     }
   }
   return Status::OK();

@@ -1,0 +1,60 @@
+// Clang thread-safety annotation macros (no-ops on other compilers). These
+// make lock/guard relationships machine-checked: the CI clang job builds
+// with -Werror=thread-safety, so an access to a GUARDED_BY field without its
+// capability held, a REQUIRES function called unlocked, or an EXCLUDES
+// violation is a build break, not a TSan roll of the dice.
+//
+// Convention (see README "Correctness toolchain"): every long-lived
+// mutex-guarded structure uses the annotated wrappers in
+// src/common/mutex.h and carries GUARDED_BY on its fields. Suppressions
+// (NO_THREAD_SAFETY_ANALYSIS) are allowed only with an inline justification
+// comment explaining why the analysis cannot see the invariant.
+#ifndef PRETZEL_COMMON_THREAD_ANNOTATIONS_H_
+#define PRETZEL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PRETZEL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PRETZEL_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+// Type annotations: a class that is a lockable capability, and an RAII type
+// that holds one for its scope.
+#define CAPABILITY(x) PRETZEL_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY PRETZEL_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data annotations: the declared field may only be touched with the given
+// capability held (directly, or through the pointee for PT_GUARDED_BY).
+#define GUARDED_BY(x) PRETZEL_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) PRETZEL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Function annotations: capabilities the caller must hold (REQUIRES*), must
+// NOT hold (EXCLUDES), or that the function itself acquires/releases.
+#define REQUIRES(...) \
+  PRETZEL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PRETZEL_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) PRETZEL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ACQUIRE(...) \
+  PRETZEL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PRETZEL_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  PRETZEL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PRETZEL_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PRETZEL_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  PRETZEL_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  PRETZEL_THREAD_ANNOTATION__(assert_capability(x))
+#define RETURN_CAPABILITY(x) PRETZEL_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch. Every use must carry an inline comment justifying why the
+// static analysis cannot express the invariant (e.g. single-threaded
+// destructor contract).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PRETZEL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // PRETZEL_COMMON_THREAD_ANNOTATIONS_H_

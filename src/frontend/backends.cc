@@ -3,12 +3,12 @@
 namespace pretzel {
 
 void PretzelBackend::AddRoute(const std::string& name, Runtime::PlanId id) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   routes_[name] = id;
 }
 
 Result<Runtime::PlanId> PretzelBackend::Route(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = routes_.find(name);
   if (it == routes_.end()) {
     return Status::NotFound(name);

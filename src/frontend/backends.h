@@ -4,11 +4,12 @@
 #ifndef PRETZEL_FRONTEND_BACKENDS_H_
 #define PRETZEL_FRONTEND_BACKENDS_H_
 
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
 #include "src/clipper/container.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/frontend/frontend.h"
 #include "src/runtime/runtime.h"
 
@@ -34,11 +35,11 @@ class PretzelBackend : public Backend {
                               std::span<const uint8_t> record) override;
 
  private:
-  Result<Runtime::PlanId> Route(const std::string& name) const;
+  Result<Runtime::PlanId> Route(const std::string& name) const EXCLUDES(mu_);
 
   Runtime* runtime_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Runtime::PlanId> routes_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, Runtime::PlanId> routes_ GUARDED_BY(mu_);
 };
 
 class ClipperBackend : public Backend {

@@ -19,8 +19,10 @@ FrontEnd::~FrontEnd() {
   {
     // Drain first: admitted requests may still be in flight inside an async
     // backend, whose completion will call back into this FrontEnd.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) {
+      cv_.wait(lock.native());
+    }
     stop_ = true;
   }
   cv_.notify_all();
@@ -48,7 +50,7 @@ Result<float> FrontEnd::RequestBinary(const std::string& name,
 Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
                               std::function<void(Result<float>)> callback) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       return Status::Error("frontend shutting down");
     }
@@ -83,7 +85,7 @@ void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
   latency_ewma_us_.store(prev + (sample_us - prev) / 8,
                          std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Work work;
     work.is_completion = true;
     work.callback = std::move(callback);
@@ -91,12 +93,13 @@ void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
     // Completions jump the queue: finishing in-flight work beats admitting
     // more of the backlog.
     queue_.push_front(std::move(work));
-    // Notify UNDER the lock: this runs on a backend thread, and the
-    // draining destructor may destroy this FrontEnd the moment pending_
-    // hits zero — which can only happen after an IO thread pops this work,
-    // i.e. after we release mu_. Notifying after the unlock would touch
-    // cv_ beyond that point (use-after-free); see RequestAsync for why it
-    // is notify_all (the drain waiter shares this cv).
+    // Lock order / lifetime note (the PR-4 use-after-free class): notify
+    // UNDER the lock. This runs on a backend thread, and the draining
+    // destructor may destroy this FrontEnd the moment pending_ hits zero —
+    // which can only happen after an IO thread pops this work, i.e. after
+    // we release mu_. Notifying after the unlock would touch cv_ beyond
+    // that point (use-after-free); see RequestAsync for why it is
+    // notify_all (the drain waiter shares this cv).
     cv_.notify_all();
   }
 }
@@ -105,8 +108,10 @@ void FrontEnd::IoLoop() {
   while (true) {
     Work work;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        cv_.wait(lock.native());
+      }
       if (queue_.empty()) {
         if (stop_) {
           return;
@@ -120,10 +125,15 @@ void FrontEnd::IoLoop() {
       SleepUs(options_.network_delay_us);  // Frontend -> client.
       work.callback(std::move(work.result));
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --pending_;
       }
-      cv_.notify_all();  // Admission and the draining destructor both wait.
+      // Admission and the draining destructor both wait on this cv. Unlike
+      // EnqueueCompletion, notifying outside the lock is safe HERE only
+      // because this is an IO thread: the destructor joins io_threads_
+      // before members are destroyed, so cv_ outlives this call even when
+      // this notify releases the drain waiter.
+      cv_.notify_all();
       continue;
     }
     SleepUs(options_.network_delay_us);  // Client -> frontend.

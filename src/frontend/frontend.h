@@ -21,13 +21,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace pretzel {
 
@@ -109,19 +110,25 @@ class FrontEnd {
     int64_t admit_ns = 0;  // Admission stamp, feeds the retry-after EWMA.
   };
 
-  void IoLoop();
+  void IoLoop() EXCLUDES(mu_);
+  // Runs on backend (executor) threads; see the lock-order note in the .cc:
+  // it must notify cv_ while still holding mu_.
   void EnqueueCompletion(std::function<void(Result<float>)> callback,
-                         Result<float> result, int64_t admit_ns);
+                         Result<float> result, int64_t admit_ns) EXCLUDES(mu_);
 
   Backend* backend_;
   const FrontEndOptions options_;
-  std::mutex mu_;
+  Mutex mu_;
+  // Waiters on cv_: IO threads (work available / stop), the draining
+  // destructor (pending_ == 0). Every notify site must use notify_all — a
+  // notify_one can be swallowed by a waiter whose predicate is false.
   std::condition_variable cv_;
-  std::deque<Work> queue_;
-  size_t pending_ = 0;  // Admitted async requests not yet completed.
+  std::deque<Work> queue_ GUARDED_BY(mu_);
+  // Admitted async requests not yet completed.
+  size_t pending_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> dropped_{0};
   std::atomic<int64_t> latency_ewma_us_{0};  // Admission -> completion.
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> io_threads_;
 };
 

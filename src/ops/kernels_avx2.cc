@@ -305,6 +305,8 @@ double SparseDotAvx2(const uint32_t* ids, const float* vals, size_t nnz,
   __m256d acc1 = _mm256_setzero_pd();
   size_t i = 0;
   for (; i + 8 <= nnz; i += 8) {
+    // alias-ok: _mm256_loadu_si256 is alignment-blind and its intrinsic
+    // signature forces the __m256i* cast; the load reads exactly 8 uint32s.
     const __m256i idv =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
     // Unsigned compare via sign-bias: mask lane = (id < w_dim).

@@ -3,7 +3,7 @@
 namespace pretzel {
 
 SubPlanCache::EntryRef SubPlanCache::Lookup(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.lookups;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -16,7 +16,7 @@ SubPlanCache::EntryRef SubPlanCache::Lookup(uint64_t key) {
 
 void SubPlanCache::Insert(uint64_t key, const std::vector<uint32_t>& ids) {
   const size_t bytes = EntryBytes(ids);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (bytes > byte_budget_) {
     return;  // Oversized entries would evict the whole cache for one input.
   }
@@ -50,17 +50,17 @@ void SubPlanCache::EvictToBudgetLocked() {
 }
 
 size_t SubPlanCache::NumEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 size_t SubPlanCache::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return size_bytes_;
 }
 
 SubPlanCache::Stats SubPlanCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

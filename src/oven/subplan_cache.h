@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace pretzel {
 
@@ -60,14 +62,14 @@ class SubPlanCache {
     return ids.size() * sizeof(uint32_t) + 64;
   }
 
-  void EvictToBudgetLocked();
+  void EvictToBudgetLocked() REQUIRES(mu_);
 
   const size_t byte_budget_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  std::list<uint64_t> lru_;  // Front = most recent.
-  size_t size_bytes_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // Front = most recent.
+  size_t size_bytes_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace pretzel

@@ -29,8 +29,8 @@ struct Runtime::BatchJob {
   std::atomic<size_t> remaining{0};
   BatchCallback callback;
 
-  std::mutex error_mu;
-  Status first_error;  // OK unless some record failed.
+  Mutex error_mu;
+  Status first_error GUARDED_BY(error_mu);  // OK unless some record failed.
 };
 
 // Per-plan metric reservoirs are windowed: SampleStats keeps exact samples,
@@ -77,10 +77,10 @@ static int64_t RetryAfterHintUs(const std::atomic<int64_t>& ewma) {
 // recording never serializes executors against each other or against
 // snapshots.
 struct Runtime::MetricShard {
-  std::mutex mu;
-  SampleStats batch_records;
-  SampleStats queue_wait_us;
-  SampleStats single_latency_us;
+  Mutex mu;
+  SampleStats batch_records GUARDED_BY(mu);
+  SampleStats queue_wait_us GUARDED_BY(mu);
+  SampleStats single_latency_us GUARDED_BY(mu);
 };
 
 // One link of a plan's overflow spill: a producer's burst remainder, packed
@@ -145,10 +145,15 @@ struct Runtime::ExecGroup {
   std::atomic<size_t> runnable_count{0};
 
   // Mutex baseline (lockfree_scheduler = false): the PR-2 design, every
-  // enqueue/dispatch serializes here.
-  std::mutex mu;
+  // enqueue/dispatch serializes here. mu also guards the PlanQueue
+  // mutex-mode fields (events, m_queued_chunks, m_runnable, m_lingering) of
+  // every plan in this group — a cross-object invariant Clang's analysis
+  // cannot express (GUARDED_BY on PlanQueue would name pq->group->mu, and
+  // the analysis has no alias tracking to match it at use sites), so those
+  // fields carry a documenting comment instead of an annotation.
+  Mutex mu;
   std::condition_variable cv;
-  std::deque<PlanQueue*> runnable;
+  std::deque<PlanQueue*> runnable GUARDED_BY(mu);
 };
 
 // Per-plan scheduler state. `plan` and the policy fields are written once
@@ -211,7 +216,8 @@ struct Runtime::PlanQueue {
   bool held_valid = false;  // Quantum-owner-private chunk stash.
   Event held;
 
-  // ---- Mutex baseline (guarded by group->mu) ----
+  // ---- Mutex baseline (guarded by group->mu; see ExecGroup::mu for why
+  // this is a comment, not a GUARDED_BY) ----
   std::deque<Event> events;
   size_t m_queued_chunks = 0;
   bool m_runnable = false;
@@ -248,6 +254,10 @@ Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
   shared_group_ = std::make_unique<ExecGroup>(
       options_.lockfree_scheduler ? kRunnableRingCapacity : 2);
   shared_group_->num_executors = options_.num_executors;
+  // No other thread exists yet; the lock only discharges SpawnExecutor's
+  // REQUIRES(registry_mu_) (executors never take the registry lock, so
+  // spawning under it cannot deadlock).
+  WriterMutexLock lock(registry_mu_);
   for (size_t i = 0; i < options_.num_executors; ++i) {
     SpawnExecutor(shared_group_.get());
   }
@@ -256,7 +266,7 @@ Runtime::Runtime(ObjectStore* store, const RuntimeOptions& options)
 Runtime::~Runtime() {
   stop_.store(true, std::memory_order_seq_cst);
   {
-    std::shared_lock lock(registry_mu_);
+    ReaderMutexLock lock(registry_mu_);
     if (options_.lockfree_scheduler) {
       shared_group_->ec.NotifyAll();
       for (const auto& group : reserved_groups_) {
@@ -264,11 +274,11 @@ Runtime::~Runtime() {
       }
     } else {
       {
-        std::lock_guard<std::mutex> glock(shared_group_->mu);
+        MutexLock glock(shared_group_->mu);
         shared_group_->cv.notify_all();
       }
       for (const auto& group : reserved_groups_) {
-        std::lock_guard<std::mutex> glock(group->mu);
+        MutexLock glock(group->mu);
         group->cv.notify_all();
       }
     }
@@ -298,7 +308,7 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
   if (plan == nullptr) {
     return Status::InvalidArgument("null plan");
   }
-  std::unique_lock lock(registry_mu_);
+  WriterMutexLock lock(registry_mu_);
   const PlanId id = plan_queues_.size();
   // The mutex baseline never touches the event ring; don't pay ~ring_cap *
   // sizeof(Event) per plan for dead cells there.
@@ -346,7 +356,7 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
 }
 
 Runtime::PlanQueue* Runtime::GetQueue(PlanId id) const {
-  std::shared_lock lock(registry_mu_);
+  ReaderMutexLock lock(registry_mu_);
   return id < plan_queues_.size() ? plan_queues_[id].get() : nullptr;
 }
 
@@ -365,7 +375,7 @@ Status Runtime::EnqueueEvents(PlanQueue* pq, Event* events, size_t n) {
   ExecGroup* group = pq->group;
   bool wake_all = n > 1;
   {
-    std::lock_guard<std::mutex> lock(group->mu);
+    MutexLock lock(group->mu);
     if (options_.max_queued_events_per_plan > 0 &&
         pq->events.size() + n > options_.max_queued_events_per_plan) {
       pq->rejected.fetch_add(n, std::memory_order_relaxed);
@@ -801,6 +811,9 @@ void Runtime::LingerLockFree(ExecGroup* group, PlanQueue* pq,
       std::chrono::nanoseconds(oldest_ns + pq->max_delay_us * 1000));
   pq->lingering.store(true, std::memory_order_seq_cst);
   for (;;) {
+    // relaxed: stop_ is a monotonic shutdown flag; a stale read only delays
+    // linger exit by one iteration, and the destructor's NotifyAll forces a
+    // re-check via the eventcount's seq_cst protocol.
     if (stop_.load(std::memory_order_relaxed) ||
         pq->queued.load(std::memory_order_seq_cst) >= pq->max_batch ||
         pq->chunk_count.load(std::memory_order_seq_cst) > 0 ||
@@ -809,6 +822,9 @@ void Runtime::LingerLockFree(ExecGroup* group, PlanQueue* pq,
       break;
     }
     const uint64_t ticket = group->ec.PrepareWait();
+    // relaxed: under a wait ticket; PrepareWait's seq_cst fence pairs with
+    // the destructor's store(seq_cst)+NotifyAll, so a missed flag here still
+    // wakes through the eventcount (no lost-wakeup).
     if (stop_.load(std::memory_order_relaxed) ||
         pq->queued.load(std::memory_order_seq_cst) >= pq->max_batch ||
         pq->chunk_count.load(std::memory_order_seq_cst) > 0 ||
@@ -900,7 +916,7 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache,
       const int64_t wait_ns = dispatch_ns - batch.front().enqueue_ns;
       RecordQueueDelay(pq->queue_delay_ewma_us, wait_ns / 1000);
       MetricShard& shard = *pq->shards[shard_idx];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       AddWindowed(shard.batch_records, static_cast<double>(records),
                   pq->shard_window);
       AddWindowed(shard.queue_wait_us, static_cast<double>(wait_ns) / 1e3,
@@ -942,13 +958,20 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
     PlanQueue* pq = nullptr;
     size_t records = 0;
     double wait_us = 0.0;
+    bool wake_sibling = false;
     {
-      std::unique_lock<std::mutex> lock(group->mu);
-      group->cv.wait(lock, [&] {
-        return stop_.load(std::memory_order_relaxed) || !group->runnable.empty();
-      });
+      MutexLock lock(group->mu);
+      // Explicit predicate loop (not the lambda-predicate overload) so the
+      // analysis sees the guarded `runnable` reads inside this locked scope.
+      // relaxed: stop_ is a monotonic shutdown flag; the mutex/cv hand-off
+      // already orders the surrounding state, the load needs only eventual
+      // visibility (the destructor notifies after storing it).
+      while (!stop_.load(std::memory_order_relaxed) &&
+             group->runnable.empty()) {
+        group->cv.wait(lock.native());
+      }
       if (group->runnable.empty()) {
-        if (stop_.load(std::memory_order_relaxed)) {
+        if (stop_.load(std::memory_order_relaxed)) {  // relaxed: as above.
           return;  // Fully drained.
         }
         continue;
@@ -962,11 +985,15 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
             std::chrono::nanoseconds(pq->events.front().enqueue_ns +
                                      pq->max_delay_us * 1000));
         pq->m_lingering = true;
-        group->cv.wait_until(lock, deadline, [&] {
-          return stop_.load(std::memory_order_relaxed) ||
-                 pq->events.size() >= pq->max_batch ||
-                 pq->m_queued_chunks > 0 || !group->runnable.empty();
-        });
+        // relaxed: see the dispatch wait above.
+        while (!stop_.load(std::memory_order_relaxed) &&
+               pq->events.size() < pq->max_batch &&
+               pq->m_queued_chunks == 0 && group->runnable.empty()) {
+          if (group->cv.wait_until(lock.native(), deadline) ==
+              std::cv_status::timeout) {
+            break;  // Deadline: dispatch whatever has coalesced.
+          }
+        }
         pq->m_lingering = false;
       }
       if (!pq->events.empty() && pq->events.front().job != nullptr) {
@@ -998,11 +1025,16 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
       // runnable plan gets the next quantum.
       if (!pq->events.empty()) {
         group->runnable.push_back(pq);
-        lock.unlock();
-        group->cv.notify_one();  // More work: wake a sibling executor.
+        wake_sibling = true;  // Notified below, after the scoped unlock.
       } else {
         pq->m_runnable = false;
       }
+    }
+    if (wake_sibling) {
+      // Outside the lock so the woken sibling doesn't immediately block on
+      // mu; safe because the destructor joins this thread before the group
+      // is destroyed.
+      group->cv.notify_one();
     }
     if (batch.empty()) {
       continue;
@@ -1010,7 +1042,7 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
     {
       // Off the dispatch lock: stats ride this executor's shard.
       MetricShard& shard = *pq->shards[shard_idx];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       AddWindowed(shard.batch_records, static_cast<double>(records),
                   pq->shard_window);
       AddWindowed(shard.queue_wait_us, wait_us, pq->shard_window);
@@ -1060,7 +1092,7 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
       ctx.batch_views = std::move(views);
     }
     if (failed > 0) {
-      std::lock_guard<std::mutex> lock(job.error_mu);
+      MutexLock lock(job.error_mu);
       if (job.first_error.ok()) {
         job.first_error = chunk_error;
       }
@@ -1068,7 +1100,7 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
     if (job.remaining.fetch_sub(count) == count) {
       Status status;
       {
-        std::lock_guard<std::mutex> lock(job.error_mu);
+        MutexLock lock(job.error_mu);
         status = job.first_error;
       }
       job.callback(status, std::span<const float>(job.results, job.count));
@@ -1129,7 +1161,7 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
       static_cast<double>(NowNs() - batch.front().enqueue_ns) / 1e3;
   {
     MetricShard& shard = *pq->shards[shard_idx];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     AddWindowed(shard.single_latency_us, latency_us, pq->shard_window);
   }
   if (failed > 0) {
@@ -1142,7 +1174,7 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
 
 RuntimeMetrics Runtime::GetMetrics() const {
   RuntimeMetrics metrics;
-  std::shared_lock lock(registry_mu_);
+  ReaderMutexLock lock(registry_mu_);
   metrics.plans.reserve(plan_queues_.size());
   for (const auto& pq : plan_queues_) {
     PlanMetrics pm;
@@ -1165,7 +1197,7 @@ RuntimeMetrics Runtime::GetMetrics() const {
       // Size only — the PR-2 bug of copying whole reservoirs under the
       // dispatch mutex (stalling every executor in the group) is gone in
       // both modes; stats now live in per-executor shards.
-      std::lock_guard<std::mutex> glock(pq->group->mu);
+      MutexLock glock(pq->group->mu);
       pm.queue_depth = pq->events.size();
     }
     for (const auto& shard : pq->shards) {
@@ -1173,7 +1205,7 @@ RuntimeMetrics Runtime::GetMetrics() const {
       {
         // Brief per-shard copy: stalls at most the one executor that owns
         // this shard, and only if it is dispatching this exact plan.
-        std::lock_guard<std::mutex> slock(shard->mu);
+        MutexLock slock(shard->mu);
         batch_records = shard->batch_records;
         queue_wait = shard->queue_wait_us;
         single_latency = shard->single_latency_us;
@@ -1207,7 +1239,7 @@ RuntimeMetrics Runtime::GetMetrics() const {
 }
 
 std::vector<Reservation> Runtime::reservations() const {
-  std::shared_lock lock(registry_mu_);
+  ReaderMutexLock lock(registry_mu_);
   return reservations_;
 }
 

@@ -54,7 +54,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -62,8 +61,10 @@
 #include <vector>
 
 #include "src/common/lockfree.h"
+#include "src/common/mutex.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/oven/model_plan.h"
 #include "src/oven/subplan_cache.h"
 #include "src/runtime/exec_context.h"
@@ -173,7 +174,12 @@ class Runtime {
   using SingleCallback = std::function<void(Result<float>)>;
 
   Runtime(ObjectStore* store, const RuntimeOptions& options);
-  ~Runtime();
+  // NO_THREAD_SAFETY_ANALYSIS: the destructor is single-threaded by
+  // contract (callers must stop submitting before destruction) and must
+  // join threads_ WITHOUT holding registry_mu_ — an in-flight callback on
+  // an executor thread may re-enter Predict and take the shared side, so
+  // joining under the writer lock would deadlock.
+  ~Runtime() NO_THREAD_SAFETY_ANALYSIS;
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -234,10 +240,10 @@ class Runtime {
   // Snapshot of per-plan queue/batch/latency metrics, aggregate
   // sub-plan-cache effectiveness, and pool counters. Never blocks dispatch:
   // counters are atomics and the stats shards are copied per-executor.
-  RuntimeMetrics GetMetrics() const;
+  RuntimeMetrics GetMetrics() const EXCLUDES(registry_mu_);
 
   size_t num_executors() const { return options_.num_executors; }
-  std::vector<Reservation> reservations() const;
+  std::vector<Reservation> reservations() const EXCLUDES(registry_mu_);
   ObjectStore* store() const { return store_; }
 
  private:
@@ -257,7 +263,9 @@ class Runtime {
   struct MetricShard;
   struct SpillSegment;
 
-  void SpawnExecutor(ExecGroup* group);
+  // Appends to threads_ / executor_caches_ / executor_pools_; callers hold
+  // the registry lock exclusively (constructor and Register).
+  void SpawnExecutor(ExecGroup* group) REQUIRES(registry_mu_);
   // Chunks a prepared BatchJob into per-quantum events and enqueues them.
   Status SubmitBatchJob(PlanQueue* pq, std::shared_ptr<BatchJob> job,
                         size_t max_batch);
@@ -268,7 +276,7 @@ class Runtime {
   void ExecutorLoop(ExecGroup* group, SubPlanCache* cache, VectorPool* pool,
                     size_t shard_idx);
   void ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx, size_t shard_idx);
-  PlanQueue* GetQueue(PlanId id) const;
+  PlanQueue* GetQueue(PlanId id) const EXCLUDES(registry_mu_);
 
   // The one enqueue protocol (cap check, stamping, publication, wakeups);
   // all entry points delegate to it. Dispatches on lockfree_scheduler.
@@ -296,16 +304,27 @@ class Runtime {
   ObjectStore* store_;
   const RuntimeOptions options_;
 
-  mutable std::shared_mutex registry_mu_;
-  std::vector<std::unique_ptr<PlanQueue>> plan_queues_;
-  std::vector<Reservation> reservations_;
+  // Registry lock: guards the plan registry and the executor bookkeeping
+  // vectors below. Register takes it exclusively; every request path takes
+  // it shared just long enough to resolve PlanId -> PlanQueue* (the pointee
+  // is never reclaimed while the Runtime lives, so the pointer may escape
+  // the lock). Leaf lock: never held across plan execution, and executor
+  // threads never acquire it.
+  mutable SharedMutex registry_mu_;
+  std::vector<std::unique_ptr<PlanQueue>> plan_queues_ GUARDED_BY(registry_mu_);
+  std::vector<Reservation> reservations_ GUARDED_BY(registry_mu_);
+  // Created once in the constructor, never reseated; the group's internals
+  // carry their own synchronization.
   std::unique_ptr<ExecGroup> shared_group_;
-  std::vector<std::unique_ptr<ExecGroup>> reserved_groups_;
-  std::vector<std::unique_ptr<SubPlanCache>> executor_caches_;
-  std::vector<std::unique_ptr<VectorPool>> executor_pools_;
+  std::vector<std::unique_ptr<ExecGroup>> reserved_groups_
+      GUARDED_BY(registry_mu_);
+  std::vector<std::unique_ptr<SubPlanCache>> executor_caches_
+      GUARDED_BY(registry_mu_);
+  std::vector<std::unique_ptr<VectorPool>> executor_pools_
+      GUARDED_BY(registry_mu_);
 
   std::atomic<bool> stop_{false};
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_ GUARDED_BY(registry_mu_);
 
   // Contexts + cache for inline (caller-thread) predictions.
   VectorPool caller_pool_;

@@ -70,7 +70,7 @@ Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
                                           const PlanRegistration& registration) {
   const size_t shard = ShardFor(spec.name);
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     auto [it, inserted] =
         placements_.emplace(spec.name, ShardPlacement{shard, kPendingPlan});
     if (!inserted) {
@@ -82,7 +82,7 @@ Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
   // pending entry holds the name. Flour interns the params into the segment
   // (or through it into the global store), Oven binds there.
   const auto fail = [&](Status status) -> Result<ShardPlacement> {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     placements_.erase(spec.name);
     return status;
   };
@@ -102,13 +102,13 @@ Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
     return fail(id.status());
   }
   ShardPlacement placement{shard, *id};
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   placements_[spec.name] = placement;
   return placement;
 }
 
 Result<ShardPlacement> ShardRouter::Placement(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = placements_.find(name);
   if (it == placements_.end() || it->second.plan_id == kPendingPlan) {
     return Status::NotFound("plan '" + name + "'");

@@ -28,13 +28,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/ops/params.h"
 #include "src/runtime/runtime.h"
 #include "src/store/object_store.h"
@@ -144,11 +145,20 @@ class ShardRouter {
 
   const ShardRouterOptions options_;
   std::unique_ptr<ObjectStore> global_store_;  // kGlobal scope only.
+  // Shards are constructed once in the constructor and never added, removed,
+  // or reseated afterwards, so the vector itself needs no guard; each
+  // shard's Runtime/ObjectStore do their own internal locking. GetMetrics
+  // deliberately reads the shards WITHOUT mu_ — per-shard snapshots and the
+  // cross-shard merge touch only Runtime/segment state, never placements_,
+  // so a snapshot cannot stall (or deadlock behind) a concurrent Place
+  // holding mu_ while it compiles a pipeline.
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Deploy-time writes only; Predict paths take the shared side.
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, ShardPlacement> placements_;
+  // Deploy-time writes only; Predict paths take the shared side. Lock
+  // order: mu_ is a leaf — never acquired while holding any Runtime or
+  // ObjectStore lock, and Place drops it around the compile+register step.
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, ShardPlacement> placements_ GUARDED_BY(mu_);
 };
 
 }  // namespace pretzel

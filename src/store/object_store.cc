@@ -1,7 +1,5 @@
 #include "src/store/object_store.h"
 
-#include <mutex>
-
 namespace pretzel {
 
 std::shared_ptr<const OpParams> ObjectStore::Intern(
@@ -12,7 +10,7 @@ std::shared_ptr<const OpParams> ObjectStore::Intern(
     // per-shard intern mix stays observable.
     bool hit = false;
     auto canonical = parent_->InternLocal(std::move(params), &hit);
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     ++stats_.interns;
     if (hit) {
       ++stats_.hits;
@@ -25,7 +23,7 @@ std::shared_ptr<const OpParams> ObjectStore::Intern(
 
 std::shared_ptr<const OpParams> ObjectStore::InternLocal(
     std::shared_ptr<const OpParams> params, bool* hit) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   ++stats_.interns;
   if (!options_.dedup_enabled) {
     undeduped_.push_back(params);
@@ -43,7 +41,7 @@ std::shared_ptr<const OpParams> ObjectStore::Lookup(uint64_t checksum) const {
   if (parent_ != nullptr) {
     return parent_->Lookup(checksum);
   }
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   if (!options_.dedup_enabled) {
     return nullptr;
   }
@@ -52,7 +50,7 @@ std::shared_ptr<const OpParams> ObjectStore::Lookup(uint64_t checksum) const {
 }
 
 size_t ObjectStore::TotalBytes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [ck, params] : by_checksum_) {
     total += params->HeapBytes();
@@ -64,12 +62,12 @@ size_t ObjectStore::TotalBytes() const {
 }
 
 size_t ObjectStore::NumObjects() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return by_checksum_.size() + undeduped_.size();
 }
 
 ObjectStore::Stats ObjectStore::GetStats() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return stats_;
 }
 

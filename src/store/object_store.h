@@ -16,10 +16,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/ops/params.h"
 
 namespace pretzel {
@@ -69,14 +70,16 @@ class ObjectStore {
 
  private:
   std::shared_ptr<const OpParams> InternLocal(
-      std::shared_ptr<const OpParams> params, bool* hit);
+      std::shared_ptr<const OpParams> params, bool* hit) EXCLUDES(mu_);
 
   const Options options_;
   ObjectStore* const parent_ = nullptr;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const OpParams>> by_checksum_;
-  std::vector<std::shared_ptr<const OpParams>> undeduped_;  // dedup off.
-  Stats stats_;
+  mutable SharedMutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const OpParams>> by_checksum_
+      GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<const OpParams>> undeduped_
+      GUARDED_BY(mu_);  // dedup off.
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace pretzel

@@ -1,0 +1,819 @@
+// Relacy-lite deterministic model checker for the lock-free primitives in
+// src/common/lockfree.h.
+//
+// Include THIS header before lockfree.h in a PRETZEL_MODEL_CHECK build: it
+// defines the PRETZEL_ATOMIC / PRETZEL_MO / PRETZEL_LF_* seam macros so the
+// production structures compile against the modeled primitives below instead
+// of the std:: forms, with zero source changes.
+//
+// Model:
+//  - Virtual threads are real std::threads run one-at-a-time under a token
+//    (one global mutex+condvar); every atomic access is a scheduling point,
+//    so an Explorer controls the full interleaving.
+//  - Each thread carries a vector clock; every modeled atomic keeps its full
+//    store history. A relaxed/acquire load may read any stale store not yet
+//    overwritten in the reader's happens-before past (coherence-per-location
+//    enforced via per-thread read/write floors); the staleness choice is an
+//    exploration point. Acquire joins the chosen store's release clock; RMWs
+//    always read the latest store and continue release sequences.
+//  - seq_cst is modeled as acquire+release plus must-read-latest. There is
+//    deliberately NO global SC order: a total-order clock would introduce
+//    happens-before edges real C++ does not have and mask real bugs (e.g. a
+//    weakened EventCount waiters load could never read stale). The model is
+//    thus slightly stronger than ISO seq_cst in ways that can hide bugs but
+//    never invent them: no false positives.
+//  - Var<T> wraps non-atomic data with pure clock-based race detection (no
+//    scheduling points; unordered accesses are flagged whenever the second
+//    one executes).
+//  - mc::Mutex / mc::CondVar model lost wakeups faithfully: notify on an
+//    empty waitlist is a no-op, and the predicate-false -> sleep window is a
+//    scheduling point (the mutex is still held there, exactly as with
+//    std::condition_variable).
+//  - Deadlock (no runnable thread, not all done) fails the run; runs past
+//    the step bound are pruned (neither pass nor fail).
+//
+// Explorers: DfsExplorer enumerates interleavings exhaustively (tiny litmus
+// tests only — the tree is exponential); RandomExplorer drives seeded random
+// walks, which is how the structure scenarios and the seeded-mutation
+// regression suite run.
+#ifndef PRETZEL_TESTS_MODEL_CHECK_MC_RUNTIME_H_
+#define PRETZEL_TESTS_MODEL_CHECK_MC_RUNTIME_H_
+
+#ifndef PRETZEL_MODEL_CHECK
+#error "mc_runtime.h is only meaningful in PRETZEL_MODEL_CHECK builds"
+#endif
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pretzel {
+namespace mc {
+
+// Slot kMainTid is the pseudo-thread for code running outside Go() (setup
+// before the threads spawn, post-join checks after). Go() seeds every
+// virtual thread's clock from the main clock and joins them back at the
+// end, so setup writes happen-before all threads and all thread writes
+// happen-before the post-checks.
+inline constexpr int kMaxThreads = 8;
+inline constexpr int kMainTid = kMaxThreads - 1;
+
+struct Clock {
+  uint64_t v[kMaxThreads] = {0};
+
+  void Join(const Clock& o) {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (o.v[i] > v[i]) v[i] = o.v[i];
+    }
+  }
+  // Has this clock seen thread `tid` up to (at least) `tick`?
+  bool Covers(int tid, uint64_t tick) const { return v[tid] >= tick; }
+};
+
+enum MemOrder : int { kRelaxed, kAcquire, kRelease, kAcqRel, kSeqCst };
+// Aliases matching the spellings PRETZEL_MO pastes (relaxed, acquire, ...).
+inline constexpr MemOrder k_relaxed = kRelaxed;
+inline constexpr MemOrder k_acquire = kAcquire;
+inline constexpr MemOrder k_release = kRelease;
+inline constexpr MemOrder k_acq_rel = kAcqRel;
+inline constexpr MemOrder k_seq_cst = kSeqCst;
+
+inline bool HasAcquire(MemOrder o) {
+  return o == kAcquire || o == kAcqRel || o == kSeqCst;
+}
+inline bool HasRelease(MemOrder o) {
+  return o == kRelease || o == kAcqRel || o == kSeqCst;
+}
+
+// Thrown inside virtual threads to unwind them when a run is discarded
+// (prune / drain-after-failure) or has already recorded its failure.
+struct AbortRunError {};
+struct FailRunError {};
+
+class Explorer {
+ public:
+  virtual ~Explorer() = default;
+  // Pick one of n alternatives at this decision point (n >= 2).
+  virtual int Choose(int n) = 0;
+  // Advance to the next run; false = state space exhausted.
+  virtual bool NextRun() = 0;
+};
+
+class Sim {
+ public:
+  static Sim& Get() {
+    static Sim s;
+    return s;
+  }
+
+  void Reset(Explorer* ex, std::string mutation) {
+    explorer_ = ex;
+    mutation_ = std::move(mutation);
+    for (auto& t : threads_) {
+      t.fn = nullptr;
+      t.state = St::kUnused;
+      t.wait_obj = nullptr;
+      t.clock = Clock{};
+    }
+    main_clock_ = Clock{};
+    nthreads_ = 0;
+    steps_ = 0;
+    failed_ = false;
+    pruned_ = false;
+    aborting_ = false;
+    fail_msg_.clear();
+  }
+
+  bool IsMutation(const char* tag) const { return mutation_ == tag; }
+  bool InSimThread() const { return tls_tid_ >= 0; }
+  int Tid() const { return InSimThread() ? tls_tid_ : kMainTid; }
+  Clock& MyClock() {
+    return InSimThread() ? threads_[tls_tid_].clock : main_clock_;
+  }
+  // Advance this thread's own component; every modeled op gets a unique
+  // timestamp, snapshotted into store entries and access records.
+  uint64_t Tick() {
+    Clock& c = MyClock();
+    return ++c.v[Tid()];
+  }
+
+  // Exploration decision. n<=1 is free (never consumes explorer state, so
+  // DFS paths stay compact and deterministic).
+  int ChooseIdx(int n) {
+    if (n <= 1) return 0;
+    return explorer_->Choose(n);
+  }
+
+  // Yield the token back to the scheduler; resume when rescheduled.
+  void SchedPoint() {
+    if (!InSimThread()) return;  // Main runs only while no thread does.
+    Pass(St::kReady, nullptr);
+  }
+
+  // Park until WakeAll(obj)/WakeThread marks us ready again.
+  void BlockOn(void* obj) {
+    if (!InSimThread()) {
+      std::fprintf(stderr, "mc: BlockOn outside a sim thread\n");
+      std::abort();
+    }
+    Pass(St::kBlocked, obj);
+  }
+
+  void WakeAll(void* obj) {
+    std::lock_guard<std::mutex> lk(m_);
+    for (int i = 0; i < nthreads_; ++i) {
+      if (threads_[i].state == St::kBlocked && threads_[i].wait_obj == obj) {
+        threads_[i].state = St::kReady;
+      }
+    }
+  }
+
+  void WakeThread(int t) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (threads_[t].state == St::kBlocked) {
+      threads_[t].state = St::kReady;
+    }
+  }
+
+  // Record the run's (first) failure. In a sim thread this also unwinds it.
+  void Fail(std::string msg) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!failed_) {
+        failed_ = true;
+        fail_msg_ = std::move(msg);
+      }
+    }
+    if (InSimThread()) throw FailRunError{};
+  }
+
+  bool failed() const { return failed_; }
+  bool pruned() const { return pruned_; }
+  bool aborting() const { return aborting_; }
+  const std::string& fail_message() const { return fail_msg_; }
+
+  // Run the virtual threads to completion under explorer control.
+  void Go(std::vector<std::function<void()>> fns) {
+    const int n = static_cast<int>(fns.size());
+    if (n > kMainTid) {
+      std::fprintf(stderr, "mc: too many threads (%d > %d)\n", n, kMainTid);
+      std::abort();
+    }
+    nthreads_ = n;
+    for (int i = 0; i < n; ++i) {
+      threads_[i].state = St::kReady;
+      threads_[i].wait_obj = nullptr;
+      threads_[i].clock = main_clock_;  // Setup happens-before every thread.
+    }
+    std::vector<std::thread> os;
+    os.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      os.emplace_back([this, i, fn = std::move(fns[i])]() {
+        tls_tid_ = i;
+        {
+          std::unique_lock<std::mutex> lk(m_);
+          cv_.wait(lk, [&] { return active_ == i; });
+        }
+        if (!aborting_) {
+          try {
+            fn();
+          } catch (const AbortRunError&) {
+          } catch (const FailRunError&) {
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lk(m_);
+          threads_[i].state = St::kDone;
+          active_ = -1;
+          cv_.notify_all();
+        }
+        tls_tid_ = -1;
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      for (;;) {
+        if (failed_) aborting_ = true;
+        std::vector<int> ready;
+        bool all_done = true;
+        int nondone = -1;
+        for (int i = 0; i < n; ++i) {
+          if (threads_[i].state != St::kDone) {
+            all_done = false;
+            if (nondone < 0) nondone = i;
+          }
+          if (threads_[i].state == St::kReady) ready.push_back(i);
+        }
+        if (all_done) break;
+        int pick;
+        if (aborting_) {
+          // Drain: hand the token to anyone not done (blocked threads
+          // included); they unwind via AbortRunError at their next resume.
+          pick = ready.empty() ? nondone : ready[0];
+        } else if (ready.empty()) {
+          std::string msg = "deadlock: no runnable thread; blocked = {";
+          bool first = true;
+          for (int i = 0; i < n; ++i) {
+            if (threads_[i].state == St::kBlocked) {
+              if (!first) msg += ",";
+              msg += std::to_string(i);
+              first = false;
+            }
+          }
+          msg += "}";
+          failed_ = true;
+          fail_msg_ = msg;
+          aborting_ = true;
+          pick = nondone;
+        } else if (++steps_ > kMaxSteps) {
+          pruned_ = true;  // Unfair schedule (e.g. starved CAS loop): prune.
+          aborting_ = true;
+          pick = ready[0];
+        } else {
+          const int c = ready.size() <= 1
+                            ? 0
+                            : explorer_->Choose(static_cast<int>(ready.size()));
+          pick = ready[static_cast<size_t>(c)];
+        }
+        active_ = pick;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return active_ == -1; });
+      }
+      active_ = -2;
+    }
+    for (auto& t : os) t.join();
+    // Every thread's work happens-before the post-join checks.
+    for (int i = 0; i < n; ++i) main_clock_.Join(threads_[i].clock);
+  }
+
+ private:
+  enum class St { kUnused, kReady, kRunning, kBlocked, kDone };
+  struct ThreadRec {
+    std::function<void()> fn;
+    St state = St::kUnused;
+    void* wait_obj = nullptr;
+    Clock clock;
+  };
+
+  void Pass(St rest_state, void* obj) {
+    std::unique_lock<std::mutex> lk(m_);
+    const int me = tls_tid_;
+    threads_[me].state = rest_state;
+    threads_[me].wait_obj = obj;
+    active_ = -1;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == me; });
+    threads_[me].state = St::kRunning;
+    threads_[me].wait_obj = nullptr;
+    if (aborting_) throw AbortRunError{};
+  }
+
+  static constexpr long kMaxSteps = 20000;
+
+  ThreadRec threads_[kMaxThreads];
+  Clock main_clock_;
+  int nthreads_ = 0;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  int active_ = -2;  // -2 idle, -1 scheduler owns token, >=0 thread tid.
+
+  Explorer* explorer_ = nullptr;
+  std::string mutation_;
+  long steps_ = 0;
+  bool failed_ = false;
+  bool pruned_ = false;
+  bool aborting_ = false;
+  std::string fail_msg_;
+
+  static thread_local int tls_tid_;
+};
+
+inline thread_local int Sim::tls_tid_ = -1;
+
+// Seam hooks -----------------------------------------------------------------
+
+// PRETZEL_MO(tag, order): the active mutation weakens exactly the op whose
+// tag it names to relaxed; every other op keeps its declared order.
+inline MemOrder OrderFor(const char* tag, MemOrder declared) {
+  return Sim::Get().IsMutation(tag) ? kRelaxed : declared;
+}
+
+inline bool MutationEnabled(const char* name) {
+  return Sim::Get().IsMutation(name);
+}
+
+inline void Check(bool ok, const char* msg) {
+  Sim& sim = Sim::Get();
+  if (ok || sim.pruned()) return;  // Pruned runs assert nothing.
+  sim.Fail(msg);
+}
+
+}  // namespace mc
+}  // namespace pretzel
+
+// The seam consumed by src/common/lockfree.h.
+#define PRETZEL_ATOMIC(T) ::pretzel::mc::Atomic<T>
+#define PRETZEL_MC_VAR(T) ::pretzel::mc::Var<T>
+#define PRETZEL_MO(tag, order) \
+  ::pretzel::mc::OrderFor(#tag, ::pretzel::mc::k_##order)
+#define PRETZEL_LF_MUTEX ::pretzel::mc::Mutex
+#define PRETZEL_LF_CONDVAR ::pretzel::mc::CondVar
+#define PRETZEL_LF_UNIQUE_LOCK ::pretzel::mc::UniqueLock
+#define PRETZEL_LF_LOCK_GUARD ::pretzel::mc::LockGuard
+#define PRETZEL_LF_MUTATION(name) (::pretzel::mc::MutationEnabled(#name))
+
+namespace pretzel {
+namespace mc {
+
+// Modeled std::atomic. Keeps the whole store history for the run; loads may
+// be served stale under explorer control, within coherence.
+template <typename T>
+class Atomic {
+ public:
+  Atomic() : Atomic(T{}) {}
+  Atomic(T v) {  // NOLINT(google-explicit-constructor): mirrors std::atomic.
+    entries_.push_back(Entry{v, Clock{}, -1, 0});
+  }
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(MemOrder mo) const {
+    Sim& sim = Sim::Get();
+    sim.SchedPoint();
+    const int tid = sim.Tid();
+    sim.Tick();
+    const size_t latest = entries_.size() - 1;
+    size_t chosen = latest;
+    if (mo != kSeqCst) {
+      // Candidates, newest first: stop offering older stores once we pass a
+      // store this thread already happens-after (coherence forbids reading
+      // anything it overwrote). The candidate itself stays readable.
+      const Clock& my = sim.MyClock();
+      std::vector<size_t> cand;
+      bool hb_newer = false;
+      for (size_t j = latest + 1; j-- > floor_[tid];) {
+        const Entry& e = entries_[j];
+        if (hb_newer) break;
+        cand.push_back(j);
+        if (e.tid >= 0 && my.Covers(e.tid, e.self_tick)) hb_newer = true;
+        if (j == 0) break;
+      }
+      chosen = cand[static_cast<size_t>(
+          sim.ChooseIdx(static_cast<int>(cand.size())))];
+    }
+    const Entry& e = entries_[chosen];
+    if (HasAcquire(mo)) sim.MyClock().Join(e.sync);
+    if (chosen > floor_[tid]) floor_[tid] = chosen;
+    return e.value;
+  }
+
+  void store(T v, MemOrder mo) {
+    Sim& sim = Sim::Get();
+    sim.SchedPoint();
+    const int tid = sim.Tid();
+    const uint64_t tick = sim.Tick();
+    Entry e{v, Clock{}, tid, tick};
+    if (HasRelease(mo)) e.sync = sim.MyClock();
+    entries_.push_back(e);
+    floor_[tid] = entries_.size() - 1;
+  }
+
+  T fetch_add(T d, MemOrder mo) {
+    return Rmw(mo, [d](T old) { return static_cast<T>(old + d); });
+  }
+  T fetch_sub(T d, MemOrder mo) {
+    return Rmw(mo, [d](T old) { return static_cast<T>(old - d); });
+  }
+  T exchange(T v, MemOrder mo) {
+    return Rmw(mo, [v](T) { return v; });
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, MemOrder ok,
+                             MemOrder fail) {
+    // Modeled as strong (no spurious failure): a strict subset of weak
+    // behaviors, so no false positives; retry loops still get exercised via
+    // genuine interference.
+    Sim& sim = Sim::Get();
+    sim.SchedPoint();
+    const int tid = sim.Tid();
+    const uint64_t tick = sim.Tick();
+    const Entry prev = entries_.back();  // RMWs always see the latest store.
+    if (prev.value == expected) {
+      if (HasAcquire(ok)) sim.MyClock().Join(prev.sync);
+      Entry e{desired, Clock{}, tid, tick};
+      if (HasRelease(ok)) {
+        e.sync = prev.sync;
+        e.sync.Join(sim.MyClock());
+      } else {
+        e.sync = prev.sync;  // Release-sequence continuation.
+      }
+      entries_.push_back(e);
+      floor_[tid] = entries_.size() - 1;
+      return true;
+    }
+    expected = prev.value;
+    if (HasAcquire(fail)) sim.MyClock().Join(prev.sync);
+    floor_[tid] = entries_.size() - 1;  // We observed the latest store.
+    return false;
+  }
+  bool compare_exchange_weak(T& expected, T desired, MemOrder ok) {
+    return compare_exchange_weak(expected, desired, ok, FailOrderOf(ok));
+  }
+  bool compare_exchange_strong(T& expected, T desired, MemOrder ok,
+                               MemOrder fail) {
+    return compare_exchange_weak(expected, desired, ok, fail);
+  }
+  bool compare_exchange_strong(T& expected, T desired, MemOrder ok) {
+    return compare_exchange_weak(expected, desired, ok);
+  }
+
+ private:
+  struct Entry {
+    T value;
+    Clock sync;          // Release clock riding this store (empty if relaxed).
+    int tid;             // -1: pre-Sim initial value.
+    uint64_t self_tick;  // Storer's own clock component at the store.
+  };
+
+  static MemOrder FailOrderOf(MemOrder ok) {
+    if (ok == kAcqRel) return kAcquire;
+    if (ok == kRelease) return kRelaxed;
+    return ok;
+  }
+
+  template <typename F>
+  T Rmw(MemOrder mo, F f) {
+    Sim& sim = Sim::Get();
+    sim.SchedPoint();
+    const int tid = sim.Tid();
+    const uint64_t tick = sim.Tick();
+    const Entry prev = entries_.back();  // RMWs always see the latest store.
+    if (HasAcquire(mo)) sim.MyClock().Join(prev.sync);
+    Entry e{f(prev.value), Clock{}, tid, tick};
+    if (HasRelease(mo)) {
+      e.sync = prev.sync;
+      e.sync.Join(sim.MyClock());
+    } else {
+      // Relaxed/acquire RMW continues the release sequence: readers of this
+      // store still synchronize with the head release.
+      e.sync = prev.sync;
+    }
+    entries_.push_back(e);
+    floor_[tid] = entries_.size() - 1;
+    return prev.value;
+  }
+
+  mutable std::vector<Entry> entries_;
+  mutable size_t floor_[kMaxThreads] = {0};
+};
+
+// Non-atomic data with pure vector-clock race detection. No scheduling
+// points: an unordered pair of accesses is flagged whenever the second one
+// executes, regardless of how the explorer happened to interleave them.
+template <typename T>
+class Var {
+ public:
+  Var() : val_{} {}
+  Var(const T& v) : val_(v) {}  // NOLINT(google-explicit-constructor)
+  Var(const Var&) = delete;
+  Var& operator=(const Var&) = delete;
+
+  Var& operator=(T v) {
+    RecordWrite();
+    val_ = std::move(v);
+    return *this;
+  }
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    RecordRead();
+    return val_;
+  }
+
+ private:
+  void RecordWrite() {
+    Sim& sim = Sim::Get();
+    const int tid = sim.Tid();
+    const Clock& my = sim.MyClock();
+    if (wtid_ >= 0 && wtid_ != tid && !my.Covers(wtid_, wtick_)) {
+      sim.Fail("data race: write/write on non-atomic");
+      return;
+    }
+    for (int t = 0; t < kMaxThreads; ++t) {
+      if (t != tid && rtick_[t] != 0 && !my.Covers(t, rtick_[t])) {
+        sim.Fail("data race: write concurrent with read on non-atomic");
+        return;
+      }
+    }
+    const uint64_t tick = sim.Tick();
+    wtid_ = tid;
+    wtick_ = tick;
+    // Prior reads happen-before this (race-checked) write; future accesses
+    // need only be checked against the write.
+    for (auto& r : rtick_) r = 0;
+  }
+
+  void RecordRead() const {
+    Sim& sim = Sim::Get();
+    const int tid = sim.Tid();
+    const Clock& my = sim.MyClock();
+    if (wtid_ >= 0 && wtid_ != tid && !my.Covers(wtid_, wtick_)) {
+      sim.Fail("data race: read concurrent with write on non-atomic");
+      return;
+    }
+    rtick_[tid] = sim.Tick();
+  }
+
+  T val_;
+  mutable int wtid_ = -1;
+  mutable uint64_t wtick_ = 0;
+  mutable uint64_t rtick_[kMaxThreads] = {0};
+};
+
+// Modeled mutex: ownership + happens-before via a release clock, blocking
+// via the scheduler (a blocked thread is unrunnable, so mutex deadlocks are
+// caught by the no-runnable-thread detector).
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    Sim& sim = Sim::Get();
+    if (!sim.InSimThread()) {  // Setup/teardown: trivially uncontended.
+      owner_ = kMainTid;
+      return;
+    }
+    sim.SchedPoint();
+    while (owner_ != kFree) sim.BlockOn(this);
+    owner_ = sim.Tid();
+    sim.Tick();
+    sim.MyClock().Join(release_clock_);
+  }
+
+  void unlock() {
+    Sim& sim = Sim::Get();
+    if (!sim.InSimThread()) {
+      owner_ = kFree;
+      return;
+    }
+    sim.Tick();
+    release_clock_.Join(sim.MyClock());
+    owner_ = kFree;
+    sim.WakeAll(this);
+  }
+
+ private:
+  static constexpr int kFree = -1;
+  int owner_ = kFree;
+  Clock release_clock_;
+};
+
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) : m_(&m) { m_->lock(); }
+  ~UniqueLock() { m_->unlock(); }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  Mutex* mutex() { return m_; }
+
+ private:
+  Mutex* m_;
+};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// Modeled condition variable. Faithful in the two ways that matter for
+// lost-wakeup bugs: (1) notify with an empty waitlist is a no-op; (2) the
+// window between the predicate evaluating false and the atomic
+// enqueue+unlock+sleep is a scheduling point (the waiter still holds the
+// mutex there, so only lockless notifiers can interleave — exactly the
+// real-hardware hazard). Spurious wakeups and timeouts are not modeled
+// (both only ADD wakeups, so omitting them cannot hide a lost wakeup).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    Sim& sim = Sim::Get();
+    if (!sim.InSimThread()) {
+      std::fprintf(stderr, "mc: CondVar::wait outside a sim thread\n");
+      std::abort();
+    }
+    while (!pred()) {
+      sim.SchedPoint();  // The check-then-sleep window.
+      waiters_.push_back(sim.Tid());
+      lk.mutex()->unlock();  // Enqueue+unlock+sleep: atomic (no sched point).
+      sim.BlockOn(this);
+      lk.mutex()->lock();
+    }
+  }
+
+  // Timeouts are not modeled: behaves as an untimed wait and reports
+  // "notified". Nothing in the model-check scenarios relies on deadlines.
+  template <typename TimePoint, typename Pred>
+  bool wait_until(UniqueLock& lk, const TimePoint&, Pred pred) {
+    wait(lk, std::move(pred));
+    return true;
+  }
+
+  void notify_one() {
+    Sim& sim = Sim::Get();
+    if (waiters_.empty()) return;  // Lost wakeup, modeled faithfully.
+    const int i = sim.ChooseIdx(static_cast<int>(waiters_.size()));
+    const int t = waiters_[static_cast<size_t>(i)];
+    waiters_.erase(waiters_.begin() + i);
+    sim.WakeThread(t);
+  }
+
+  void notify_all() {
+    Sim& sim = Sim::Get();
+    for (int t : waiters_) sim.WakeThread(t);
+    waiters_.clear();
+  }
+
+ private:
+  std::vector<int> waiters_;
+};
+
+// Explorers ------------------------------------------------------------------
+
+class RandomExplorer : public Explorer {
+ public:
+  explicit RandomExplorer(uint64_t seed) : seed_(seed) { Reseed(); }
+
+  int Choose(int n) override {
+    // xorshift64*.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return static_cast<int>((state_ * 0x2545F4914F6CDD1Dull) %
+                            static_cast<uint64_t>(n));
+  }
+  bool NextRun() override {
+    ++seed_;
+    Reseed();
+    return true;  // Never exhausts; the driver bounds the run count.
+  }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  void Reseed() {
+    // splitmix64 of the seed, so adjacent seeds give unrelated walks.
+    uint64_t z = seed_ + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    state_ = (z ^ (z >> 31)) | 1;
+  }
+
+  uint64_t seed_;
+  uint64_t state_ = 1;
+};
+
+// Depth-first enumeration of every decision sequence. Only viable for tiny
+// litmus scenarios; the tree is exponential in scheduling points.
+class DfsExplorer : public Explorer {
+ public:
+  int Choose(int n) override {
+    if (depth_ < path_.size()) {
+      return path_[depth_++].choice;
+    }
+    path_.push_back({0, n});
+    ++depth_;
+    return 0;
+  }
+  bool NextRun() override {
+    depth_ = 0;
+    while (!path_.empty() && path_.back().choice + 1 >= path_.back().fanout) {
+      path_.pop_back();
+    }
+    if (path_.empty()) return false;
+    ++path_.back().choice;
+    return true;
+  }
+
+ private:
+  struct Node {
+    int choice;
+    int fanout;
+  };
+  std::vector<Node> path_;
+  size_t depth_ = 0;
+};
+
+// Drivers --------------------------------------------------------------------
+
+inline void Go(std::vector<std::function<void()>> fns) {
+  Sim::Get().Go(std::move(fns));
+}
+
+inline bool Failed() { return Sim::Get().failed(); }
+inline bool Pruned() { return Sim::Get().pruned(); }
+
+struct ExploreResult {
+  bool failed = false;
+  std::string message;
+  long runs = 0;    // Runs executed (including the failing one).
+  long pruned = 0;  // Runs cut by the step bound (neither pass nor fail).
+};
+
+// Run `scenario` repeatedly under `ex` until a failure, exhaustion, or
+// `max_runs`. The scenario constructs fresh structures, calls mc::Go with
+// its thread bodies, and asserts invariants with mc::Check (post-join checks
+// included).
+inline ExploreResult Explore(Explorer& ex, long max_runs,
+                             const std::string& mutation,
+                             const std::function<void()>& scenario) {
+  Sim& sim = Sim::Get();
+  ExploreResult r;
+  for (long i = 0; i < max_runs; ++i) {
+    sim.Reset(&ex, mutation);
+    scenario();
+    r.runs = i + 1;
+    if (sim.failed()) {
+      r.failed = true;
+      r.message = sim.fail_message();
+      return r;
+    }
+    if (sim.pruned()) ++r.pruned;
+    if (!ex.NextRun()) break;
+  }
+  return r;
+}
+
+inline ExploreResult ExploreRandom(long runs, uint64_t seed,
+                                   const std::string& mutation,
+                                   const std::function<void()>& scenario) {
+  RandomExplorer ex(seed);
+  return Explore(ex, runs, mutation, scenario);
+}
+
+inline ExploreResult ExploreDfs(long max_runs, const std::string& mutation,
+                                const std::function<void()>& scenario) {
+  DfsExplorer ex;
+  return Explore(ex, max_runs, mutation, scenario);
+}
+
+}  // namespace mc
+}  // namespace pretzel
+
+#endif  // PRETZEL_TESTS_MODEL_CHECK_MC_RUNTIME_H_

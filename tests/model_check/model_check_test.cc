@@ -1,0 +1,411 @@
+// Deterministic model-check suite for src/common/lockfree.h.
+//
+// Three tiers:
+//  1. Checker self-tests: exhaustive (DFS) litmus runs proving the model
+//     itself finds races, staleness, and deadlocks — and stays quiet on
+//     correct code.
+//  2. Clean sweeps: each production structure run under seeded-random
+//     exploration with its declared memory orders; any failure here is a
+//     real concurrency bug (or a model false positive — both block the PR).
+//  3. Seeded-mutation regressions: every mutation weakens exactly one
+//     tagged memory order to relaxed (or enables one tagged structural bug)
+//     and the checker MUST find a failing interleaving. This pins the
+//     checker's detection power: if a future refactor silently defeats the
+//     harness, these turn red.
+//
+// All seeds are fixed; runs are reproducible bit-for-bit.
+
+#include "tests/model_check/mc_runtime.h"
+// mc_runtime.h defines the PRETZEL_* seam; lockfree.h must come after it.
+#include "src/common/lockfree.h"
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace pretzel {
+namespace {
+
+constexpr uint64_t kSeed = 0xC0FFEEull;
+
+// --- Tier 1: checker self-tests ---------------------------------------------
+
+// Message-passing litmus. With a release store the data write is published
+// to the acquiring reader; with a relaxed store the reader can observe the
+// flag yet race on the data. g_mp_relaxed selects the broken variant.
+bool g_mp_relaxed = false;
+
+void LitmusMessagePassing() {
+  auto data = std::make_shared<mc::Var<int>>(0);
+  auto ready = std::make_shared<mc::Atomic<int>>(0);
+  mc::Go({
+      [data, ready] {
+        *data = 42;
+        ready->store(1, g_mp_relaxed ? mc::kRelaxed : mc::kRelease);
+      },
+      [data, ready] {
+        if (ready->load(mc::kAcquire) == 1) {
+          const int v = *data;
+          mc::Check(v == 42, "litmus: published data not visible");
+        }
+      },
+  });
+}
+
+// Classic AB/BA lock-order inversion; the scheduler's no-runnable-thread
+// detector must flag it.
+void LitmusAbbaDeadlock() {
+  auto a = std::make_shared<mc::Mutex>();
+  auto b = std::make_shared<mc::Mutex>();
+  mc::Go({
+      [a, b] {
+        mc::LockGuard la(*a);
+        mc::LockGuard lb(*b);
+      },
+      [a, b] {
+        mc::LockGuard lb(*b);
+        mc::LockGuard la(*a);
+      },
+  });
+}
+
+// Stale reads: with only relaxed orders, a reader polling a flag written
+// once by another thread may legitimately never see it... but a seq_cst
+// read must. This checks the staleness machinery both ways.
+void LitmusSeqCstReadsLatest() {
+  auto x = std::make_shared<mc::Atomic<int>>(0);
+  mc::Go({
+      [x] { x->store(7, mc::kSeqCst); },
+      [x] {
+        // Runs after/interleaved with the writer; if the store already
+        // executed, seq_cst must not serve the stale initial value.
+        const int before = x->load(mc::kRelaxed);
+        const int after = x->load(mc::kSeqCst);
+        if (before == 7) {
+          mc::Check(after == 7, "litmus: seq_cst load served a stale value");
+        }
+      },
+  });
+}
+
+void RunSelfTests() {
+  g_mp_relaxed = false;
+  auto r = mc::ExploreDfs(2000000, "", LitmusMessagePassing);
+  CHECK_MSG(!r.failed, "litmus MP (release) must pass clean");
+  std::printf("[mc] litmus MP clean: %ld interleavings, 0 failures\n", r.runs);
+
+  g_mp_relaxed = true;
+  r = mc::ExploreDfs(2000000, "", LitmusMessagePassing);
+  CHECK_MSG(r.failed, "litmus MP (relaxed) race must be detected");
+  std::printf("[mc] litmus MP relaxed: race found in %ld runs (%s)\n", r.runs,
+              r.message.c_str());
+  g_mp_relaxed = false;
+
+  r = mc::ExploreDfs(2000000, "", LitmusAbbaDeadlock);
+  CHECK_MSG(r.failed, "litmus ABBA deadlock must be detected");
+  std::printf("[mc] litmus ABBA: %s (run %ld)\n", r.message.c_str(), r.runs);
+
+  r = mc::ExploreDfs(2000000, "", LitmusSeqCstReadsLatest);
+  CHECK_MSG(!r.failed, "litmus seq_cst-reads-latest must pass clean");
+  std::printf("[mc] litmus seq_cst: %ld interleavings, 0 failures\n", r.runs);
+}
+
+// --- Tier 2/3 scenarios ------------------------------------------------------
+
+// BoundedMpmcRing as SPSC with capacity 2 and 3 items: item 3 reuses cell 0,
+// so the producer's wrap-around seq acquire (vs the consumer's pop release)
+// is on the hot path, alongside both publication edges.
+void RingSpscScenario() {
+  auto ring = std::make_shared<BoundedMpmcRing<uint64_t>>(2);
+  auto got = std::make_shared<std::vector<uint64_t>>();
+  mc::Go({
+      [ring] {
+        for (uint64_t v = 1; v <= 3; ++v) {
+          uint64_t x = v;
+          while (!ring->TryPush(std::move(x))) {
+            // Full: consumer hasn't drained yet. TryPush yields internally.
+          }
+        }
+      },
+      [ring, got] {
+        while (got->size() < 3) {
+          uint64_t v = 0;
+          if (ring->TryPop(&v)) got->push_back(v);
+        }
+      },
+  });
+  if (mc::Pruned() || mc::Failed()) return;
+  mc::Check(got->size() == 3, "ring spsc: wrong pop count");
+  for (size_t i = 0; i < got->size(); ++i) {
+    mc::Check((*got)[i] == i + 1, "ring spsc: FIFO violated");
+  }
+}
+
+// BoundedMpmcRing as MPMC: 2 producers x 2 items, 2 consumers. Checks
+// exactly-once delivery and per-producer FIFO within each consumer's
+// stream (the strongest order MPMC guarantees).
+void RingMpmcScenario() {
+  auto ring = std::make_shared<BoundedMpmcRing<uint64_t>>(2);
+  auto popped = std::make_shared<mc::Atomic<int>>(0);
+  auto got0 = std::make_shared<std::vector<uint64_t>>();
+  auto got1 = std::make_shared<std::vector<uint64_t>>();
+  auto producer = [ring](uint64_t base) {
+    return [ring, base] {
+      for (uint64_t k = 0; k < 2; ++k) {
+        uint64_t x = base + k;
+        while (!ring->TryPush(std::move(x))) {
+        }
+      }
+    };
+  };
+  auto consumer = [ring, popped](std::shared_ptr<std::vector<uint64_t>> got) {
+    return [ring, popped, got] {
+      for (;;) {
+        if (popped->load(mc::kSeqCst) >= 4) break;
+        uint64_t v = 0;
+        if (ring->TryPop(&v)) {
+          got->push_back(v);
+          popped->fetch_add(1, mc::kSeqCst);
+        }
+      }
+    };
+  };
+  mc::Go({producer(100), producer(200), consumer(got0), consumer(got1)});
+  if (mc::Pruned() || mc::Failed()) return;
+  std::vector<uint64_t> all(*got0);
+  all.insert(all.end(), got1->begin(), got1->end());
+  mc::Check(all.size() == 4, "ring mpmc: wrong total pop count");
+  int seen[2][2] = {{0, 0}, {0, 0}};
+  for (uint64_t v : all) {
+    const int p = v >= 200 ? 1 : 0;
+    const uint64_t k = v % 100;
+    mc::Check(k < 2 && (v == 100 + k || v == 200 + k),
+              "ring mpmc: foreign value popped");
+    seen[p][k]++;
+  }
+  for (auto& row : seen) {
+    for (int c : row) mc::Check(c == 1, "ring mpmc: exactly-once violated");
+  }
+  for (const auto& got : {got0, got1}) {
+    uint64_t last[2] = {0, 0};
+    for (uint64_t v : *got) {
+      const int p = v >= 200 ? 1 : 0;
+      mc::Check(last[p] == 0 || v > last[p], "ring mpmc: per-producer FIFO");
+      last[p] = v;
+    }
+  }
+}
+
+// IndexStack: two threads cycling pop -> exclusive-ownership assert ->
+// payload write -> release -> push. A stale next_ read (the payoff of any
+// weakened head/CAS ordering) lets both threads pop the same index, which
+// the owned[] exchange discipline catches immediately.
+void StackScenario() {
+  auto stack = std::make_shared<IndexStack>(3);
+  auto owned = std::make_shared<std::array<mc::Atomic<uint32_t>, 3>>();
+  auto slot = std::make_shared<std::array<mc::Var<uint64_t>, 3>>();
+  for (uint32_t i = 0; i < 3; ++i) stack->Push(i);
+  auto worker = [stack, owned, slot](uint64_t tag) {
+    return [stack, owned, slot, tag] {
+      for (uint64_t k = 0; k < 3; ++k) {
+        uint32_t idx = 0;
+        while (!stack->TryPop(&idx)) {
+        }
+        const uint32_t was = (*owned)[idx].exchange(1, mc::kSeqCst);
+        mc::Check(was == 0, "stack: index popped by two owners");
+        (*slot)[idx] = tag * 16 + k;
+        const uint32_t back = (*owned)[idx].exchange(0, mc::kSeqCst);
+        mc::Check(back == 1, "stack: ownership lost while held");
+        stack->Push(idx);
+      }
+    };
+  };
+  mc::Go({worker(1), worker(2)});
+  if (mc::Pruned() || mc::Failed()) return;
+  uint32_t a = 0, b = 0, c = 0;
+  mc::Check(stack->TryPop(&a) && stack->TryPop(&b) && stack->TryPop(&c),
+            "stack: indices lost");
+  mc::Check(a != b && b != c && a != c, "stack: duplicate indices");
+  uint32_t d = 0;
+  mc::Check(!stack->TryPop(&d), "stack: phantom index");
+}
+
+// MpscIntrusiveQueue: two producers, one consumer, payloads under race
+// detection. Transient-empty pops are expected (a producer mid-push); the
+// consumer simply revisits, and nothing may be lost or reordered
+// per-producer. The consumer also recycles the first node it pops (re-push
+// with a new payload, as the Runtime's event pools do) — intrusive-queue
+// bugs that only bite on node reuse (e.g. a skipped next-pointer reset)
+// need that churn to surface.
+struct McNode : MpscNode {
+  mc::Var<uint64_t> payload{0};
+};
+
+void MpscScenario() {
+  auto q = std::make_shared<MpscIntrusiveQueue>();
+  auto nodes = std::make_shared<std::array<McNode, 4>>();
+  auto got = std::make_shared<std::vector<uint64_t>>();
+  auto producer = [q, nodes](int p) {
+    return [q, nodes, p] {
+      for (int k = 0; k < 2; ++k) {
+        McNode* n = &(*nodes)[p * 2 + k];
+        n->payload = static_cast<uint64_t>(p) * 100 + k + 1;
+        q->Push(n);
+      }
+    };
+  };
+  mc::Go({
+      producer(0),
+      producer(1),
+      [q, got] {
+        bool recycled = false;
+        while (got->size() < 5) {
+          MpscNode* n = q->TryPop();
+          if (n == nullptr) continue;
+          McNode* node = static_cast<McNode*>(n);
+          const uint64_t v = node->payload;
+          got->push_back(v);
+          if (!recycled) {
+            recycled = true;
+            node->payload = v + 1000;
+            q->Push(node);  // Push is legal from any thread, consumer included.
+          }
+        }
+      },
+  });
+  if (mc::Pruned() || mc::Failed()) return;
+  mc::Check(got->size() == 5, "mpsc: wrong pop count");
+  int seen[2][2] = {{0, 0}, {0, 0}};
+  int recycled_seen = 0;
+  uint64_t last[2] = {0, 0};
+  for (uint64_t v : *got) {
+    if (v >= 1000) {
+      ++recycled_seen;
+      mc::Check(v == (*got)[0] + 1000, "mpsc: wrong recycled payload");
+      continue;
+    }
+    const int p = v >= 100 ? 1 : 0;
+    const int k = static_cast<int>(v % 100) - 1;
+    mc::Check(k >= 0 && k < 2, "mpsc: foreign value popped");
+    seen[p][k]++;
+    mc::Check(last[p] == 0 || v > last[p], "mpsc: per-producer FIFO violated");
+    last[p] = v;
+  }
+  for (auto& row : seen) {
+    for (int c : row) mc::Check(c == 1, "mpsc: exactly-once violated");
+  }
+  mc::Check(recycled_seen == 1, "mpsc: recycled node not delivered once");
+  mc::Check(q->TryPop() == nullptr, "mpsc: phantom node after drain");
+}
+
+// EventCount: the check-then-sleep protocol from the header comment. Any
+// lost wakeup leaves the waiter blocked with the notifier done — caught by
+// the deadlock detector.
+void EventCountScenario() {
+  auto ec = std::make_shared<EventCount>();
+  auto flag = std::make_shared<mc::Atomic<int>>(0);
+  auto resumed_set = std::make_shared<bool>(false);
+  mc::Go({
+      [ec, flag] {
+        flag->store(1, mc::kSeqCst);
+        ec->NotifyOne();
+      },
+      [ec, flag, resumed_set] {
+        if (flag->load(mc::kSeqCst) != 1) {
+          const uint64_t t = ec->PrepareWait();
+          if (flag->load(mc::kSeqCst) == 1) {
+            ec->CancelWait();
+          } else {
+            ec->Wait(t);
+          }
+        }
+        *resumed_set = (flag->load(mc::kSeqCst) == 1);
+      },
+  });
+  if (mc::Pruned() || mc::Failed()) return;
+  mc::Check(*resumed_set, "eventcount: waiter resumed without the flag set");
+}
+
+// --- Drivers -----------------------------------------------------------------
+
+struct CleanCase {
+  const char* name;
+  void (*scenario)();
+  long runs;
+};
+
+struct MutationCase {
+  const char* name;  // PRETZEL_MO tag or PRETZEL_LF_MUTATION name.
+  void (*scenario)();
+};
+
+const CleanCase kClean[] = {
+    {"ring_spsc", RingSpscScenario, 1500},
+    {"ring_mpmc", RingMpmcScenario, 600},
+    {"index_stack", StackScenario, 1000},
+    {"mpsc_queue", MpscScenario, 1200},
+    {"event_count", EventCountScenario, 2000},
+};
+
+// >= 3 seeded mutations per structure; each weakens one tagged order to
+// relaxed (or enables a tagged structural bug) and must be caught.
+const MutationCase kMutations[] = {
+    // BoundedMpmcRing.
+    {"ring_push_seq_load", RingSpscScenario},
+    {"ring_push_seq_store", RingSpscScenario},
+    {"ring_pop_seq_load", RingSpscScenario},
+    // IndexStack.
+    {"stack_push_cas_ok", StackScenario},
+    {"stack_pop_head_load", StackScenario},
+    {"stack_pop_cas_fail", StackScenario},
+    // MpscIntrusiveQueue.
+    {"mpsc_push_link", MpscScenario},
+    {"mpsc_pop_next_load", MpscScenario},
+    {"mpsc_push_skip_clear", MpscScenario},
+    // EventCount.
+    {"ec_notify_waiters_load", EventCountScenario},
+    {"ec_notify_skip_bump", EventCountScenario},
+    {"ec_notify_skip_mutex", EventCountScenario},
+};
+
+constexpr long kMutationRunCap = 30000;
+
+}  // namespace
+}  // namespace pretzel
+
+int main() {
+  using namespace pretzel;
+
+  RunSelfTests();
+
+  for (const CleanCase& c : kClean) {
+    const auto r = mc::ExploreRandom(c.runs, kSeed, "", c.scenario);
+    if (r.failed) {
+      std::printf("[mc] CLEAN %s FAILED after %ld runs: %s\n", c.name, r.runs,
+                  r.message.c_str());
+    } else {
+      std::printf("[mc] clean %s: %ld runs ok (%ld pruned)\n", c.name, r.runs,
+                  r.pruned);
+    }
+    CHECK_MSG(!r.failed, c.name);
+  }
+
+  for (const MutationCase& m : kMutations) {
+    const auto r = mc::ExploreRandom(kMutationRunCap, kSeed, m.name,
+                                     m.scenario);
+    if (r.failed) {
+      std::printf("[mc] mutation %-24s detected in %5ld runs: %s\n", m.name,
+                  r.runs, r.message.c_str());
+    } else {
+      std::printf("[mc] mutation %-24s NOT DETECTED in %ld runs\n", m.name,
+                  r.runs);
+    }
+    CHECK_MSG(r.failed, m.name);
+  }
+
+  std::printf("model_check_test: all checks passed\n");
+  return 0;
+}
