@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/status.h"
 
 namespace pretzel {
@@ -200,6 +201,12 @@ inline Status ParseBinaryRecord(std::string_view bytes, BinaryRecordView* view,
                                 bool allow_trailing = false) {
   if (bytes.size() < sizeof(BinaryRecordHeader)) {
     return Status::InvalidArgument("binary record truncated before header");
+  }
+  // Chaos site: the record arrived corrupted on the wire. Modeled as a
+  // validation failure (not a bit flip) so the rejection path is exercised
+  // without depending on which field a real flip would land in.
+  if (PRETZEL_FAULT_POINT("serialize.corrupt_record", 0)) {
+    return Status::InvalidArgument("binary record corrupted (fault-injected)");
   }
   BinaryRecordHeader header;
   std::memcpy(&header, bytes.data(), sizeof(header));

@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotFound,
   kInvalidArgument,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 class Status {
@@ -38,11 +39,20 @@ class Status {
     return Make(StatusCode::kResourceExhausted,
                 "resource exhausted: " + std::move(message));
   }
+  // Expired work: the message should attribute where the budget went (queue
+  // wait vs overrun) — the dropping tier knows, the caller cannot.
+  static Status DeadlineExceeded(std::string message) {
+    return Make(StatusCode::kDeadlineExceeded,
+                "deadline exceeded: " + std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
   const std::string& message() const { return message_; }
   std::string ToString() const { return ok() ? "OK" : message_; }

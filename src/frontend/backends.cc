@@ -17,39 +17,44 @@ Result<Runtime::PlanId> PretzelBackend::Route(const std::string& name) const {
 }
 
 Result<float> PretzelBackend::Predict(const std::string& name,
-                                      const std::string& input) {
+                                      const std::string& input,
+                                      int64_t deadline_ns) {
   Result<Runtime::PlanId> id = Route(name);
   if (!id.ok()) {
     return id.status();
   }
-  return runtime_->Predict(*id, input);
+  return runtime_->Predict(*id, input, deadline_ns);
 }
 
 void PretzelBackend::PredictAsync(const std::string& name,
                                   const std::string& input,
-                                  std::function<void(Result<float>)> callback) {
+                                  std::function<void(Result<float>)> callback,
+                                  int64_t deadline_ns) {
   Result<Runtime::PlanId> id = Route(name);
   if (!id.ok()) {
     callback(id.status());
     return;
   }
-  Status submitted = runtime_->PredictAsync(*id, input, callback);
+  Status submitted = runtime_->PredictAsync(*id, input, callback, deadline_ns);
   if (!submitted.ok()) {
     callback(submitted);
   }
 }
 
 Result<float> PretzelBackend::PredictBinary(const std::string& name,
-                                            std::span<const uint8_t> record) {
+                                            std::span<const uint8_t> record,
+                                            int64_t deadline_ns) {
   Result<Runtime::PlanId> id = Route(name);
   if (!id.ok()) {
     return id.status();
   }
-  return runtime_->PredictBinary(*id, record);
+  return runtime_->PredictBinary(*id, record, deadline_ns);
 }
 
 Result<float> ClipperBackend::Predict(const std::string& name,
-                                      const std::string& input) {
+                                      const std::string& input,
+                                      int64_t deadline_ns) {
+  (void)deadline_ns;  // No deadline plumbing in the container baseline.
   return cluster_->Predict(name, input);
 }
 

@@ -22,17 +22,21 @@ class PretzelBackend : public Backend {
   // Routes are added during deployment, before serving starts.
   void AddRoute(const std::string& name, Runtime::PlanId id);
 
-  Result<float> Predict(const std::string& name, const std::string& input) override;
+  Result<float> Predict(const std::string& name, const std::string& input,
+                        int64_t deadline_ns = 0) override;
 
   // Rides the Runtime's event scheduler (coalescible single-prediction
-  // event) instead of blocking the calling IO thread.
+  // event) instead of blocking the calling IO thread. The deadline travels
+  // with the event so expiry is enforced inside the scheduler's queues.
   void PredictAsync(const std::string& name, const std::string& input,
-                    std::function<void(Result<float>)> callback) override;
+                    std::function<void(Result<float>)> callback,
+                    int64_t deadline_ns = 0) override;
 
   // Zero-copy: the borrowed record bytes go straight to
   // Runtime::PredictBinary (validated in place, never converted).
   Result<float> PredictBinary(const std::string& name,
-                              std::span<const uint8_t> record) override;
+                              std::span<const uint8_t> record,
+                              int64_t deadline_ns = 0) override;
 
  private:
   Result<Runtime::PlanId> Route(const std::string& name) const EXCLUDES(mu_);
@@ -46,7 +50,10 @@ class ClipperBackend : public Backend {
  public:
   explicit ClipperBackend(ClipperCluster* cluster) : cluster_(cluster) {}
 
-  Result<float> Predict(const std::string& name, const std::string& input) override;
+  // The container cluster has no deadline plumbing; the parameter is
+  // accepted (interface) and ignored — the baseline serves every request.
+  Result<float> Predict(const std::string& name, const std::string& input,
+                        int64_t deadline_ns = 0) override;
 
  private:
   ClipperCluster* cluster_;

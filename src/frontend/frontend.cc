@@ -6,8 +6,24 @@
 
 namespace pretzel {
 
+namespace {
+
+// splitmix64: cheap, stateless jitter for the retry backoff.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 FrontEnd::FrontEnd(Backend* backend, const FrontEndOptions& options)
-    : backend_(backend), options_(options) {
+    : backend_(backend),
+      options_(options),
+      now_ns_(options.now_ns ? options.now_ns : [] { return NowNs(); }),
+      sleep_us_(options.sleep_us ? options.sleep_us
+                                 : [](int64_t us) { SleepUs(us); }) {
   const size_t threads = std::max<size_t>(1, options_.num_io_threads);
   io_threads_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
@@ -31,31 +47,107 @@ FrontEnd::~FrontEnd() {
   }
 }
 
+int64_t FrontEnd::RetryWaitUs(const Status& status, uint32_t attempt) {
+  // Exponential backoff with "equal jitter" ([backoff/2, backoff]) so
+  // synchronized rejections don't re-arrive as a synchronized herd.
+  const int64_t shift = std::min<uint32_t>(attempt, 20);
+  int64_t backoff = std::min(options_.retry_max_us,
+                             options_.retry_base_us << shift);
+  backoff = std::max<int64_t>(1, backoff);
+  const uint64_t nonce =
+      retry_nonce_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t jittered = backoff / 2 +
+      static_cast<int64_t>(Mix64(options_.retry_seed ^ nonce) %
+                           static_cast<uint64_t>(backoff / 2 + 1));
+  // Never wait less than the rejecting tier's own hint: retrying before the
+  // hinted horizon just re-joins the queue it was shed from.
+  return std::max(status.retry_after_us(), jittered);
+}
+
 Result<float> FrontEnd::Request(const std::string& name,
-                                const std::string& input) {
-  SleepUs(options_.network_delay_us);  // Client -> frontend.
-  Result<float> result = backend_->Predict(name, input);
-  SleepUs(options_.network_delay_us);  // Frontend -> client.
+                                const std::string& input,
+                                int64_t deadline_ns) {
+  sleep_us_(options_.network_delay_us);  // Client -> frontend.
+  Result<float> result = Status::Error("unsent");
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (deadline_ns > 0 && now_ns_() >= deadline_ns) {
+      result = Status::DeadlineExceeded("expired at frontend before send");
+      break;
+    }
+    result = backend_->Predict(name, input, deadline_ns);
+    if (!Retryable(result.status(), attempt)) {
+      break;
+    }
+    const int64_t wait_us = RetryWaitUs(result.status(), attempt);
+    if (deadline_ns > 0 && now_ns_() + wait_us * 1000 >= deadline_ns) {
+      break;  // The backoff alone would blow the budget; keep the shed.
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    sleep_us_(wait_us);
+  }
+  if (!result.ok()) {
+    if (result.status().IsResourceExhausted()) {
+      dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  sleep_us_(options_.network_delay_us);  // Frontend -> client.
   return result;
 }
 
 Result<float> FrontEnd::RequestBinary(const std::string& name,
-                                      std::span<const uint8_t> record) {
-  SleepUs(options_.network_delay_us);  // Client -> frontend.
-  Result<float> result = backend_->PredictBinary(name, record);
-  SleepUs(options_.network_delay_us);  // Frontend -> client.
+                                      std::span<const uint8_t> record,
+                                      int64_t deadline_ns) {
+  sleep_us_(options_.network_delay_us);  // Client -> frontend.
+  Result<float> result = Status::Error("unsent");
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (deadline_ns > 0 && now_ns_() >= deadline_ns) {
+      result = Status::DeadlineExceeded("expired at frontend before send");
+      break;
+    }
+    result = backend_->PredictBinary(name, record, deadline_ns);
+    if (!Retryable(result.status(), attempt)) {
+      break;
+    }
+    const int64_t wait_us = RetryWaitUs(result.status(), attempt);
+    if (deadline_ns > 0 && now_ns_() + wait_us * 1000 >= deadline_ns) {
+      break;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    sleep_us_(wait_us);
+  }
+  if (!result.ok()) {
+    if (result.status().IsResourceExhausted()) {
+      dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  sleep_us_(options_.network_delay_us);  // Frontend -> client.
   return result;
 }
 
 Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
-                              std::function<void(Result<float>)> callback) {
+                              std::function<void(Result<float>)> callback,
+                              int64_t deadline_ns) {
+  if (deadline_ns > 0 && now_ns_() >= deadline_ns) {
+    // Shed at the door: admitting work that already missed its deadline
+    // only burns IO-thread time producing a late failure.
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("expired at frontend admission");
+  }
   {
     MutexLock lock(mu_);
     if (stop_) {
       return Status::Error("frontend shutting down");
     }
     if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted(
                  "frontend over " + std::to_string(options_.max_pending) +
                  " pending requests")
@@ -66,7 +158,8 @@ Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
     work.name = name;
     work.input = input;
     work.callback = std::move(callback);
-    work.admit_ns = NowNs();
+    work.admit_ns = now_ns_();
+    work.deadline_ns = deadline_ns;
     queue_.push_back(std::move(work));
   }
   // notify_all: the draining destructor waits on this cv too, and a
@@ -76,11 +169,46 @@ Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
   return Status::OK();
 }
 
+void FrontEnd::RetryOrComplete(Work work, Result<float> result) {
+  if (Retryable(result.status(), work.attempt)) {
+    const int64_t wait_us = RetryWaitUs(result.status(), work.attempt);
+    const int64_t now = now_ns_();
+    if (work.deadline_ns == 0 || now + wait_us * 1000 < work.deadline_ns) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      work.attempt += 1;
+      work.not_before_ns = now + wait_us * 1000;
+      work.is_completion = false;
+      {
+        MutexLock lock(mu_);
+        // Retries go to the back: fresher work shouldn't starve behind a
+        // request the backend just shed.
+        queue_.push_back(std::move(work));
+        // Same lifetime rule as EnqueueCompletion: this runs on a backend
+        // thread, so notify under the lock.
+        cv_.notify_all();
+      }
+      return;
+    }
+  }
+  EnqueueCompletion(std::move(work.callback), std::move(result),
+                    work.admit_ns);
+}
+
 void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
                                  Result<float> result, int64_t admit_ns) {
+  // Final-outcome bookkeeping: why did the async request fail, if it did.
+  if (!result.ok()) {
+    if (result.status().IsResourceExhausted()) {
+      dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   // Admission -> backend-completion latency feeds the retry-after hint this
   // tier attaches to its own drops. Racy EWMA updates are fine (estimate).
-  const int64_t sample_us = (NowNs() - admit_ns) / 1000;
+  const int64_t sample_us = (now_ns_() - admit_ns) / 1000;
   const int64_t prev = latency_ewma_us_.load(std::memory_order_relaxed);
   latency_ewma_us_.store(prev + (sample_us - prev) / 8,
                          std::memory_order_relaxed);
@@ -122,7 +250,7 @@ void FrontEnd::IoLoop() {
       queue_.pop_front();
     }
     if (work.is_completion) {
-      SleepUs(options_.network_delay_us);  // Frontend -> client.
+      sleep_us_(options_.network_delay_us);  // Frontend -> client.
       work.callback(std::move(work.result));
       {
         MutexLock lock(mu_);
@@ -136,17 +264,36 @@ void FrontEnd::IoLoop() {
       cv_.notify_all();
       continue;
     }
-    SleepUs(options_.network_delay_us);  // Client -> frontend.
+    if (work.attempt == 0) {
+      sleep_us_(options_.network_delay_us);  // Client -> frontend.
+    } else if (work.not_before_ns > 0) {
+      // Scheduled retry: serve out the remaining backoff (the wait was
+      // sized to honor the rejecting tier's retry-after hint).
+      const int64_t remaining_us = (work.not_before_ns - now_ns_()) / 1000;
+      if (remaining_us > 0) {
+        sleep_us_(remaining_us);
+      }
+    }
+    if (work.deadline_ns > 0 && now_ns_() >= work.deadline_ns) {
+      // Expired while queued here: don't burn a backend slot on it.
+      EnqueueCompletion(
+          std::move(work.callback),
+          Status::DeadlineExceeded("expired in frontend queue"),
+          work.admit_ns);
+      continue;
+    }
     // Hand off to the backend's async path; the completion re-enters the IO
     // queue so the response hop never runs on a backend executor thread.
-    auto callback = std::move(work.callback);
-    backend_->PredictAsync(work.name, work.input,
-                           [this, callback = std::move(callback),
-                            admit_ns = work.admit_ns](
-                               Result<float> result) mutable {
-                             EnqueueCompletion(std::move(callback),
-                                               std::move(result), admit_ns);
-                           });
+    // The result hook may instead schedule a retry (RetryOrComplete).
+    const std::string name = work.name;
+    const std::string input = work.input;
+    const int64_t deadline_ns = work.deadline_ns;
+    backend_->PredictAsync(
+        name, input,
+        [this, work = std::move(work)](Result<float> result) mutable {
+          RetryOrComplete(std::move(work), std::move(result));
+        },
+        deadline_ns);
   }
 }
 

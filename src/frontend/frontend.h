@@ -32,27 +32,33 @@
 
 namespace pretzel {
 
-// Anything that can answer a named prediction request.
+// Anything that can answer a named prediction request. `deadline_ns` is an
+// absolute deadline (NowNs() domain, 0 = none) propagated down the stack so
+// every tier below can drop work that can no longer make it.
 class Backend {
  public:
   virtual ~Backend() = default;
   virtual Result<float> Predict(const std::string& name,
-                                const std::string& input) = 0;
+                                const std::string& input,
+                                int64_t deadline_ns = 0) = 0;
   // Asynchronous entry point. The default blocks the calling thread on the
   // sync path; scheduler-backed backends override it to enqueue instead.
   // `callback` must be invoked exactly once, from any thread.
   virtual void PredictAsync(const std::string& name, const std::string& input,
-                            std::function<void(Result<float>)> callback) {
-    callback(Predict(name, input));
+                            std::function<void(Result<float>)> callback,
+                            int64_t deadline_ns = 0) {
+    callback(Predict(name, input, deadline_ns));
   }
   // Binary wire record (src/common/serialize.h). The default copies the
   // bytes through the text entry point — zero-parse backends override it to
   // hand the borrowed bytes to the runtime without a copy.
   virtual Result<float> PredictBinary(const std::string& name,
-                                      std::span<const uint8_t> record) {
+                                      std::span<const uint8_t> record,
+                                      int64_t deadline_ns = 0) {
     return Predict(name,
                    std::string(reinterpret_cast<const char*>(record.data()),
-                               record.size()));
+                               record.size()),
+                   deadline_ns);
   }
 };
 
@@ -62,6 +68,28 @@ struct FrontEndOptions {
   // Cap on admitted-but-uncompleted async requests; 0 = unbounded.
   // RequestAsync over the cap fails fast with ResourceExhausted.
   size_t max_pending = 0;
+  // Retry policy for backpressure rejections (ResourceExhausted) from the
+  // backend: up to max_retries re-submissions, waiting
+  // max(status.retry_after_us() hint, jittered exponential backoff) between
+  // attempts, never past the request's deadline. 0 disables retries.
+  size_t max_retries = 0;
+  int64_t retry_base_us = 500;
+  int64_t retry_max_us = 50'000;
+  uint64_t retry_seed = 1;
+  // Test seams: every clock read / wait the retry-and-hop machinery performs
+  // goes through these, so tests can pin wait behavior on fake time.
+  // Defaults (unset) are the real NowNs / SleepUs.
+  std::function<int64_t()> now_ns;
+  std::function<void(int64_t)> sleep_us;
+};
+
+// Final-outcome counters for the tier, split by why requests failed.
+struct FrontEndMetrics {
+  uint64_t dropped_backpressure = 0;  // Admission cap + backend sheds (final).
+  uint64_t dropped_error = 0;         // Non-retryable failures.
+  uint64_t expired = 0;               // Deadline-exceeded outcomes.
+  uint64_t retries = 0;               // Re-submissions scheduled.
+  int64_t latency_ewma_us = 0;        // Admission -> completion estimate.
 };
 
 class FrontEnd {
@@ -73,23 +101,42 @@ class FrontEnd {
   FrontEnd(const FrontEnd&) = delete;
   FrontEnd& operator=(const FrontEnd&) = delete;
 
-  // Synchronous request on the caller's thread (hop + predict + hop).
-  Result<float> Request(const std::string& name, const std::string& input);
+  // Synchronous request on the caller's thread (hop + predict + hop), with
+  // the retry policy applied inline. `deadline_ns`: absolute, 0 = none.
+  Result<float> Request(const std::string& name, const std::string& input,
+                        int64_t deadline_ns = 0);
 
   // Synchronous binary-wire request: same hops, but the record bytes reach
   // the backend borrowed — a zero-parse backend validates and scores them
   // in place (no text parse, no copy).
   Result<float> RequestBinary(const std::string& name,
-                              std::span<const uint8_t> record);
+                              std::span<const uint8_t> record,
+                              int64_t deadline_ns = 0);
 
   // Queues the request for the IO pool; the callback fires from an IO
   // thread after the response hop. Fails fast (callback never runs) with
-  // ResourceExhausted when max_pending admitted requests are in flight.
+  // ResourceExhausted when max_pending admitted requests are in flight, or
+  // DeadlineExceeded when the deadline already passed at admission.
   Status RequestAsync(const std::string& name, const std::string& input,
-                      std::function<void(Result<float>)> callback);
+                      std::function<void(Result<float>)> callback,
+                      int64_t deadline_ns = 0);
 
-  // Requests rejected by the max_pending cap since construction.
-  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  // Requests rejected or shed by backpressure since construction (the
+  // backward-compatible view; GetMetrics splits the full breakdown).
+  uint64_t dropped() const {
+    return dropped_backpressure_.load(std::memory_order_relaxed);
+  }
+
+  FrontEndMetrics GetMetrics() const {
+    FrontEndMetrics m;
+    m.dropped_backpressure =
+        dropped_backpressure_.load(std::memory_order_relaxed);
+    m.dropped_error = dropped_error_.load(std::memory_order_relaxed);
+    m.expired = expired_.load(std::memory_order_relaxed);
+    m.retries = retries_.load(std::memory_order_relaxed);
+    m.latency_ewma_us = latency_ewma_us_.load(std::memory_order_relaxed);
+    return m;
+  }
 
   // Current retry-after hint (us): EWMA of admitted requests' admission->
   // completion latency, attached to this tier's ResourceExhausted drops.
@@ -99,8 +146,9 @@ class FrontEnd {
   }
 
  private:
-  // IO work: an inbound request awaiting its backend hand-off, or a
-  // completed backend response awaiting its response hop + user callback.
+  // IO work: an inbound request awaiting its backend hand-off (possibly a
+  // scheduled retry), or a completed backend response awaiting its response
+  // hop + user callback.
   struct Work {
     bool is_completion = false;
     std::string name;
@@ -108,16 +156,32 @@ class FrontEnd {
     std::function<void(Result<float>)> callback;
     Result<float> result = Status::Error("pending");
     int64_t admit_ns = 0;  // Admission stamp, feeds the retry-after EWMA.
+    int64_t deadline_ns = 0;
+    uint32_t attempt = 0;       // 0 = first hand-off, >0 = retry.
+    int64_t not_before_ns = 0;  // Retry backoff target; 0 = immediately.
   };
 
   void IoLoop() EXCLUDES(mu_);
   // Runs on backend (executor) threads; see the lock-order note in the .cc:
-  // it must notify cv_ while still holding mu_.
+  // it must notify cv_ while still holding mu_. Books the final-outcome
+  // counters (backpressure / error / expired split).
   void EnqueueCompletion(std::function<void(Result<float>)> callback,
                          Result<float> result, int64_t admit_ns) EXCLUDES(mu_);
+  // Backend-result hook for async requests: schedules a retry when the
+  // status is a retryable shed and budget remains, else completes.
+  void RetryOrComplete(Work work, Result<float> result) EXCLUDES(mu_);
+  // max(retry-after hint, jittered exponential backoff) for `attempt`.
+  int64_t RetryWaitUs(const Status& status, uint32_t attempt);
+  bool Retryable(const Status& status, uint32_t attempt) const {
+    return !status.ok() && status.IsResourceExhausted() &&
+           attempt < options_.max_retries;
+  }
 
   Backend* backend_;
   const FrontEndOptions options_;
+  // Resolved clock/wait seams (options_ hooks or the real clock).
+  const std::function<int64_t()> now_ns_;
+  const std::function<void(int64_t)> sleep_us_;
   Mutex mu_;
   // Waiters on cv_: IO threads (work available / stop), the draining
   // destructor (pending_ == 0). Every notify site must use notify_all — a
@@ -126,7 +190,11 @@ class FrontEnd {
   std::deque<Work> queue_ GUARDED_BY(mu_);
   // Admitted async requests not yet completed.
   size_t pending_ GUARDED_BY(mu_) = 0;
-  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> dropped_backpressure_{0};
+  std::atomic<uint64_t> dropped_error_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retry_nonce_{0};  // Jitter stream position.
   std::atomic<int64_t> latency_ewma_us_{0};  // Admission -> completion.
   bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> io_threads_;

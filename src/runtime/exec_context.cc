@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/fault.h"
 #include "src/common/serialize.h"
 #include "src/ops/kernels.h"
 #include "src/oven/model_plan.h"
@@ -19,7 +20,10 @@ VectorPool::VectorPool(const Options& options) : options_(options) {
 std::vector<float> VectorPool::AcquireFloats(size_t size) {
   if (options_.pooling_enabled) {
     uint32_t slot;
-    if (free_.TryPop(&slot)) {
+    // Chaos site: the free list reads as empty — the acquire takes the
+    // allocation miss path, as if the pool were exhausted under burst load.
+    if (!PRETZEL_FAULT_POINT("runtime.pool_exhausted", 0) &&
+        free_.TryPop(&slot)) {
       std::vector<float> v = std::move(slots_[slot]);
       empty_.Push(slot);
       v.resize(size);
@@ -437,6 +441,10 @@ Result<float> ExecuteDense(const ModelPlan& plan, std::string_view input,
 
 Result<float> ExecutePlan(const ModelPlan& plan, std::string_view input,
                           ExecContext& ctx) {
+  // Chaos site: a kernel running far off its expected cost (cold params,
+  // denormals, thermal throttle) — the per-record stall every deadline and
+  // health check must survive.
+  PRETZEL_FAULT_STALL("ops.slow_kernel", 0);
   plan.EnsureBound();
   Result<float> result = plan.family() == ModelPlan::Family::kText
                              ? ExecuteText(plan, input, ctx)

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/clock.h"
+#include "src/common/fault.h"
 #include "src/common/serialize.h"
 
 namespace pretzel {
@@ -28,6 +29,9 @@ struct Runtime::BatchJob {
   size_t count = 0;
   std::atomic<size_t> remaining{0};
   BatchCallback callback;
+  // Absolute expiry shared by every chunk; checked between quanta so a
+  // deadline that dies mid-batch stops burning executors on the remainder.
+  int64_t deadline_ns = 0;
 
   Mutex error_mu;
   Status first_error GUARDED_BY(error_mu);  // OK unless some record failed.
@@ -69,6 +73,21 @@ static void RecordQueueDelay(std::atomic<int64_t>& ewma, int64_t wait_us) {
 
 static int64_t RetryAfterHintUs(const std::atomic<int64_t>& ewma) {
   return std::max<int64_t>(1, ewma.load(std::memory_order_relaxed));
+}
+
+// Time-spent attribution for a deadline drop: where the budget went is
+// something only the dropping tier knows. `enqueue_ns` == 0 means the work
+// never entered a queue (admission-time drop).
+static Status ExpiredStatus(const char* stage, int64_t now_ns,
+                            int64_t deadline_ns, int64_t enqueue_ns) {
+  std::string msg = std::string(stage) + ", " +
+                    std::to_string((now_ns - deadline_ns) / 1000) +
+                    "us past deadline";
+  if (enqueue_ns > 0) {
+    msg += " after " + std::to_string((now_ns - enqueue_ns) / 1000) +
+           "us queued";
+  }
+  return Status::DeadlineExceeded(std::move(msg));
 }
 
 // One executor's slice of a plan's latency/batch reservoirs. Only its
@@ -235,6 +254,10 @@ struct Runtime::PlanQueue {
   std::atomic<uint64_t> coalesced{0};
   std::atomic<uint64_t> singles_batched{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> expired_admission{0};
+  std::atomic<uint64_t> expired_dequeue{0};
+  std::atomic<uint64_t> expired_quantum{0};
+  std::atomic<uint64_t> shed_deadline{0};
   std::vector<std::unique_ptr<MetricShard>> shards;  // One per group executor.
 };
 
@@ -364,6 +387,42 @@ Runtime::PlanQueue* Runtime::GetQueue(PlanId id) const {
 // Enqueue protocol. Cap check, timestamping, chunk accounting, runnable
 // publication, and the wakeup rule live here and only here.
 
+Status Runtime::AdmitDeadline(PlanQueue* pq, int64_t deadline_ns, size_t n) {
+  if (deadline_ns <= 0) {
+    return Status::OK();
+  }
+  const int64_t now = NowNs();
+  if (now >= deadline_ns) {
+    pq->expired_admission.fetch_add(n, std::memory_order_relaxed);
+    return ExpiredStatus("at admission", now, deadline_ns, /*enqueue_ns=*/0);
+  }
+  // The estimate forecasts the wait behind events queued NOW; with an empty
+  // queue it is history, not forecast, and acting on it wedges the valve
+  // open: shed everything -> nothing dispatches -> the EWMA never
+  // refreshes -> shed forever, starving an idle plan (observed as goodput
+  // collapse in bench_resilience's post-burst phase).
+  // relaxed: queued is a monotonic-noise admission heuristic; a stale read
+  // only mis-sheds or mis-admits one request, never corrupts state.
+  if (options_.deadline_admission &&
+      pq->queued.load(std::memory_order_relaxed) > 0) {
+    const int64_t est_us =
+        pq->queue_delay_ewma_us.load(std::memory_order_relaxed);
+    const int64_t remaining_us = (deadline_ns - now) / 1000;
+    if (est_us > remaining_us) {
+      // Doomed-by-estimate: shed NOW with a retryable status instead of
+      // queueing work that will expire — early ResourceExhausted beats late
+      // DeadlineExceeded (the caller can fail over while budget remains).
+      pq->shed_deadline.fetch_add(n, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+                 "plan " + std::to_string(pq->id) + " queue-delay estimate " +
+                 std::to_string(est_us) + "us exceeds remaining deadline " +
+                 std::to_string(remaining_us) + "us")
+          .WithRetryAfterUs(RetryAfterHintUs(pq->queue_delay_ewma_us));
+    }
+  }
+  return Status::OK();
+}
+
 Status Runtime::EnqueueEvents(PlanQueue* pq, Event* events, size_t n) {
   if (n == 0) {
     return Status::OK();
@@ -452,6 +511,8 @@ Status Runtime::EnqueueLockFree(PlanQueue* pq, Event* events, size_t n) {
   // chain, keeping the call's events contiguous per segment.
   size_t i = 0;
   while (i < n && pq->overflow_count.load(std::memory_order_acquire) == 0 &&
+         !PRETZEL_FAULT_POINT("runtime.ring_full",
+                              static_cast<int64_t>(pq->id)) &&
          pq->ring.TryPush(std::move(events[i]))) {
     ++i;
   }
@@ -569,14 +630,23 @@ bool Runtime::PopSpill(PlanQueue* pq, Event* out) {
 // ---------------------------------------------------------------------------
 // Public prediction entry points.
 
-Result<float> Runtime::Predict(PlanId id, std::string_view input) {
+Result<float> Runtime::Predict(PlanId id, std::string_view input,
+                               int64_t deadline_ns) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
   }
   if (!pq->reserved) {
     // Inline fast path: a synchronous single on an unreserved plan gains
-    // nothing from a queue hop. Context acquire/release is a CAS each.
+    // nothing from a queue hop. No shed check either — there is no queue
+    // delay to estimate — but already-expired work is still refused.
+    if (deadline_ns > 0) {
+      const int64_t now = NowNs();
+      if (now >= deadline_ns) {
+        pq->expired_admission.fetch_add(1, std::memory_order_relaxed);
+        return ExpiredStatus("at admission", now, deadline_ns, 0);
+      }
+    }
     pq->inline_predictions.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<ExecContext> ctx = caller_contexts_.Acquire();
     ctx->subplan_cache = caller_cache_.get();
@@ -586,6 +656,9 @@ Result<float> Runtime::Predict(PlanId id, std::string_view input) {
   }
   // Reserved plan: ride the dedicated queue so sync traffic is served by
   // (and accounted against) the reserved executors, not the caller thread.
+  if (Status admit = AdmitDeadline(pq, deadline_ns, 1); !admit.ok()) {
+    return admit;
+  }
   struct Waiter {
     std::mutex mu;
     std::condition_variable cv;
@@ -594,6 +667,7 @@ Result<float> Runtime::Predict(PlanId id, std::string_view input) {
   } waiter;
   Event event;
   event.input = std::string(input);
+  event.deadline_ns = deadline_ns;
   event.done = [&waiter](Result<float> r) {
     std::lock_guard<std::mutex> lock(waiter.mu);
     waiter.result = std::move(r);
@@ -610,16 +684,18 @@ Result<float> Runtime::Predict(PlanId id, std::string_view input) {
 }
 
 Result<float> Runtime::PredictBinary(PlanId id,
-                                     std::span<const uint8_t> record) {
+                                     std::span<const uint8_t> record,
+                                     int64_t deadline_ns) {
   // One wire record, borrowed: the executor validates it in place and an
   // aligned dense payload aliases straight into the kernels.
   return Predict(id,
                  std::string_view(reinterpret_cast<const char*>(record.data()),
-                                  record.size()));
+                                  record.size()),
+                 deadline_ns);
 }
 
 Status Runtime::PredictAsync(PlanId id, std::string input,
-                             SingleCallback callback) {
+                             SingleCallback callback, int64_t deadline_ns) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
@@ -627,9 +703,13 @@ Status Runtime::PredictAsync(PlanId id, std::string input,
   if (callback == nullptr) {
     return Status::InvalidArgument("null callback");
   }
+  if (Status admit = AdmitDeadline(pq, deadline_ns, 1); !admit.ok()) {
+    return admit;
+  }
   Event event;
   event.input = std::move(input);
   event.done = std::move(callback);
+  event.deadline_ns = deadline_ns;
   return EnqueueOne(pq, std::move(event));
 }
 
@@ -658,7 +738,8 @@ Status Runtime::SubmitBatchJob(PlanQueue* pq, std::shared_ptr<BatchJob> job,
 }
 
 Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
-                                  BatchCallback callback, size_t max_batch) {
+                                  BatchCallback callback, size_t max_batch,
+                                  int64_t deadline_ns) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
@@ -670,6 +751,10 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
     callback(Status::OK(), {});
     return Status::OK();
   }
+  if (Status admit = AdmitDeadline(pq, deadline_ns, inputs.size());
+      !admit.ok()) {
+    return admit;
+  }
   auto job = std::make_shared<BatchJob>();
   job->plan = pq->plan;
   job->owned_inputs = std::move(inputs);
@@ -679,6 +764,7 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
   job->count = job->owned_inputs.size();
   job->remaining.store(job->count);
   job->callback = std::move(callback);
+  job->deadline_ns = deadline_ns;
   return SubmitBatchJob(pq, std::move(job), max_batch);
 }
 
@@ -710,7 +796,8 @@ Status Runtime::SubmitBatchJobAndWait(PlanQueue* pq,
 }
 
 Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
-                             size_t max_batch, std::span<float> out) {
+                             size_t max_batch, std::span<float> out,
+                             int64_t deadline_ns) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
@@ -721,6 +808,10 @@ Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
   if (out.size() < inputs.size()) {
     return Status::InvalidArgument("output span narrower than batch");
   }
+  if (Status admit = AdmitDeadline(pq, deadline_ns, inputs.size());
+      !admit.ok()) {
+    return admit;
+  }
   // Borrowed inputs/results: this caller blocks until the last chunk
   // completes, so the executors write scores straight through the caller's
   // span and read the caller's strings in place — no copy on either side.
@@ -730,12 +821,13 @@ Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
   job->results = out.data();
   job->count = inputs.size();
   job->remaining.store(job->count);
+  job->deadline_ns = deadline_ns;
   return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
 }
 
 Status Runtime::PredictBatch(PlanId id, const std::string_view* inputs,
-                             size_t n, size_t max_batch,
-                             std::span<float> out) {
+                             size_t n, size_t max_batch, std::span<float> out,
+                             int64_t deadline_ns) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
@@ -746,17 +838,22 @@ Status Runtime::PredictBatch(PlanId id, const std::string_view* inputs,
   if (out.size() < n) {
     return Status::InvalidArgument("output span narrower than batch");
   }
+  if (Status admit = AdmitDeadline(pq, deadline_ns, n); !admit.ok()) {
+    return admit;
+  }
   auto job = std::make_shared<BatchJob>();
   job->plan = pq->plan;
   job->view_inputs = inputs;
   job->results = out.data();
   job->count = n;
   job->remaining.store(n);
+  job->deadline_ns = deadline_ns;
   return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
 }
 
 Status Runtime::PredictBinary(PlanId id, std::span<const uint8_t> records,
-                              size_t max_batch, std::span<float> out) {
+                              size_t max_batch, std::span<float> out,
+                              int64_t deadline_ns) {
   PlanQueue* pq = GetQueue(id);
   if (pq == nullptr) {
     return Status::NotFound("plan " + std::to_string(id));
@@ -778,18 +875,25 @@ Status Runtime::PredictBinary(PlanId id, std::span<const uint8_t> records,
   if (out.size() < job->owned_views.size()) {
     return Status::InvalidArgument("output span narrower than batch");
   }
+  if (Status admit = AdmitDeadline(pq, deadline_ns, job->owned_views.size());
+      !admit.ok()) {
+    return admit;
+  }
   job->plan = pq->plan;
   job->view_inputs = job->owned_views.data();
   job->results = out.data();
   job->count = job->owned_views.size();
   job->remaining.store(job->count);
+  job->deadline_ns = deadline_ns;
   return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
 }
 
 Result<std::vector<float>> Runtime::PredictBatch(
-    PlanId id, const std::vector<std::string>& inputs, size_t max_batch) {
+    PlanId id, const std::vector<std::string>& inputs, size_t max_batch,
+    int64_t deadline_ns) {
   std::vector<float> scores(inputs.size(), 0.0f);
-  Status status = PredictBatch(id, inputs, max_batch, std::span<float>(scores));
+  Status status = PredictBatch(id, inputs, max_batch, std::span<float>(scores),
+                               deadline_ns);
   if (!status.ok()) {
     return status;
   }
@@ -1055,11 +1159,43 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
 // the sampled latency lands in this executor's shard.
 void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
                              ExecContext& ctx, size_t shard_idx) {
+  // Chaos site: an executor pinned mid-quantum (GC pause, page fault storm,
+  // noisy neighbor). Injected before the deadline checks so stalled quanta
+  // exercise the expiry paths.
+  PRETZEL_FAULT_STALL("runtime.executor_stall", static_cast<int64_t>(pq->id));
   if (batch.front().job != nullptr) {
     const Event& item = batch.front();
     BatchJob& job = *item.job;
     const size_t count = item.end - item.begin;
     float* out = job.results + item.begin;
+    if (job.deadline_ns > 0) {
+      // Between-quanta deadline check: chunks of an expired batch complete
+      // immediately (score 0.0f, batch status DeadlineExceeded) instead of
+      // burning an executor on records nobody is waiting for. Chunks that
+      // dispatched before expiry keep their scores — per-record attribution
+      // stays correct for partial batches.
+      const int64_t now = NowNs();
+      if (now >= job.deadline_ns) {
+        std::fill(out, out + count, 0.0f);
+        {
+          MutexLock lock(job.error_mu);
+          if (job.first_error.ok()) {
+            job.first_error = ExpiredStatus("between batch quanta", now,
+                                            job.deadline_ns, item.enqueue_ns);
+          }
+        }
+        pq->expired_quantum.fetch_add(count, std::memory_order_relaxed);
+        if (job.remaining.fetch_sub(count) == count) {
+          Status status;
+          {
+            MutexLock lock(job.error_mu);
+            status = job.first_error;
+          }
+          job.callback(status, std::span<const float>(job.results, job.count));
+        }
+        return;
+      }
+    }
     // Executors consume record views; string jobs stage borrowed views in
     // scratch moved out of the context for the duration (ExecutePlan's
     // no-pooling ablation calls ReleaseScratch mid-chunk, which would
@@ -1109,6 +1245,40 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
       pq->errors.fetch_add(failed, std::memory_order_relaxed);
     }
     return;
+  }
+  // Dequeue-time deadline check: singles that expired while queued complete
+  // with DeadlineExceeded (queue-wait attribution) without executing, and
+  // the survivors are compacted in place so coalescing proceeds over live
+  // work only.
+  {
+    size_t live = 0;
+    int64_t now = 0;  // Lazy: most quanta carry no deadlines at all.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Event& event = batch[i];
+      if (event.deadline_ns > 0) {
+        if (now == 0) {
+          now = NowNs();
+        }
+        if (now >= event.deadline_ns) {
+          // Count before completing: a caller woken by this callback must
+          // already see the expiry in GetMetrics.
+          pq->expired_dequeue.fetch_add(1, std::memory_order_relaxed);
+          event.done(ExpiredStatus("at dispatch", now, event.deadline_ns,
+                                   event.enqueue_ns));
+          continue;
+        }
+      }
+      if (live != i) {
+        batch[live] = std::move(event);
+      }
+      ++live;
+    }
+    if (live < batch.size()) {
+      batch.resize(live);
+    }
+    if (batch.empty()) {
+      return;
+    }
   }
   size_t failed = 0;
   if (options_.batch_major && batch.size() > 1 &&
@@ -1189,6 +1359,11 @@ RuntimeMetrics Runtime::GetMetrics() const {
     pm.coalesced_singles = pq->coalesced.load(std::memory_order_relaxed);
     pm.batched_singles = pq->singles_batched.load(std::memory_order_relaxed);
     pm.errors = pq->errors.load(std::memory_order_relaxed);
+    pm.expired_admission =
+        pq->expired_admission.load(std::memory_order_relaxed);
+    pm.expired_dequeue = pq->expired_dequeue.load(std::memory_order_relaxed);
+    pm.expired_quantum = pq->expired_quantum.load(std::memory_order_relaxed);
+    pm.shed_deadline = pq->shed_deadline.load(std::memory_order_relaxed);
     pm.queue_delay_ewma_us =
         pq->queue_delay_ewma_us.load(std::memory_order_relaxed);
     if (options_.lockfree_scheduler) {

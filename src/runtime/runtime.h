@@ -103,6 +103,13 @@ struct RuntimeOptions {
   // one blocked matrix-matrix kernel instead of per-record matvecs. False
   // restores the per-record loop (the before/after bench baseline).
   bool batch_major = true;
+  // Deadline-aware admission: when a request carries a deadline and the
+  // plan's queue-delay EWMA already exceeds the remaining budget, shed at
+  // admission with ResourceExhausted (plus retry-after hint) instead of
+  // queueing work that will expire — the caller can retry elsewhere NOW
+  // rather than learn of the miss after the deadline. Requests without a
+  // deadline are never shed by this check.
+  bool deadline_admission = true;
 };
 
 struct PlanRegistration {
@@ -136,6 +143,16 @@ struct PlanMetrics {
   // coalescing composing with the SoA batch kernels.
   uint64_t batched_singles = 0;
   uint64_t errors = 0;              // Failed records/singles.
+  // Deadline accounting (requests that carried one). Work is dropped the
+  // moment expiry is detectable: at admission, when a queued single reaches
+  // its dispatch, and between a batch job's chunk quanta. Expired work is
+  // NOT counted in `errors` — it failed the SLO, not the computation.
+  uint64_t expired_admission = 0;   // Rejected before enqueue.
+  uint64_t expired_dequeue = 0;     // Singles expired awaiting dispatch.
+  uint64_t expired_quantum = 0;     // Batch records dropped between quanta.
+  // Requests shed at admission because the queue-delay estimate exceeded
+  // the remaining deadline budget (RuntimeOptions::deadline_admission).
+  uint64_t shed_deadline = 0;
   // EWMA of enqueue->dispatch delay (the retry-after hint attached to this
   // plan's ResourceExhausted rejections).
   int64_t queue_delay_ewma_us = 0;
@@ -187,17 +204,28 @@ class Runtime {
   Result<PlanId> Register(std::shared_ptr<ModelPlan> plan,
                           const PlanRegistration& registration = {});
 
+  // Every entry point takes an optional absolute deadline (NowNs() domain;
+  // 0 = none). Expired work is dropped at admission, when a queued single
+  // reaches dispatch, and between a batch job's chunk quanta — each drop
+  // completes with Status::DeadlineExceeded whose message attributes where
+  // the budget went (queue wait vs overrun), and lands in the plan's
+  // expired_* counters. With deadline_admission, a request whose remaining
+  // budget is already below the queue-delay estimate is shed up front with
+  // ResourceExhausted (+ retry-after hint) instead.
+
   // Synchronous single prediction. Unreserved plans execute inline on the
   // caller's thread; reserved plans ride their dedicated queue so latency
   // isolation holds for sync traffic too. The input bytes are borrowed for
   // the call and may be a text record or a BinaryRecord wire record
   // (src/common/serialize.h) — binary records take the zero-parse path.
-  Result<float> Predict(PlanId id, std::string_view input);
+  Result<float> Predict(PlanId id, std::string_view input,
+                        int64_t deadline_ns = 0);
 
   // Zero-copy binary entry point: `record` is one BinaryRecord, validated
   // and executed in place (an aligned dense payload aliases straight into
   // the kernels; no parse, no conversion).
-  Result<float> PredictBinary(PlanId id, std::span<const uint8_t> record);
+  Result<float> PredictBinary(PlanId id, std::span<const uint8_t> record,
+                              int64_t deadline_ns = 0);
 
   // Zero-copy binary batch: `records` is a back-to-back concatenation of
   // BinaryRecords (the wire batch framing — SplitBinaryBatch). The buffer
@@ -206,36 +234,45 @@ class Runtime {
   // into the SoA transpose and write scores through `out`
   // (out.size() >= record count). Blocks until completion.
   Status PredictBinary(PlanId id, std::span<const uint8_t> records,
-                       size_t max_batch, std::span<float> out);
+                       size_t max_batch, std::span<float> out,
+                       int64_t deadline_ns = 0);
 
   // Asynchronous single prediction: an event on the plan's queue, eligible
   // for coalescing with other queued singles of the same plan. `callback`
   // fires exactly once, from an executor thread.
-  Status PredictAsync(PlanId id, std::string input, SingleCallback callback);
+  Status PredictAsync(PlanId id, std::string input, SingleCallback callback,
+                      int64_t deadline_ns = 0);
 
   // Splits `inputs` into sub-batches of at most `max_batch` records, fans
   // them across the executors, and returns the scores in input order.
   Result<std::vector<float>> PredictBatch(PlanId id,
                                           const std::vector<std::string>& inputs,
-                                          size_t max_batch);
+                                          size_t max_batch,
+                                          int64_t deadline_ns = 0);
 
   // Copy-free variant: executors write scores straight through the caller's
   // span (out.size() >= inputs.size()), and the inputs are borrowed, not
   // copied — the caller blocks until completion, so both stay valid. This
   // is the batch hot path; the vector-returning overload wraps it.
   Status PredictBatch(PlanId id, const std::vector<std::string>& inputs,
-                      size_t max_batch, std::span<float> out);
+                      size_t max_batch, std::span<float> out,
+                      int64_t deadline_ns = 0);
 
   // Borrowed-views variant of the span overload: `inputs` points at `n`
   // record views (text or binary wire bytes) that stay valid for the call.
   // This is the path the binary batch entry point rides.
   Status PredictBatch(PlanId id, const std::string_view* inputs, size_t n,
-                      size_t max_batch, std::span<float> out);
+                      size_t max_batch, std::span<float> out,
+                      int64_t deadline_ns = 0);
 
   // Asynchronous batch: returns after enqueueing; `callback` fires exactly
-  // once, from an executor thread, with scores in input order.
+  // once, from an executor thread, with scores in input order. A deadline
+  // expiring mid-batch drops only the chunks not yet executed: records in
+  // chunks that ran before expiry keep their scores, dropped records score
+  // 0.0f, and the batch Status is DeadlineExceeded.
   Status PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
-                           BatchCallback callback, size_t max_batch);
+                           BatchCallback callback, size_t max_batch,
+                           int64_t deadline_ns = 0);
 
   // Snapshot of per-plan queue/batch/latency metrics, aggregate
   // sub-plan-cache effectiveness, and pool counters. Never blocks dispatch:
@@ -257,6 +294,8 @@ class Runtime {
     std::string input;
     SingleCallback done;
     int64_t enqueue_ns = 0;
+    // Absolute expiry (singles; chunks carry the job's). 0 = none.
+    int64_t deadline_ns = 0;
   };
   struct ExecGroup;
   struct PlanQueue;
@@ -266,6 +305,12 @@ class Runtime {
   // Appends to threads_ / executor_caches_ / executor_pools_; callers hold
   // the registry lock exclusively (constructor and Register).
   void SpawnExecutor(ExecGroup* group) REQUIRES(registry_mu_);
+  // Deadline admission gate, shared by every queued entry point: rejects
+  // already-expired work (DeadlineExceeded, expired_admission) and — with
+  // deadline_admission — sheds work whose remaining budget is below the
+  // queue-delay estimate (ResourceExhausted + hint, shed_deadline). `n` is
+  // the record count the counters move by.
+  Status AdmitDeadline(PlanQueue* pq, int64_t deadline_ns, size_t n);
   // Chunks a prepared BatchJob into per-quantum events and enqueues them.
   Status SubmitBatchJob(PlanQueue* pq, std::shared_ptr<BatchJob> job,
                         size_t max_batch);

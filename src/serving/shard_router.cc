@@ -1,11 +1,35 @@
 #include "src/serving/shard_router.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "src/common/clock.h"
+#include "src/common/fault.h"
 #include "src/flour/flour.h"
 #include "src/oven/model_plan.h"
 
 namespace pretzel {
+
+namespace {
+
+constexpr double kEwmaAlpha = 1.0 / 16.0;
+
+double LoadEwma(const std::atomic<uint64_t>& bits) {
+  return std::bit_cast<double>(bits.load(std::memory_order_relaxed));
+}
+
+void UpdateEwma(std::atomic<uint64_t>& bits, double sample) {
+  uint64_t current = bits.load(std::memory_order_relaxed);
+  const double prev = std::bit_cast<double>(current);
+  const double next = prev + (sample - prev) * kEwmaAlpha;
+  // Single-shot CAS: a lost race under contention drops one smoothing step,
+  // never corrupts the value.
+  bits.compare_exchange_weak(current, std::bit_cast<uint64_t>(next),
+                             std::memory_order_relaxed,
+                             std::memory_order_relaxed);
+}
+
+}  // namespace
 
 ShardRouter::ShardRouter(const ShardRouterOptions& options)
     : options_([&] {
@@ -15,6 +39,10 @@ ShardRouter::ShardRouter(const ShardRouterOptions& options)
       }()) {
   if (options_.intern_scope == ShardRouterOptions::InternScope::kGlobal) {
     global_store_ = std::make_unique<ObjectStore>(options_.store);
+  }
+  health_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    health_.push_back(std::make_unique<ShardHealth>(options_.breaker));
   }
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
@@ -104,7 +132,152 @@ Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
   ShardPlacement placement{shard, *id};
   WriterMutexLock lock(mu_);
   placements_[spec.name] = placement;
+  // Retained so Failover can re-compile this plan on a healthy shard.
+  specs_[spec.name] = PlacedSpec{spec, registration};
   return placement;
+}
+
+// ---------------------------------------------------------------------------
+// Health, breaker gate, and failover.
+
+void ShardRouter::RecordOutcome(size_t shard, const Status& status) {
+  ShardHealth& health = *health_[shard];
+  bool fault = false;
+  if (status.ok()) {
+    health.successes.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsDeadlineExceeded()) {
+    health.timeouts.fetch_add(1, std::memory_order_relaxed);
+    fault = true;
+  } else if (status.code() == StatusCode::kError) {
+    health.errors.fetch_add(1, std::memory_order_relaxed);
+    fault = true;
+  } else {
+    // Backpressure (ResourceExhausted) and caller errors (NotFound /
+    // InvalidArgument) say nothing about the shard's health: counting them
+    // would let an overload or a bad client trip the breaker and amplify
+    // the very outage it guards against.
+    return;
+  }
+  UpdateEwma(health.failure_ewma_bits, fault ? 1.0 : 0.0);
+  const int64_t now_us = NowNs() / 1000;
+  if (fault) {
+    health.breaker.OnFailure(now_us);
+  } else {
+    health.breaker.OnSuccess(now_us);
+  }
+}
+
+Status ShardRouter::InjectedShardFault(size_t shard) {
+  // Chaos site: the owning shard has gone unresponsive — the request burns
+  // the armed latency, then fails as a shard fault so the breaker sees it.
+  if (PRETZEL_FAULT_POINT("serving.shard_unresponsive",
+                          static_cast<int64_t>(shard))) {
+    SleepUs(fault::LatencyUs("serving.shard_unresponsive"));
+    Status down = Status::Error("shard " + std::to_string(shard) +
+                                " unresponsive (fault-injected)");
+    RecordOutcome(shard, down);
+    return down;
+  }
+  return Status::OK();
+}
+
+Result<ShardPlacement> ShardRouter::Failover(const std::string& name,
+                                             size_t from) {
+  std::lock_guard<std::mutex> failover_lock(failover_mu_);
+  // Re-check under the failover lock: a racing request may already have
+  // moved the plan while this one waited.
+  Result<ShardPlacement> current = Placement(name);
+  if (!current.ok()) {
+    return current.status();
+  }
+  if (current->shard != from) {
+    return *current;
+  }
+  ShardHealth& health = *health_[from];
+  // relaxed: failovers is only ever advanced under failover_mu_ (held
+  // here), so this read cannot race another budget check.
+  if (health.failovers.load(std::memory_order_relaxed) >=
+      options_.max_failover_placements) {
+    return Status::ResourceExhausted("shard " + std::to_string(from) +
+                                     " failover budget spent");
+  }
+  // Candidate scan starts at a name-keyed offset so one sick shard's plans
+  // spread over the survivors instead of piling onto a single neighbor.
+  const size_t n = shards_.size();
+  size_t target = from;
+  if (n > 1) {
+    const size_t start = (from + 1 + HashName(name) % (n - 1)) % n;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t candidate = (start + k) % n;
+      if (candidate == from) {
+        continue;
+      }
+      if (health_[candidate]->breaker.state() ==
+          CircuitBreaker::State::kClosed) {
+        target = candidate;
+        break;
+      }
+    }
+  }
+  if (target == from) {
+    return Status::Error("no healthy shard to fail '" + name + "' over to");
+  }
+  PlacedSpec placed;
+  {
+    ReaderMutexLock lock(mu_);
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return Status::NotFound("spec for plan '" + name + "'");
+    }
+    placed = it->second;
+  }
+  // Same compile path as Place, against the target shard's segment. The
+  // replica on the sick shard stays registered so in-flight work can drain;
+  // movement is additive and bounded, never a teardown.
+  FlourContext flour(shards_[target]->segment.get());
+  auto program = flour.FromPipeline(placed.spec);
+  if (program == nullptr) {
+    return Status::Error("pipeline '" + name + "' did not re-lower");
+  }
+  Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, placed.spec.name);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  Result<Runtime::PlanId> id =
+      shards_[target]->runtime->Register(std::move(*plan), placed.registration);
+  if (!id.ok()) {
+    return id.status();
+  }
+  ShardPlacement placement{target, *id};
+  {
+    WriterMutexLock lock(mu_);
+    placements_[name] = placement;
+  }
+  health.failovers.fetch_add(1, std::memory_order_relaxed);
+  return placement;
+}
+
+Result<ShardPlacement> ShardRouter::Route(const std::string& name) {
+  Result<ShardPlacement> placement = Placement(name);
+  if (!placement.ok()) {
+    return placement;
+  }
+  const size_t shard = placement->shard;
+  const int64_t now_us = NowNs() / 1000;
+  if (health_[shard]->breaker.Allow(now_us)) {
+    return placement;
+  }
+  health_[shard]->rejected.fetch_add(1, std::memory_order_relaxed);
+  if (options_.failover_enabled) {
+    Result<ShardPlacement> moved = Failover(name, shard);
+    if (moved.ok()) {
+      return moved;
+    }
+  }
+  const int64_t reopen_us = health_[shard]->breaker.reopen_at_us();
+  return Status::ResourceExhausted("shard " + std::to_string(shard) +
+                                   " circuit open")
+      .WithRetryAfterUs(std::max<int64_t>(1, reopen_us - now_us));
 }
 
 Result<ShardPlacement> ShardRouter::Placement(const std::string& name) const {
@@ -117,43 +290,81 @@ Result<ShardPlacement> ShardRouter::Placement(const std::string& name) const {
 }
 
 Result<float> ShardRouter::Predict(const std::string& name,
-                                   const std::string& input) {
-  Result<ShardPlacement> placement = Placement(name);
+                                   const std::string& input,
+                                   int64_t deadline_ns) {
+  Result<ShardPlacement> placement = Route(name);
   if (!placement.ok()) {
     return placement.status();
   }
-  return shards_[placement->shard]->runtime->Predict(placement->plan_id, input);
+  const size_t shard = placement->shard;
+  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+    return fault;
+  }
+  Result<float> result = shards_[shard]->runtime->Predict(placement->plan_id,
+                                                          input, deadline_ns);
+  RecordOutcome(shard, result.status());
+  return result;
 }
 
 Result<float> ShardRouter::PredictBinary(const std::string& name,
-                                         std::span<const uint8_t> record) {
-  Result<ShardPlacement> placement = Placement(name);
+                                         std::span<const uint8_t> record,
+                                         int64_t deadline_ns) {
+  Result<ShardPlacement> placement = Route(name);
   if (!placement.ok()) {
     return placement.status();
   }
-  return shards_[placement->shard]->runtime->PredictBinary(placement->plan_id,
-                                                           record);
+  const size_t shard = placement->shard;
+  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+    return fault;
+  }
+  Result<float> result = shards_[shard]->runtime->PredictBinary(
+      placement->plan_id, record, deadline_ns);
+  RecordOutcome(shard, result.status());
+  return result;
 }
 
 Status ShardRouter::PredictAsync(const std::string& name, std::string input,
-                                 Runtime::SingleCallback callback) {
-  Result<ShardPlacement> placement = Placement(name);
+                                 Runtime::SingleCallback callback,
+                                 int64_t deadline_ns) {
+  Result<ShardPlacement> placement = Route(name);
   if (!placement.ok()) {
     return placement.status();
   }
-  return shards_[placement->shard]->runtime->PredictAsync(
-      placement->plan_id, std::move(input), std::move(callback));
+  const size_t shard = placement->shard;
+  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+    return fault;
+  }
+  // Outcome books from the completion, not the submit: `this` outlives the
+  // callback because shards_ (joined first, reverse declaration order)
+  // drains its executors before health_ goes away.
+  Status status = shards_[shard]->runtime->PredictAsync(
+      placement->plan_id, std::move(input),
+      [this, shard, done = std::move(callback)](Result<float> result) mutable {
+        RecordOutcome(shard, result.status());
+        done(std::move(result));
+      },
+      deadline_ns);
+  if (!status.ok()) {
+    RecordOutcome(shard, status);
+  }
+  return status;
 }
 
 Result<std::vector<float>> ShardRouter::PredictBatch(
     const std::string& name, const std::vector<std::string>& inputs,
-    size_t max_batch) {
-  Result<ShardPlacement> placement = Placement(name);
+    size_t max_batch, int64_t deadline_ns) {
+  Result<ShardPlacement> placement = Route(name);
   if (!placement.ok()) {
     return placement.status();
   }
-  return shards_[placement->shard]->runtime->PredictBatch(placement->plan_id,
-                                                          inputs, max_batch);
+  const size_t shard = placement->shard;
+  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+    return fault;
+  }
+  Result<std::vector<float>> result = shards_[shard]->runtime->PredictBatch(
+      placement->plan_id, inputs, max_batch, deadline_ns);
+  RecordOutcome(shard, result.status());
+  return result;
 }
 
 ShardedMetrics ShardRouter::GetMetrics() const {
@@ -203,6 +414,19 @@ ShardedMetrics ShardRouter::GetMetrics() const {
   if (metrics.mean_shard_queue_delay_us > 0.0) {
     metrics.queue_delay_imbalance =
         metrics.max_shard_queue_delay_us / metrics.mean_shard_queue_delay_us;
+  }
+  metrics.shard_health.reserve(health_.size());
+  for (const auto& health : health_) {
+    ShardHealthSnapshot snapshot;
+    snapshot.breaker_state = health->breaker.state();
+    snapshot.successes = health->successes.load(std::memory_order_relaxed);
+    snapshot.errors = health->errors.load(std::memory_order_relaxed);
+    snapshot.timeouts = health->timeouts.load(std::memory_order_relaxed);
+    snapshot.rejected = health->rejected.load(std::memory_order_relaxed);
+    snapshot.failovers = health->failovers.load(std::memory_order_relaxed);
+    snapshot.trips = health->breaker.trips();
+    snapshot.failure_ewma = LoadEwma(health->failure_ewma_bits);
+    metrics.shard_health.push_back(snapshot);
   }
   return metrics;
 }

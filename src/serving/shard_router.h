@@ -26,8 +26,10 @@
 #ifndef PRETZEL_SERVING_SHARD_ROUTER_H_
 #define PRETZEL_SERVING_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,6 +40,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/ops/params.h"
 #include "src/runtime/runtime.h"
+#include "src/serving/health.h"
 #include "src/store/object_store.h"
 
 namespace pretzel {
@@ -55,6 +58,15 @@ struct ShardRouterOptions {
   InternScope intern_scope = InternScope::kPerSegment;
   // Dedup policy for each segment (per-segment scope) or the global store.
   ObjectStore::Options store;
+  // Per-shard circuit breaker (trips on consecutive shard faults — errors
+  // and deadline blowouts; backpressure and caller errors never count).
+  CircuitBreakerOptions breaker;
+  // When a shard's breaker is open, re-Place its plans onto healthy shards
+  // through the normal Flour/Oven compile path instead of failing fast.
+  bool failover_enabled = true;
+  // Bounded movement: at most this many plans ever migrate off one shard,
+  // so a flapping breaker cannot churn the whole placement map.
+  size_t max_failover_placements = 4;
 };
 
 // Where a deployed plan lives.
@@ -69,6 +81,18 @@ struct ShardMetrics {
   RuntimeMetrics runtime;
   size_t store_objects = 0;  // Objects resident in this shard's segment.
   size_t store_bytes = 0;
+};
+
+// One shard's health as seen by the routing tier.
+struct ShardHealthSnapshot {
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  uint64_t successes = 0;
+  uint64_t errors = 0;    // Shard faults (unresponsive, internal).
+  uint64_t timeouts = 0;  // Deadline blowouts attributed to the shard.
+  uint64_t rejected = 0;  // Fast-failed while the breaker was open.
+  uint64_t failovers = 0; // Plans migrated off this shard.
+  uint64_t trips = 0;
+  double failure_ewma = 0.0;  // Smoothed fault indicator in [0,1].
 };
 
 struct ShardedMetrics {
@@ -88,6 +112,8 @@ struct ShardedMetrics {
   double mean_shard_queue_delay_us = 0.0;
   double queue_delay_imbalance = 1.0;
   size_t hottest_shard = 0;
+  // Routing-tier health (index == shard).
+  std::vector<ShardHealthSnapshot> shard_health;
 };
 
 class ShardRouter {
@@ -111,17 +137,24 @@ class ShardRouter {
   Result<ShardPlacement> Place(const PipelineSpec& spec,
                                const PlanRegistration& registration = {});
 
-  // Request routing: one placement lookup, then the owning shard's Runtime.
-  Result<float> Predict(const std::string& name, const std::string& input);
+  // Request routing: one placement lookup gated by the owning shard's
+  // circuit breaker, then that shard's Runtime. `deadline_ns` (absolute,
+  // NowNs() domain; 0 = none) is forwarded so expiry is enforced inside the
+  // shard's queues, not just at the edge.
+  Result<float> Predict(const std::string& name, const std::string& input,
+                        int64_t deadline_ns = 0);
   // Binary wire record, borrowed: routed to the owning shard's zero-parse
   // entry point without copy or conversion.
   Result<float> PredictBinary(const std::string& name,
-                              std::span<const uint8_t> record);
+                              std::span<const uint8_t> record,
+                              int64_t deadline_ns = 0);
   Status PredictAsync(const std::string& name, std::string input,
-                      Runtime::SingleCallback callback);
+                      Runtime::SingleCallback callback,
+                      int64_t deadline_ns = 0);
   Result<std::vector<float>> PredictBatch(const std::string& name,
                                           const std::vector<std::string>& inputs,
-                                          size_t max_batch);
+                                          size_t max_batch,
+                                          int64_t deadline_ns = 0);
 
   Result<ShardPlacement> Placement(const std::string& name) const;
 
@@ -137,14 +170,51 @@ class ShardRouter {
   ObjectStore* global_store() const { return global_store_.get(); }
   const ShardRouterOptions& options() const { return options_; }
 
+  // Routing-tier view of one shard's health. Exposed for tests.
+  const CircuitBreaker& breaker(size_t shard) const {
+    return health_[shard]->breaker;
+  }
+
  private:
   struct Shard {
     std::unique_ptr<ObjectStore> segment;
     std::unique_ptr<Runtime> runtime;
   };
 
+  // Health is written on every request (lock-free counters + breaker) and
+  // folded into GetMetrics. Heap-allocated so entries never move.
+  struct ShardHealth {
+    explicit ShardHealth(const CircuitBreakerOptions& options)
+        : breaker(options) {}
+    CircuitBreaker breaker;
+    std::atomic<uint64_t> successes{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> failovers{0};
+    // EWMA over the per-request fault indicator, alpha = 1/16; stored as
+    // double bits, advanced by CAS (losing an update under contention only
+    // softens the smoothing, never corrupts the value).
+    std::atomic<uint64_t> failure_ewma_bits{0};
+  };
+
+  // The breaker gate + failover step shared by every predict entry point.
+  Result<ShardPlacement> Route(const std::string& name);
+  // Books a finished request's outcome into the owning shard's health.
+  void RecordOutcome(size_t shard, const Status& status);
+  // Injected shard-unresponsive fault (chaos builds only): stalls, books a
+  // failure, and yields the error the caller should return.
+  Status InjectedShardFault(size_t shard);
+  // Moves `name` off tripped shard `from` onto a healthy shard by
+  // re-compiling through the normal Place path. Serialized by failover_mu_.
+  Result<ShardPlacement> Failover(const std::string& name, size_t from);
+
   const ShardRouterOptions options_;
   std::unique_ptr<ObjectStore> global_store_;  // kGlobal scope only.
+  // Declared before shards_ so it outlives them: async callbacks running on
+  // shard executors record outcomes here, and members destroy in reverse
+  // declaration order (shards_ joins its executors first).
+  std::vector<std::unique_ptr<ShardHealth>> health_;
   // Shards are constructed once in the constructor and never added, removed,
   // or reseated afterwards, so the vector itself needs no guard; each
   // shard's Runtime/ObjectStore do their own internal locking. GetMetrics
@@ -159,6 +229,16 @@ class ShardRouter {
   // ObjectStore lock, and Place drops it around the compile+register step.
   mutable SharedMutex mu_;
   std::unordered_map<std::string, ShardPlacement> placements_ GUARDED_BY(mu_);
+  // What Place() was given, kept so Failover can re-compile the plan on a
+  // different shard. Written only on successful Place.
+  struct PlacedSpec {
+    PipelineSpec spec;
+    PlanRegistration registration;
+  };
+  std::unordered_map<std::string, PlacedSpec> specs_ GUARDED_BY(mu_);
+  // Serializes failovers (cold path — only taken with a breaker open) so
+  // racing requests cannot double-migrate one plan.
+  std::mutex failover_mu_;
 };
 
 }  // namespace pretzel

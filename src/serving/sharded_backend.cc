@@ -5,8 +5,9 @@
 namespace pretzel {
 
 Result<float> ShardedBackend::Predict(const std::string& name,
-                                      const std::string& input) {
-  Result<float> result = router_->Predict(name, input);
+                                      const std::string& input,
+                                      int64_t deadline_ns) {
+  Result<float> result = router_->Predict(name, input, deadline_ns);
   if (!result.ok() && result.status().IsResourceExhausted()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -14,8 +15,9 @@ Result<float> ShardedBackend::Predict(const std::string& name,
 }
 
 Result<float> ShardedBackend::PredictBinary(const std::string& name,
-                                            std::span<const uint8_t> record) {
-  Result<float> result = router_->PredictBinary(name, record);
+                                            std::span<const uint8_t> record,
+                                            int64_t deadline_ns) {
+  Result<float> result = router_->PredictBinary(name, record, deadline_ns);
   if (!result.ok() && result.status().IsResourceExhausted()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -24,16 +26,19 @@ Result<float> ShardedBackend::PredictBinary(const std::string& name,
 
 void ShardedBackend::PredictAsync(const std::string& name,
                                   const std::string& input,
-                                  std::function<void(Result<float>)> callback) {
+                                  std::function<void(Result<float>)> callback,
+                                  int64_t deadline_ns) {
   // Captured by copy: the outer `callback` must stay callable for the
   // rejected-at-submit path below, where the wrapper never runs.
   Status submitted = router_->PredictAsync(
-      name, input, [this, callback](Result<float> result) mutable {
+      name, input,
+      [this, callback](Result<float> result) mutable {
         if (!result.ok() && result.status().IsResourceExhausted()) {
           dropped_.fetch_add(1, std::memory_order_relaxed);
         }
         callback(std::move(result));
-      });
+      },
+      deadline_ns);
   if (!submitted.ok()) {
     // Rejected before enqueue: the wrapped callback above never runs, so
     // count and complete here (exactly once either way).

@@ -26,16 +26,18 @@ class ShardedBackend : public Backend {
  public:
   explicit ShardedBackend(ShardRouter* router) : router_(router) {}
 
-  Result<float> Predict(const std::string& name,
-                        const std::string& input) override;
+  Result<float> Predict(const std::string& name, const std::string& input,
+                        int64_t deadline_ns = 0) override;
 
   void PredictAsync(const std::string& name, const std::string& input,
-                    std::function<void(Result<float>)> callback) override;
+                    std::function<void(Result<float>)> callback,
+                    int64_t deadline_ns = 0) override;
 
   // Zero-copy: the borrowed wire record routes to the owning shard's
   // binary entry point; admission drops land in the same counter.
   Result<float> PredictBinary(const std::string& name,
-                              std::span<const uint8_t> record) override;
+                              std::span<const uint8_t> record,
+                              int64_t deadline_ns = 0) override;
 
   // Predictions shed by any shard's admission control, summed router-wide.
   uint64_t dropped() const {

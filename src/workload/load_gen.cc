@@ -1,5 +1,6 @@
 #include "src/workload/load_gen.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/rng.h"
@@ -59,6 +60,47 @@ std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
       break;
     }
     schedule.push_back(LoadEvent{t, SampleCdf(cdf, rng.Uniform01())});
+  }
+  return schedule;
+}
+
+std::vector<LoadEvent> GenerateFlashCrowdSchedule(
+    const FlashCrowdOptions& options) {
+  std::vector<LoadEvent> schedule;
+  if (options.num_models == 0 || options.base_rps <= 0.0 ||
+      options.duration_s <= 0.0) {
+    return schedule;
+  }
+  Rng rng(options.seed);
+  const std::vector<double> cdf = ZipfCdf(options.num_models, options.zipf_alpha);
+  const double burst_end = options.burst_start_s + options.burst_duration_s;
+  schedule.reserve(static_cast<size_t>(options.base_rps * options.duration_s *
+                                       std::max(1.0, options.burst_x)) +
+                   8);
+  double t = 0.0;
+  while (true) {
+    const bool in_burst = t >= options.burst_start_s && t < burst_end;
+    const double rate =
+        options.base_rps * (in_burst ? std::max(1.0, options.burst_x) : 1.0);
+    double u = rng.Uniform01();
+    if (u < 1e-12) {
+      u = 1e-12;
+    }
+    // Piecewise-homogeneous Poisson: the rate is constant between window
+    // edges, and the exponential's memorylessness makes restarting the
+    // inter-arrival draw at each step harmless.
+    t += -std::log(u) / rate;
+    if (t >= options.duration_s) {
+      break;
+    }
+    const bool landed_in_burst = t >= options.burst_start_s && t < burst_end;
+    size_t model;
+    if (landed_in_burst && rng.Uniform01() < options.crowd_fraction) {
+      model = options.crowd_model % options.num_models;
+    } else {
+      model = SampleCdf(cdf, rng.Uniform01());
+    }
+    schedule.push_back(LoadEvent{t, model});
   }
   return schedule;
 }

@@ -24,6 +24,26 @@ std::vector<LoadEvent> GenerateLoadSchedule(size_t num_models, double rps,
                                             double duration_s, double zipf_alpha,
                                             uint64_t seed);
 
+// Flash crowd: steady Poisson base load, except that inside
+// [burst_start_s, burst_start_s + burst_duration_s) arrivals multiply by
+// burst_x and `crowd_fraction` of them pile onto one model — the overload
+// shape the resilience bench drives (SLO-aware shedding vs. queue collapse).
+// Outside the window (and for the non-crowd share inside it) popularity is
+// the usual Zipf draw.
+struct FlashCrowdOptions {
+  size_t num_models = 1;
+  double base_rps = 1000.0;
+  double duration_s = 1.0;
+  double burst_start_s = 0.33;
+  double burst_duration_s = 0.33;
+  double burst_x = 4.0;          // Arrival-rate multiplier in the window.
+  double crowd_fraction = 0.7;   // Burst arrivals aimed at crowd_model.
+  size_t crowd_model = 0;
+  double zipf_alpha = 2.0;
+  uint64_t seed = 1;
+};
+std::vector<LoadEvent> GenerateFlashCrowdSchedule(const FlashCrowdOptions& options);
+
 // Just the Zipf-popularity model sequence, no arrival times: for
 // closed-loop drivers that pace themselves (bench_shard's windowed drive of
 // the sharded serving stack).

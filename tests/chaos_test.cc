@@ -1,0 +1,529 @@
+// Chaos suite: every fault-injection site in src/ armed deterministically,
+// with the serving invariants asserted under fire — exactly-once completion,
+// bounded in-flight, and recovery to baseline once the fault clears. Built
+// only under -DPRETZEL_FAULT_INJECT=ON (CI runs it under ASan and TSan);
+// tools/lint_invariants.py enforces that every site named in src/ appears
+// here. Sites covered:
+//   runtime.ring_full          — enqueue spills to the overflow chain
+//   runtime.pool_exhausted     — vector-pool acquires take the miss path
+//   runtime.executor_stall     — a quantum stalls before dispatching
+//   serving.shard_unresponsive — a shard faults every request it is routed
+//   serialize.corrupt_record   — binary records arrive failing validation
+//   ops.slow_kernel            — plan execution stalls inside the operator
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/fault.h"
+#include "src/common/rng.h"
+#include "src/flour/flour.h"
+#include "src/oven/model_plan.h"
+#include "src/runtime/runtime.h"
+#include "src/serving/shard_router.h"
+#include "src/workload/ac_workload.h"
+#include "src/workload/load_gen.h"
+#include "src/workload/sa_workload.h"
+#include "tests/test_util.h"
+
+#if !defined(PRETZEL_FAULT_INJECT)
+#error "chaos_test requires -DPRETZEL_FAULT_INJECT=ON"
+#endif
+
+using namespace pretzel;
+
+namespace {
+
+constexpr int64_t kMs = 1'000'000;  // ns
+
+SaWorkload SmallSa(size_t pipelines) {
+  SaWorkloadOptions opts;
+  opts.num_pipelines = pipelines;
+  opts.char_dict_entries = 400;
+  opts.word_dict_entries = 120;
+  opts.vocabulary_size = 250;
+  return SaWorkload::Generate(opts);
+}
+
+// One runtime, every SA pipeline registered. Each scenario builds a fresh
+// harness AFTER disarming, so construction never runs under fire.
+struct Harness {
+  explicit Harness(size_t executors, size_t pipelines,
+                   RuntimeOptions ropts = {})
+      : workload(SmallSa(pipelines)) {
+    ropts.num_executors = executors;
+    runtime = std::make_unique<Runtime>(&store, ropts);
+    FlourContext flour(&store);
+    for (const auto& spec : workload.pipelines()) {
+      auto program = flour.FromPipeline(spec);
+      auto plan = Plan(*program, spec.name);
+      CHECK(plan.ok());
+      auto id = runtime->Register(*plan);
+      CHECK(id.ok());
+      ids.push_back(*id);
+    }
+  }
+  SaWorkload workload;
+  ObjectStore store;
+  std::unique_ptr<Runtime> runtime;
+  std::vector<Runtime::PlanId> ids;
+};
+
+PlanMetrics MetricsFor(Runtime& runtime, Runtime::PlanId id) {
+  for (const PlanMetrics& pm : runtime.GetMetrics().plans) {
+    if (pm.plan_id == id) {
+      return pm;
+    }
+  }
+  CHECK_MSG(false, "plan %zu has no metrics", id);
+  return {};
+}
+
+// Completion rendezvous for async scenarios.
+struct Waiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  void Signal() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++done;
+    cv.notify_all();
+  }
+  void Await(size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done >= n; });
+  }
+};
+
+// The seam itself: for a fixed seed the decision stream is a pure function
+// of the hit index, budgets cap fires exactly, and arg filters discriminate.
+void TestDeterministicDecisions() {
+  fault::DisarmAll();
+  const char* kSite = "test.determinism";
+
+  auto run_stream = [&](uint64_t seed) {
+    fault::DisarmAll();
+    fault::SetSeed(seed);
+    fault::Spec spec;
+    spec.probability = 0.5;
+    fault::Arm(kSite, spec);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 256; ++i) {
+      decisions.push_back(fault::Hit(kSite));
+    }
+    return decisions;
+  };
+  const auto first = run_stream(0xC0FFEE);
+  const auto second = run_stream(0xC0FFEE);
+  CHECK(first == second);  // Same seed, same stream — bit for bit.
+  size_t fired = 0;
+  for (const bool b : first) {
+    fired += b ? 1 : 0;
+  }
+  // p = 0.5 over 256 draws: 5 sigma is 40 — both tails prove the
+  // probability knob is neither stuck-off nor stuck-on.
+  CHECK_MSG(fired > 88 && fired < 168, "p=0.5 fired %zu/256 times", fired);
+  const auto other_seed = run_stream(0xBADF00D);
+  CHECK(first != other_seed);  // The seed actually matters.
+
+  // Budgets are exact: 3 fires out of any number of eligible hits.
+  fault::DisarmAll();
+  fault::Spec budgeted;
+  budgeted.budget = 3;
+  fault::Arm(kSite, budgeted);
+  size_t granted = 0;
+  for (int i = 0; i < 50; ++i) {
+    granted += fault::Hit(kSite) ? 1 : 0;
+  }
+  CHECK_EQ(granted, size_t{3});
+  CHECK_EQ(fault::Fires(kSite), uint64_t{3});
+
+  // Arg filters: spec.arg pins the site to one discriminator value.
+  fault::DisarmAll();
+  fault::Spec pinned;
+  pinned.arg = 2;
+  fault::Arm(kSite, pinned);
+  CHECK(!fault::Hit(kSite, 1));
+  CHECK(fault::Hit(kSite, 2));
+  fault::DisarmAll();
+}
+
+// runtime.ring_full: every ring push refused, so all events take the spill
+// chain. Under Zipf-skewed async load every request must still complete
+// exactly once with the correct score.
+void TestRingFullSpillExactlyOnce() {
+  fault::DisarmAll();
+  Harness h(2, 4);
+  const std::string input = "service was outstanding and the food dreadful";
+  std::vector<float> baseline;
+  for (const auto id : h.ids) {
+    auto r = h.runtime->Predict(id, input);
+    CHECK(r.ok());
+    baseline.push_back(*r);
+  }
+
+  fault::SetSeed(0x51);
+  fault::Arm("runtime.ring_full", fault::Spec{});  // p=1: always spill.
+
+  constexpr size_t kRequests = 200;
+  const auto models = ZipfModelSequence(h.ids.size(), kRequests, 2.0, 7);
+  std::vector<std::atomic<int>> completions(kRequests);
+  Waiter waiter;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const size_t m = models[i];
+    const float expect = baseline[m];
+    auto status = h.runtime->PredictAsync(
+        h.ids[m], input, [&, i, expect](Result<float> r) {
+          CHECK(r.ok());
+          CHECK_NEAR(*r, expect, 1e-6);
+          completions[i].fetch_add(1);
+          waiter.Signal();
+        });
+    CHECK(status.ok());
+  }
+  waiter.Await(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    CHECK_EQ(completions[i].load(), 1);  // Exactly once, never zero or twice.
+  }
+  CHECK(fault::Fires("runtime.ring_full") > 0);
+
+  fault::DisarmAll();
+  // Recovery: the fast path is back and scores unchanged.
+  for (size_t m = 0; m < h.ids.size(); ++m) {
+    auto r = h.runtime->Predict(h.ids[m], input);
+    CHECK(r.ok());
+    CHECK_NEAR(*r, baseline[m], 1e-6);
+  }
+}
+
+// runtime.pool_exhausted: acquires see an empty free list and take the
+// allocation-miss path. Correctness must not depend on the pool; the miss
+// counter books every faulted acquire; hits resume after disarm. Uses the
+// dense AC family — sparse SA scoring never touches the float pool.
+void TestPoolExhaustedMissPath() {
+  fault::DisarmAll();
+  AcWorkloadOptions aopts;
+  aopts.num_pipelines = 1;
+  aopts.featurizer_trees = 6;
+  aopts.featurizer_depth = 4;
+  aopts.final_trees = 4;
+  aopts.final_depth = 3;
+  auto ac = AcWorkload::Generate(aopts);
+  ObjectStore store;
+  FlourContext flour(&store);
+  RuntimeOptions ropts;
+  ropts.num_executors = 1;
+  Runtime runtime(&store, ropts);
+  auto program = flour.FromPipeline(ac.pipelines()[0]);
+  auto plan = Plan(*program, ac.pipelines()[0].name);
+  CHECK(plan.ok());
+  auto id = runtime.Register(*plan);
+  CHECK(id.ok());
+
+  Rng rng(17);
+  const std::string input = ac.SampleInput(rng);
+  auto baseline = runtime.Predict(*id, input);
+  CHECK(baseline.ok());
+
+  // Pool-level: a released buffer would normally be re-acquired as a hit;
+  // under the fault the same acquire takes the miss path, still returning a
+  // usable buffer. (End-to-end predicts only reach the pool on cold
+  // contexts — warm ExecContexts keep their leased storage — so the site's
+  // accounting is pinned here, at the code that actually runs.)
+  VectorPool pool{VectorPool::Options{}};
+  pool.ReleaseFloats(pool.AcquireFloats(64));
+  fault::Arm("runtime.pool_exhausted", fault::Spec{});
+  std::vector<float> faulted = pool.AcquireFloats(64);
+  CHECK_EQ(faulted.size(), size_t{64});
+  CHECK_EQ(pool.GetStats().misses, uint64_t{2});  // Cold miss + faulted miss.
+  CHECK_EQ(pool.GetStats().hits, uint64_t{0});
+  CHECK(fault::Fires("runtime.pool_exhausted") > 0);
+
+  // End-to-end: scores cannot depend on where buffers come from.
+  for (int i = 0; i < 20; ++i) {
+    auto r = runtime.Predict(*id, input);
+    CHECK(r.ok());
+    CHECK_NEAR(*r, *baseline, 1e-6);
+  }
+
+  fault::DisarmAll();
+  // Recovery: the free list serves again.
+  pool.ReleaseFloats(std::move(faulted));
+  pool.ReleaseFloats(pool.AcquireFloats(64));
+  CHECK(pool.GetStats().hits >= 1);
+  CHECK(runtime.Predict(*id, input).ok());
+}
+
+// runtime.executor_stall: quanta stall while producers flood one plan with
+// a tight queue cap. In-flight work stays bounded by the cap (observed
+// queue depth never exceeds it, backpressure rejections occur), and every
+// admitted request completes exactly once.
+void TestExecutorStallBoundedInFlight() {
+  fault::DisarmAll();
+  RuntimeOptions ropts;
+  ropts.max_queued_events_per_plan = 8;
+  Harness h(1, 1, ropts);
+  const std::string input = "stalled but never unbounded";
+  auto baseline = h.runtime->Predict(h.ids[0], input);
+  CHECK(baseline.ok());
+
+  fault::Spec stall;
+  stall.latency_us = 2'000;
+  stall.budget = 16;  // Long enough to flood against, bounded so we drain.
+  fault::Arm("runtime.executor_stall", stall);
+
+  constexpr size_t kFlood = 120;
+  std::vector<std::atomic<int>> completions(kFlood);
+  Waiter waiter;
+  size_t accepted = 0;
+  size_t rejected = 0;
+  size_t max_observed_depth = 0;
+  for (size_t i = 0; i < kFlood; ++i) {
+    auto status = h.runtime->PredictAsync(
+        h.ids[0], input, [&, i](Result<float> r) {
+          CHECK(r.ok());
+          completions[i].fetch_add(1);
+          waiter.Signal();
+        });
+    if (status.ok()) {
+      ++accepted;
+    } else {
+      CHECK(status.IsResourceExhausted());  // The only rejection reason.
+      CHECK(status.retry_after_us() >= 0);
+      ++rejected;
+    }
+    const size_t depth = MetricsFor(*h.runtime, h.ids[0]).queue_depth;
+    max_observed_depth = std::max(max_observed_depth, depth);
+  }
+  CHECK_MSG(rejected > 0, "flood of %zu never hit the cap", kFlood);
+  CHECK_EQ(accepted + rejected, kFlood);
+  CHECK_MSG(max_observed_depth <= ropts.max_queued_events_per_plan,
+            "queue depth reached %zu with cap %zu", max_observed_depth,
+            ropts.max_queued_events_per_plan);
+  waiter.Await(accepted);
+  for (size_t i = 0; i < kFlood; ++i) {
+    CHECK(completions[i].load() <= 1);  // Rejected requests never complete,
+  }
+  size_t total = 0;  // admitted ones complete exactly once.
+  for (size_t i = 0; i < kFlood; ++i) {
+    total += static_cast<size_t>(completions[i].load());
+  }
+  CHECK_EQ(total, accepted);
+  CHECK(fault::Fires("runtime.executor_stall") > 0);
+
+  fault::DisarmAll();
+  auto r = h.runtime->Predict(h.ids[0], input);
+  CHECK(r.ok());
+  CHECK_NEAR(*r, *baseline, 1e-6);
+}
+
+// serving.shard_unresponsive: one shard faults every routed request. The
+// breaker trips after the failure threshold, the hot plan fails over to a
+// healthy shard (bounded by the migration budget), open-circuit requests
+// fail fast with a retry hint — and once the fault clears, half-open
+// probes close the breaker again.
+void TestShardBreakerTripFailoverRecover() {
+  fault::DisarmAll();
+  ShardRouterOptions sopts;
+  sopts.num_shards = 3;
+  sopts.runtime.num_executors = 1;
+  sopts.breaker.failure_threshold = 3;
+  sopts.breaker.cooldown_us = 50'000;
+  sopts.breaker.probe_quota = 2;
+  sopts.max_failover_placements = 1;  // Only the first victim migrates.
+  ShardRouter router(sopts);
+  auto sa = SmallSa(9);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const std::string input = "unresponsive shard, responsive system";
+  // Pick two plans on the same shard: one to migrate, one to ride out the
+  // outage in place.
+  const size_t sick = router.Placement(sa.pipelines()[0].name)->shard;
+  std::string mover = sa.pipelines()[0].name;
+  std::string stayer;
+  for (const auto& spec : sa.pipelines()) {
+    if (spec.name != mover && router.Placement(spec.name)->shard == sick) {
+      stayer = spec.name;
+      break;
+    }
+  }
+  CHECK_MSG(!stayer.empty(), "no second plan landed on shard %zu", sick);
+
+  fault::Spec down;
+  down.latency_us = 100;
+  down.arg = static_cast<int64_t>(sick);
+  fault::Arm("serving.shard_unresponsive", down);
+
+  // Failures accumulate until the breaker trips...
+  for (size_t i = 0; i < sopts.breaker.failure_threshold; ++i) {
+    auto r = router.Predict(mover, input);
+    CHECK(!r.ok());
+    CHECK_EQ(static_cast<int>(r.status().code()),
+             static_cast<int>(StatusCode::kError));
+  }
+  CHECK(router.breaker(sick).state() == CircuitBreaker::State::kOpen);
+  // ...then the next request fails over and succeeds on a healthy shard.
+  auto moved = router.Predict(mover, input);
+  CHECK(moved.ok());
+  CHECK(router.Placement(mover)->shard != sick);
+  // The migration budget is spent: the stayer fails fast (no 100us stall,
+  // no executor touched) with a retry hint, instead of failing over too.
+  auto fast_fail = router.Predict(stayer, input);
+  CHECK(!fast_fail.ok());
+  CHECK(fast_fail.status().IsResourceExhausted());
+  CHECK(fast_fail.status().retry_after_us() > 0);
+  CHECK_EQ(router.Placement(stayer)->shard, sick);
+
+  const auto metrics = router.GetMetrics();
+  const auto& sick_health = metrics.shard_health[sick];
+  CHECK(sick_health.errors >= sopts.breaker.failure_threshold);
+  CHECK(sick_health.trips >= 1);
+  CHECK_EQ(sick_health.failovers, uint64_t{1});
+  CHECK(sick_health.rejected >= 1);
+  CHECK(sick_health.failure_ewma > 0.0);
+  CHECK(fault::Fires("serving.shard_unresponsive") >=
+        sopts.breaker.failure_threshold);
+
+  // Recovery: fault cleared, cooldown elapsed — half-open probes succeed
+  // and close the breaker; the stayer serves from its original shard.
+  fault::DisarmAll();
+  SleepUs(static_cast<int64_t>(sopts.breaker.cooldown_us) + 10'000);
+  for (int i = 0; i < 8 &&
+                  router.breaker(sick).state() != CircuitBreaker::State::kClosed;
+       ++i) {
+    auto probe = router.Predict(stayer, input);
+    CHECK(probe.ok());  // The shard was only fault-sick, never broken.
+  }
+  CHECK(router.breaker(sick).state() == CircuitBreaker::State::kClosed);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Predict(spec.name, input).ok());
+  }
+}
+
+// serialize.corrupt_record: binary records fail validation at parse. The
+// rejection is InvalidArgument — a caller-visible data error that must NOT
+// feed the breaker (a poisoned client would otherwise take the shard down
+// for everyone) — and clean records parse again once the budget is spent.
+void TestCorruptRecordRejectedWithoutTrip() {
+  fault::DisarmAll();
+  ShardRouterOptions sopts;
+  sopts.num_shards = 1;
+  sopts.runtime.num_executors = 1;
+  ShardRouter router(sopts);
+  auto sa = SmallSa(1);
+  CHECK(router.Place(sa.pipelines()[0]).ok());
+  const std::string& name = sa.pipelines()[0].name;
+
+  Rng rng(99);
+  const std::string record = sa.SampleInput(rng, WireFormat::kBinary, 0);
+  auto as_span = [&record] {
+    return std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(record.data()), record.size());
+  };
+  auto baseline = router.PredictBinary(name, as_span());
+  CHECK(baseline.ok());
+
+  fault::Spec corrupt;
+  corrupt.budget = 2;
+  fault::Arm("serialize.corrupt_record", corrupt);
+  for (int i = 0; i < 2; ++i) {
+    auto r = router.PredictBinary(name, as_span());
+    CHECK(!r.ok());
+    CHECK_EQ(static_cast<int>(r.status().code()),
+             static_cast<int>(StatusCode::kInvalidArgument));
+  }
+  // Budget spent: the same bytes parse clean again (it was never the data).
+  auto after = router.PredictBinary(name, as_span());
+  CHECK(after.ok());
+  CHECK_NEAR(*after, *baseline, 1e-6);
+  CHECK_EQ(fault::Fires("serialize.corrupt_record"), uint64_t{2});
+
+  // Caller errors are not shard faults: breaker closed, zero errors booked.
+  const auto health = router.GetMetrics().shard_health[0];
+  CHECK(health.breaker_state == CircuitBreaker::State::kClosed);
+  CHECK_EQ(health.errors, uint64_t{0});
+  CHECK_EQ(health.trips, uint64_t{0});
+  fault::DisarmAll();
+}
+
+// ops.slow_kernel: execution stalls inside the operator. A deadlined batch
+// loses its remaining quanta (expired records, DeadlineExceeded), while an
+// undeadlined request just runs slow — and the same batch fits its budget
+// again once the stall clears.
+void TestSlowKernelExpiresQuanta() {
+  fault::DisarmAll();
+  Harness h(1, 1);
+  const std::string input = "slow is fine, late is not";
+  auto baseline = h.runtime->Predict(h.ids[0], input);
+  CHECK(baseline.ok());
+
+  fault::Spec slow;
+  slow.latency_us = 30'000;
+  fault::Arm("ops.slow_kernel", slow);
+
+  // No deadline: slow but correct.
+  auto slow_ok = h.runtime->Predict(h.ids[0], input);
+  CHECK(slow_ok.ok());
+  CHECK_NEAR(*slow_ok, *baseline, 1e-6);
+
+  // Deadlined batch, max_batch=1: the first 30ms quantum eats the 10ms
+  // budget, so the later records expire between quanta.
+  const std::vector<std::string> inputs(4, input);
+  Waiter waiter;
+  Status batch_status;
+  size_t scores_seen = 0;
+  auto cb = [&](Status status, std::span<const float> scores) {
+    batch_status = status;
+    scores_seen = scores.size();
+    waiter.Signal();
+  };
+  CHECK(h.runtime
+            ->PredictBatchAsync(h.ids[0], inputs, cb, /*max_batch=*/1,
+                                NowNs() + 10 * kMs)
+            .ok());
+  waiter.Await(1);
+  CHECK(batch_status.IsDeadlineExceeded());
+  CHECK_EQ(scores_seen, inputs.size());
+  CHECK(MetricsFor(*h.runtime, h.ids[0]).expired_quantum >= 1);
+  CHECK(fault::Fires("ops.slow_kernel") > 0);
+
+  fault::DisarmAll();
+  // Recovery: the identical deadlined batch now completes in budget.
+  Waiter again;
+  Status healthy_status = Status::Error("unset");
+  auto cb2 = [&](Status status, std::span<const float>) {
+    healthy_status = status;
+    again.Signal();
+  };
+  CHECK(h.runtime
+            ->PredictBatchAsync(h.ids[0], inputs, cb2, /*max_batch=*/1,
+                                NowNs() + 200 * kMs)
+            .ok());
+  again.Await(1);
+  CHECK(healthy_status.ok());
+}
+
+}  // namespace
+
+int main() {
+  TestDeterministicDecisions();
+  std::printf("TestDeterministicDecisions: PASS\n");
+  TestRingFullSpillExactlyOnce();
+  std::printf("TestRingFullSpillExactlyOnce: PASS\n");
+  TestPoolExhaustedMissPath();
+  std::printf("TestPoolExhaustedMissPath: PASS\n");
+  TestExecutorStallBoundedInFlight();
+  std::printf("TestExecutorStallBoundedInFlight: PASS\n");
+  TestShardBreakerTripFailoverRecover();
+  std::printf("TestShardBreakerTripFailoverRecover: PASS\n");
+  TestCorruptRecordRejectedWithoutTrip();
+  std::printf("TestCorruptRecordRejectedWithoutTrip: PASS\n");
+  TestSlowKernelExpiresQuanta();
+  std::printf("TestSlowKernelExpiresQuanta: PASS\n");
+  return 0;
+}

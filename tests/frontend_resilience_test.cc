@@ -1,0 +1,232 @@
+// FrontEnd resilience: the retry policy (hinted waits, jittered backoff,
+// deadline-bounded), the dropped_backpressure / dropped_error / expired
+// outcome split, and deadline admission at the tier's edge. The retry-wait
+// tests run on a fake clock injected through FrontEndOptions, so every wait
+// is observed exactly, not timed.
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/frontend/frontend.h"
+#include "tests/test_util.h"
+
+using namespace pretzel;
+
+namespace {
+
+// Deterministic time: now_ns only advances when something sleeps, and every
+// sleep is recorded. With network_delay_us = 0 the only non-zero sleeps a
+// sync Request performs are its retry backoffs.
+struct FakeClock {
+  std::atomic<int64_t> now_ns{1'000'000'000};
+  std::mutex mu;
+  std::vector<int64_t> sleeps_us;
+
+  void Install(FrontEndOptions* options) {
+    options->now_ns = [this] { return now_ns.load(); };
+    options->sleep_us = [this](int64_t us) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        sleeps_us.push_back(us);
+      }
+      now_ns.fetch_add(us * 1000);
+    };
+  }
+  std::vector<int64_t> RecordedWaits() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<int64_t> waits;
+    for (const int64_t us : sleeps_us) {
+      if (us > 0) {
+        waits.push_back(us);
+      }
+    }
+    return waits;
+  }
+};
+
+// Rejects the first `fail_first` calls (ResourceExhausted, optionally with a
+// retry-after hint), then succeeds.
+struct FlakyBackend : Backend {
+  std::atomic<int> calls{0};
+  int fail_first = 0;
+  int64_t hint_us = 0;
+  Result<float> Predict(const std::string&, const std::string&,
+                        int64_t) override {
+    if (calls.fetch_add(1) < fail_first) {
+      Status shed = Status::ResourceExhausted("backend busy");
+      return hint_us > 0 ? shed.WithRetryAfterUs(hint_us) : shed;
+    }
+    return 0.25f;
+  }
+};
+
+// The contract under test: a hinted rejection is never retried before the
+// hint — the wait is max(hint, backoff), pinned on fake time.
+void TestRetryWaitHonorsHint() {
+  FlakyBackend backend;
+  backend.fail_first = 2;
+  backend.hint_us = 7'000;
+
+  FrontEndOptions options;
+  options.network_delay_us = 0;
+  options.num_io_threads = 1;
+  options.max_retries = 3;
+  options.retry_base_us = 100;  // Backoff alone would be far below the hint.
+  options.retry_seed = 42;
+  FakeClock clock;
+  clock.Install(&options);
+  FrontEnd frontend(&backend, options);
+
+  Result<float> result = frontend.Request("m", "x");
+  CHECK(result.ok());
+  CHECK_EQ(backend.calls.load(), 3);  // 1 initial + 2 retries.
+  const auto waits = clock.RecordedWaits();
+  CHECK_EQ(waits.size(), size_t{2});
+  for (const int64_t wait : waits) {
+    CHECK_MSG(wait >= backend.hint_us, "retry waited %lldus < %lldus hint",
+              static_cast<long long>(wait),
+              static_cast<long long>(backend.hint_us));
+  }
+  CHECK_EQ(frontend.GetMetrics().retries, uint64_t{2});
+  // The request ultimately succeeded: nothing dropped.
+  CHECK_EQ(frontend.GetMetrics().dropped_backpressure, uint64_t{0});
+}
+
+// Without a hint, waits follow jittered exponential backoff: attempt k
+// lands in [backoff/2, backoff] with backoff = base << k, capped.
+void TestRetryBackoffEnvelope() {
+  FlakyBackend backend;
+  backend.fail_first = 3;
+
+  FrontEndOptions options;
+  options.network_delay_us = 0;
+  options.num_io_threads = 1;
+  options.max_retries = 3;
+  options.retry_base_us = 1'000;
+  options.retry_max_us = 3'000;  // The third attempt hits the cap.
+  options.retry_seed = 7;
+  FakeClock clock;
+  clock.Install(&options);
+  FrontEnd frontend(&backend, options);
+
+  CHECK(frontend.Request("m", "x").ok());
+  const auto waits = clock.RecordedWaits();
+  CHECK_EQ(waits.size(), size_t{3});
+  const int64_t ceilings[] = {1'000, 2'000, 3'000};  // base<<k, capped.
+  for (size_t k = 0; k < waits.size(); ++k) {
+    CHECK_MSG(waits[k] >= ceilings[k] / 2 && waits[k] <= ceilings[k],
+              "attempt %zu wait %lldus outside [%lld, %lld]", k,
+              static_cast<long long>(waits[k]),
+              static_cast<long long>(ceilings[k] / 2),
+              static_cast<long long>(ceilings[k]));
+  }
+}
+
+// Retries stop when the next backoff would cross the deadline: the caller
+// gets the shed (retryable) status with budget left, not a late expiry.
+void TestRetryRespectsDeadline() {
+  FlakyBackend backend;
+  backend.fail_first = 1'000'000;  // Never recovers.
+  backend.hint_us = 20'000;
+
+  FrontEndOptions options;
+  options.network_delay_us = 0;
+  options.num_io_threads = 1;
+  options.max_retries = 100;
+  options.retry_base_us = 100;
+  FakeClock clock;
+  clock.Install(&options);
+  FrontEnd frontend(&backend, options);
+
+  // 30ms budget, 20ms hinted waits: exactly one retry fits.
+  const int64_t deadline = clock.now_ns.load() + 30'000'000;
+  Result<float> result = frontend.Request("m", "x", deadline);
+  CHECK(!result.ok());
+  CHECK(result.status().IsResourceExhausted());
+  CHECK_EQ(backend.calls.load(), 2);
+  CHECK(clock.now_ns.load() < deadline);  // Shed with budget to fail over.
+  CHECK_EQ(frontend.GetMetrics().dropped_backpressure, uint64_t{1});
+}
+
+// The async path books final outcomes into the split counters, and the
+// retry machinery works through the IO loop as well.
+void TestAsyncOutcomeSplit() {
+  struct ScriptedBackend : Backend {
+    Result<float> Predict(const std::string& name, const std::string&,
+                          int64_t) override {
+      if (name == "shed") {
+        return Status::ResourceExhausted("backend full").WithRetryAfterUs(500);
+      }
+      if (name == "broken") {
+        return Status::Error("model exploded");
+      }
+      return 1.5f;
+    }
+  } backend;
+
+  FrontEndOptions options;
+  options.network_delay_us = 0;
+  options.num_io_threads = 2;
+  options.max_retries = 1;  // "shed" gets one retry, then counts as dropped.
+  options.retry_base_us = 200;
+  options.retry_max_us = 1'000;
+  FrontEnd frontend(&backend, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  auto wait_for = [&](int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done >= n; });
+  };
+  auto completion = [&](Status expect_code) {
+    return [&, expect_code](Result<float> r) {
+      CHECK_EQ(static_cast<int>(r.status().code()),
+               static_cast<int>(expect_code.code()));
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    };
+  };
+
+  CHECK(frontend.RequestAsync("ok", "x", completion(Status::OK())).ok());
+  CHECK(frontend
+            .RequestAsync("shed", "x",
+                          completion(Status::ResourceExhausted("")))
+            .ok());
+  CHECK(frontend.RequestAsync("broken", "x", completion(Status::Error(""))).ok());
+  wait_for(3);
+
+  // Expired at admission: rejected synchronously, never counted as pending.
+  std::atomic<int> fired{0};
+  Status expired = frontend.RequestAsync(
+      "ok", "x", [&](Result<float>) { fired.fetch_add(1); }, NowNs() - 1);
+  CHECK(expired.IsDeadlineExceeded());
+  CHECK_EQ(fired.load(), 0);
+
+  const FrontEndMetrics metrics = frontend.GetMetrics();
+  CHECK_EQ(metrics.dropped_backpressure, uint64_t{1});  // "shed", post-retry.
+  CHECK_EQ(metrics.dropped_error, uint64_t{1});         // "broken".
+  CHECK_EQ(metrics.expired, uint64_t{1});               // Admission refusal.
+  CHECK_EQ(metrics.retries, uint64_t{1});
+  // Legacy view stays the backpressure count.
+  CHECK_EQ(frontend.dropped(), metrics.dropped_backpressure);
+}
+
+}  // namespace
+
+int main() {
+  TestRetryWaitHonorsHint();
+  std::printf("TestRetryWaitHonorsHint: PASS\n");
+  TestRetryBackoffEnvelope();
+  std::printf("TestRetryBackoffEnvelope: PASS\n");
+  TestRetryRespectsDeadline();
+  std::printf("TestRetryRespectsDeadline: PASS\n");
+  TestAsyncOutcomeSplit();
+  std::printf("TestAsyncOutcomeSplit: PASS\n");
+  return 0;
+}

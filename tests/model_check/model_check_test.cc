@@ -1,4 +1,5 @@
-// Deterministic model-check suite for src/common/lockfree.h.
+// Deterministic model-check suite for src/common/lockfree.h and the
+// lock-free circuit breaker in src/serving/health.h.
 //
 // Three tiers:
 //  1. Checker self-tests: exhaustive (DFS) litmus runs proving the model
@@ -18,6 +19,9 @@
 #include "tests/model_check/mc_runtime.h"
 // mc_runtime.h defines the PRETZEL_* seam; lockfree.h must come after it.
 #include "src/common/lockfree.h"
+// Header-only and built on the same seam, so the packed-word circuit
+// breaker runs under the model too.
+#include "src/serving/health.h"
 
 #include <array>
 #include <cstdio>
@@ -329,6 +333,74 @@ void EventCountScenario() {
   mc::Check(*resumed_set, "eventcount: waiter resumed without the flag set");
 }
 
+// CircuitBreaker trip visibility: the reopen deadline is stored relaxed and
+// published by the trip CAS's release. A reader that observes state=open must
+// therefore see the fresh deadline; weakening the trip CAS (mutation
+// brk_trip_cas) lets it pair kOpen with the STALE deadline (0), flip to
+// half-open mid-cooldown, and hand out a probe the moment the shard tripped.
+// A reader may still legitimately see the stale CLOSED word (no edge exists),
+// so the invariant is conditional: admitted + final state half-open is the
+// only impossible pairing — Allow() at t=50 against a t=110 deadline can
+// never have taken the open -> half-open path itself.
+void BreakerTripVisibilityScenario() {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 1;
+  opt.cooldown_us = 100;
+  opt.probe_quota = 1;
+  auto brk = std::make_shared<CircuitBreaker>(opt);
+  auto admitted = std::make_shared<bool>(false);
+  mc::Go({
+      [brk] { brk->OnFailure(10); },  // Trips: open, reopen at t=110.
+      [brk, admitted] { *admitted = brk->Allow(50); },  // Inside cooldown.
+  });
+  if (mc::Pruned() || mc::Failed()) return;
+  mc::Check(!(*admitted && brk->state() == CircuitBreaker::State::kHalfOpen),
+            "breaker: probe granted inside the cooldown (stale reopen_at)");
+  mc::Check(brk->trips() == 1, "breaker: trip not recorded");
+}
+
+// Deterministic probe lifecycle: trip -> reject inside cooldown -> exactly
+// one probe after it -> success closes. Mutation brk_halfopen_keep_tokens
+// flips to half-open with zero tokens, so the post-cooldown Allow() that
+// must grant the probe returns false forever (liveness: can never close).
+void BreakerProbeLifecycleScenario() {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 1;
+  opt.cooldown_us = 100;
+  opt.probe_quota = 1;
+  auto brk = std::make_shared<CircuitBreaker>(opt);
+  mc::Go({[brk] {
+    brk->OnFailure(10);  // Trips: reopen at t=110.
+    mc::Check(!brk->Allow(50), "breaker: admitted inside the cooldown");
+    mc::Check(brk->Allow(150), "breaker: cooldown over but no probe granted");
+    mc::Check(!brk->Allow(150), "breaker: second probe beyond the quota");
+    brk->OnSuccess(150);
+    mc::Check(brk->state() == CircuitBreaker::State::kClosed,
+              "breaker: probe quota met but still not closed");
+    mc::Check(brk->Allow(151), "breaker: closed but rejecting");
+  }});
+}
+
+// Deterministic failed-probe path: a probe that fails must restart the
+// cooldown from NOW. Mutation brk_reopen_refresh_skip leaves the already
+// elapsed deadline in place, so the very next Allow() grants a fresh probe
+// with no cooldown at all (a flapping shard gets hammered).
+void BreakerReopenRefreshScenario() {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 1;
+  opt.cooldown_us = 100;
+  opt.probe_quota = 2;
+  auto brk = std::make_shared<CircuitBreaker>(opt);
+  mc::Go({[brk] {
+    brk->OnFailure(10);  // Trips: reopen at t=110.
+    mc::Check(brk->Allow(150), "breaker: cooldown over but no probe granted");
+    brk->OnFailure(150);  // Failed probe: back to open, reopen at t=250.
+    mc::Check(!brk->Allow(200),
+              "breaker: failed probe did not restart the cooldown");
+    mc::Check(brk->Allow(260), "breaker: refreshed cooldown over, no probe");
+  }});
+}
+
 // --- Drivers -----------------------------------------------------------------
 
 struct CleanCase {
@@ -348,6 +420,9 @@ const CleanCase kClean[] = {
     {"index_stack", StackScenario, 1000},
     {"mpsc_queue", MpscScenario, 1200},
     {"event_count", EventCountScenario, 2000},
+    {"breaker_trip_visibility", BreakerTripVisibilityScenario, 1500},
+    {"breaker_probe_lifecycle", BreakerProbeLifecycleScenario, 20},
+    {"breaker_reopen_refresh", BreakerReopenRefreshScenario, 20},
 };
 
 // >= 3 seeded mutations per structure; each weakens one tagged order to
@@ -369,6 +444,10 @@ const MutationCase kMutations[] = {
     {"ec_notify_waiters_load", EventCountScenario},
     {"ec_notify_skip_bump", EventCountScenario},
     {"ec_notify_skip_mutex", EventCountScenario},
+    // CircuitBreaker (src/serving/health.h).
+    {"brk_trip_cas", BreakerTripVisibilityScenario},
+    {"brk_halfopen_keep_tokens", BreakerProbeLifecycleScenario},
+    {"brk_reopen_refresh_skip", BreakerReopenRefreshScenario},
 };
 
 constexpr long kMutationRunCap = 30000;

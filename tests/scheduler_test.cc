@@ -352,7 +352,8 @@ void TestFrontEndBackpressure() {
     std::mutex mu;
     std::condition_variable cv;
     bool open = false;
-    Result<float> Predict(const std::string&, const std::string&) override {
+    Result<float> Predict(const std::string&, const std::string&,
+                          int64_t) override {
       std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [this] { return open; });
       return 0.5f;

@@ -21,6 +21,13 @@ Two rules, both about keeping dangerous idioms annotated at the point of use:
      - explicitly justified with an `alias-ok:` comment on the same line or
        within the preceding JUSTIFICATION_WINDOW lines.
 
+3. chaos-coverage rule — every fault-injection site declared in src/
+   (the string literal in PRETZEL_FAULT_POINT / PRETZEL_FAULT_STALL) must
+   appear in tests/chaos_test.cc. A site nobody arms is dead weight at best;
+   at worst it documents a failure mode the chaos suite silently stopped
+   exercising. src/common/fault.h itself is exempt (it defines the seam,
+   not a site).
+
 Exit status 0 when clean, 1 with findings (one per line, grep-friendly).
 Usage: lint_invariants.py [repo_root]
 """
@@ -39,6 +46,13 @@ ALIAS_PATH_FILES = (
     os.path.join("src", "ops", "kernels.h"),
     os.path.join("src", "ops", "kernels_avx2.cc"),
 )
+
+# Fault sites are string literals passed to the injection macros; the call
+# may wrap, so this is matched against whole-file text, not single lines.
+FAULT_SITE_RE = re.compile(
+    r"PRETZEL_FAULT_(?:POINT|STALL)\(\s*\"([^\"]+)\""
+)
+CHAOS_SUITE = os.path.join("tests", "chaos_test.cc")
 
 RELAXED_LOAD_RE = re.compile(
     r"\.load\(\s*(?:std::memory_order_relaxed|PRETZEL_MO\(\s*\w+\s*,\s*relaxed\s*\))"
@@ -129,6 +143,39 @@ def lint_file(path, rel, findings):
             )
 
 
+def lint_fault_site_coverage(root, findings):
+    """Rule 3: every injection site in src/ is exercised by the chaos suite."""
+    chaos_path = os.path.join(root, CHAOS_SUITE)
+    try:
+        with open(chaos_path, encoding="utf-8") as f:
+            chaos_text = f.read()
+    except OSError:
+        chaos_text = None  # Reported per-site below, with the site named.
+    fault_seam = os.path.join("src", "common", "fault.h")
+    for path in scan_cxx_files(root):
+        rel = os.path.relpath(path, root)
+        if rel.endswith(fault_seam):
+            continue
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            continue  # Already reported by lint_file.
+        for m in FAULT_SITE_RE.finditer(text):
+            site = m.group(1)
+            line = text.count("\n", 0, m.start()) + 1
+            if chaos_text is None:
+                findings.append(
+                    f"{rel}:{line}: fault site '{site}' declared but "
+                    f"{CHAOS_SUITE} is missing"
+                )
+            elif f'"{site}"' not in chaos_text:
+                findings.append(
+                    f"{rel}:{line}: fault site '{site}' is not exercised by "
+                    f"{CHAOS_SUITE}; add a chaos scenario that arms it"
+                )
+
+
 def main(argv):
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
     findings = []
@@ -136,6 +183,7 @@ def main(argv):
     for path in scan_cxx_files(root):
         count += 1
         lint_file(path, os.path.relpath(path, root), findings)
+    lint_fault_site_coverage(root, findings)
     if count == 0:
         print(f"lint_invariants: no sources found under {root}/src", file=sys.stderr)
         return 1
