@@ -84,21 +84,24 @@ CellResult MeasureEnqueueDispatch(Runtime& runtime,
               if (!r.ok()) {
                 failed.fetch_add(1, std::memory_order_relaxed);
               }
-              outstanding.fetch_sub(1, std::memory_order_relaxed);
-              completed.fetch_add(1, std::memory_order_relaxed);
+              // release/acquire pairs with the drain loops below: the
+              // counters are also the lifetime handshake for this stack
+              // frame, so the last callback must happen-before its reuse.
+              outstanding.fetch_sub(1, std::memory_order_release);
+              completed.fetch_add(1, std::memory_order_release);
             });
         if (sample) {
           local_lat.Add(static_cast<double>(NowNs() - enq0));
         }
         if (!st.ok()) {
-          outstanding.fetch_sub(1, std::memory_order_relaxed);
-          completed.fetch_add(1, std::memory_order_relaxed);
+          outstanding.fetch_sub(1, std::memory_order_release);
+          completed.fetch_add(1, std::memory_order_release);
           failed.fetch_add(1, std::memory_order_relaxed);
         }
       }
       // Drain this producer's window before exiting so `outstanding` (a
       // stack variable) outlives every callback that references it.
-      while (outstanding.load(std::memory_order_relaxed) > 0) {
+      while (outstanding.load(std::memory_order_acquire) > 0) {
         std::this_thread::yield();
       }
       std::lock_guard<std::mutex> lock(stats_mu);
@@ -110,7 +113,7 @@ CellResult MeasureEnqueueDispatch(Runtime& runtime,
   for (auto& t : threads) {
     t.join();
   }
-  while (completed.load(std::memory_order_relaxed) < total) {
+  while (completed.load(std::memory_order_acquire) < total) {
     std::this_thread::yield();
   }
   const double seconds = static_cast<double>(NowNs() - t0) / 1e9;

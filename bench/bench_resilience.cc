@@ -115,12 +115,17 @@ DriveResult Drive(const SaWorkload& sa, const ShardRouterOptions& sopts,
         shed_enabled ? deadline : 0);
     if (st.ok()) {
       ++accepted;
-    } else if (st.IsResourceExhausted()) {
-      ++result.shed;  // Admission shed: refused synchronously, with a hint.
-    } else if (st.IsDeadlineExceeded()) {
-      ++result.expired;
     } else {
-      ++result.errors;
+      // Synchronous refusals update the same counters the async completions
+      // write under `mu`; take it here too or the writes race.
+      std::lock_guard<std::mutex> lock(mu);
+      if (st.IsResourceExhausted()) {
+        ++result.shed;  // Admission shed: refused synchronously, with a hint.
+      } else if (st.IsDeadlineExceeded()) {
+        ++result.expired;
+      } else {
+        ++result.errors;
+      }
     }
   }
   {

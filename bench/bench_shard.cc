@@ -76,13 +76,16 @@ SweepResult Drive(ShardedBackend& backend,
                 std::lock_guard<std::mutex> lock(stats_mu);
                 local_lat.Add(static_cast<double>(NowNs() - submit));
               }
-              outstanding.fetch_sub(1, std::memory_order_relaxed);
-              completed.fetch_add(1, std::memory_order_relaxed);
+              // release/acquire pairs with the drain loops below: the
+              // counters are also the lifetime handshake for this stack
+              // frame, so the last callback must happen-before its reuse.
+              outstanding.fetch_sub(1, std::memory_order_release);
+              completed.fetch_add(1, std::memory_order_release);
             });
       }
       // Drain this producer's window so `outstanding` and `local_lat`
       // outlive every callback referencing them.
-      while (outstanding.load(std::memory_order_relaxed) > 0) {
+      while (outstanding.load(std::memory_order_acquire) > 0) {
         std::this_thread::yield();
       }
       std::lock_guard<std::mutex> lock(stats_mu);
@@ -94,7 +97,7 @@ SweepResult Drive(ShardedBackend& backend,
   for (auto& t : threads) {
     t.join();
   }
-  while (completed.load(std::memory_order_relaxed) < total) {
+  while (completed.load(std::memory_order_acquire) < total) {
     std::this_thread::yield();
   }
   const double seconds = static_cast<double>(NowNs() - t0) / 1e9;

@@ -19,13 +19,19 @@
 // Sites are string literals, e.g. PRETZEL_FAULT_POINT("runtime.ring_full").
 // tools/lint_invariants.py enforces that every site named in src/ appears in
 // tests/chaos_test.cc. The registry is a small fixed table guarded by a
-// mutex on the (cold) Arm/Disarm path; Hit() walks it lock-free via a
-// published count.
+// mutex on the (cold) Arm/Disarm/SetSeed path; Hit() walks it lock-free via
+// a published count, reading per-site knobs as individual relaxed atomics —
+// so re-ARMING a live site while worker threads hit it is a safe knob
+// update, never a data race. The one remaining constraint: DisarmAll()
+// frees slots for reuse by later Arms of NEW site names (a non-atomic name
+// write), so disarm only between scenarios, with traffic quiesced — which
+// is how the chaos tests use it.
 #ifndef PRETZEL_COMMON_FAULT_H_
 #define PRETZEL_COMMON_FAULT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 
 #include "src/common/clock.h"
@@ -66,9 +72,21 @@ inline uint64_t HashSite(std::string_view site) {
 
 struct Site {
   std::string_view name;
-  Spec spec;
+  // The Spec knobs, stored as individual relaxed atomics: Hit() reads them
+  // lock-free while Arm() may be rewriting them (re-arming a live site).
+  std::atomic<double> probability{1.0};
+  std::atomic<int64_t> latency_us{0};
+  std::atomic<uint64_t> budget{0};
+  std::atomic<int64_t> arg{-1};
   std::atomic<uint64_t> evals{0};  // Hit-index counter (decision stream).
   std::atomic<uint64_t> fires{0};
+
+  void StoreSpec(const Spec& spec) {
+    probability.store(spec.probability, std::memory_order_relaxed);
+    latency_us.store(spec.latency_us, std::memory_order_relaxed);
+    budget.store(spec.budget, std::memory_order_relaxed);
+    arg.store(spec.arg, std::memory_order_relaxed);
+  }
 };
 
 constexpr size_t kMaxSites = 32;
@@ -77,6 +95,9 @@ struct Registry {
   // armed is the fast-path gate: 0 means every macro is one relaxed load.
   std::atomic<size_t> armed{0};
   std::atomic<uint64_t> seed{0x5EEDF00Dull};
+  // Serializes the cold control path (Arm/DisarmAll/SetSeed): concurrent
+  // Arms of distinct new sites would otherwise race on the same slot.
+  std::mutex arm_mu;
   Site sites[kMaxSites];
 };
 
@@ -91,18 +112,21 @@ inline Registry& registry() {
 // slot persists until DisarmAll so hit counters survive re-arming.
 inline void Arm(std::string_view site, const Spec& spec) {
   auto& reg = internal::registry();
+  std::lock_guard<std::mutex> lock(reg.arm_mu);
   const size_t n = reg.armed.load(std::memory_order_acquire);
   for (size_t i = 0; i < n; ++i) {
     if (reg.sites[i].name == site) {
-      reg.sites[i].spec = spec;
+      reg.sites[i].StoreSpec(spec);  // Live knob update; Hit keeps reading.
       return;
     }
   }
   if (n >= internal::kMaxSites) {
     return;  // Table full; chaos tests never get close.
   }
+  // New slot: fill it completely, THEN publish via the armed count — a
+  // racing Hit only walks into the slot after the release/acquire pair.
   reg.sites[n].name = site;
-  reg.sites[n].spec = spec;
+  reg.sites[n].StoreSpec(spec);
   reg.sites[n].evals.store(0, std::memory_order_relaxed);
   reg.sites[n].fires.store(0, std::memory_order_relaxed);
   reg.armed.store(n + 1, std::memory_order_release);
@@ -110,20 +134,24 @@ inline void Arm(std::string_view site, const Spec& spec) {
 
 // Disarms every site and resets counters. (Individual disarm is just
 // re-arming with probability 0; the chaos tests reset wholesale between
-// scenarios.)
+// scenarios.) Must not run concurrently with traffic: it recycles slots
+// whose names a later Arm rewrites non-atomically (see header comment).
 inline void DisarmAll() {
   auto& reg = internal::registry();
+  std::lock_guard<std::mutex> lock(reg.arm_mu);
   const size_t n = reg.armed.load(std::memory_order_acquire);
   reg.armed.store(0, std::memory_order_release);
   for (size_t i = 0; i < n; ++i) {
-    reg.sites[i].spec = Spec{};
+    reg.sites[i].StoreSpec(Spec{});
     reg.sites[i].evals.store(0, std::memory_order_relaxed);
     reg.sites[i].fires.store(0, std::memory_order_relaxed);
   }
 }
 
 inline void SetSeed(uint64_t seed) {
-  internal::registry().seed.store(seed, std::memory_order_relaxed);
+  auto& reg = internal::registry();
+  std::lock_guard<std::mutex> lock(reg.arm_mu);
+  reg.seed.store(seed, std::memory_order_relaxed);
 }
 
 // Fires recorded for `site` since it was (last) armed.
@@ -148,14 +176,16 @@ inline bool Hit(std::string_view site, int64_t arg = 0) {
     if (s.name != site) {
       continue;
     }
-    if (s.spec.probability <= 0.0) {
+    const double probability = s.probability.load(std::memory_order_relaxed);
+    if (probability <= 0.0) {
       return false;
     }
-    if (s.spec.arg >= 0 && s.spec.arg != arg) {
+    const int64_t want_arg = s.arg.load(std::memory_order_relaxed);
+    if (want_arg >= 0 && want_arg != arg) {
       return false;
     }
     const uint64_t index = s.evals.fetch_add(1, std::memory_order_relaxed);
-    if (s.spec.probability < 1.0) {
+    if (probability < 1.0) {
       // relaxed: the seed is set once before the scenario arms its sites;
       // the decision only needs a stable value, not ordering with them.
       const uint64_t word =
@@ -163,15 +193,16 @@ inline bool Hit(std::string_view site, int64_t arg = 0) {
                           internal::HashSite(site) ^ index);
       const double u =
           static_cast<double>(word >> 11) * (1.0 / 9007199254740992.0);
-      if (u >= s.spec.probability) {
+      if (u >= probability) {
         return false;
       }
     }
-    if (s.spec.budget > 0) {
+    const uint64_t budget = s.budget.load(std::memory_order_relaxed);
+    if (budget > 0) {
       // Budget claims by CAS so concurrent hits never overshoot the cap.
       uint64_t fired = s.fires.load(std::memory_order_relaxed);
       for (;;) {
-        if (fired >= s.spec.budget) {
+        if (fired >= budget) {
           return false;
         }
         if (s.fires.compare_exchange_weak(fired, fired + 1,
@@ -192,7 +223,7 @@ inline int64_t LatencyUs(std::string_view site) {
   const size_t n = reg.armed.load(std::memory_order_acquire);
   for (size_t i = 0; i < n; ++i) {
     if (reg.sites[i].name == site) {
-      return reg.sites[i].spec.latency_us;
+      return reg.sites[i].latency_us.load(std::memory_order_relaxed);
     }
   }
   return 0;

@@ -20,6 +20,19 @@ enum class StatusCode {
   kDeadlineExceeded,
 };
 
+// Where a DeadlineExceeded was detected, attached by the dropping tier.
+// Health accounting upstream needs the distinction: work that ARRIVED
+// already expired burned its budget upstream (network hops, frontend
+// queues, a tiny client deadline) and says nothing about the server that
+// refused it, while work that expired in the server's own queues or
+// execution is that server's fault.
+enum class DeadlineStage {
+  kUnspecified = 0,  // Not attributed (or not a deadline status).
+  kAdmission,        // Already expired on arrival; the tier did no work.
+  kQueue,            // Expired waiting in the tier's queues.
+  kExecution,        // Expired mid-execution (e.g. between batch quanta).
+};
+
 class Status {
  public:
   Status() = default;  // OK.
@@ -68,6 +81,16 @@ class Status {
   }
   int64_t retry_after_us() const { return retry_after_us_; }
 
+  // Deadline-expiry attribution (see DeadlineStage). kUnspecified on
+  // statuses that never carried one; consumers should treat kUnspecified
+  // conservatively (as if the server burned the budget).
+  Status WithDeadlineStage(DeadlineStage stage) const {
+    Status s = *this;
+    s.deadline_stage_ = stage;
+    return s;
+  }
+  DeadlineStage deadline_stage() const { return deadline_stage_; }
+
  private:
   static Status Make(StatusCode code, std::string message) {
     Status s;
@@ -79,6 +102,7 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
   int64_t retry_after_us_ = 0;
+  DeadlineStage deadline_stage_ = DeadlineStage::kUnspecified;
 };
 
 template <typename T>

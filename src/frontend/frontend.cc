@@ -71,7 +71,8 @@ Result<float> FrontEnd::Request(const std::string& name,
   Result<float> result = Status::Error("unsent");
   for (uint32_t attempt = 0;; ++attempt) {
     if (deadline_ns > 0 && now_ns_() >= deadline_ns) {
-      result = Status::DeadlineExceeded("expired at frontend before send");
+      result = Status::DeadlineExceeded("expired at frontend before send")
+                   .WithDeadlineStage(DeadlineStage::kAdmission);
       break;
     }
     result = backend_->Predict(name, input, deadline_ns);
@@ -105,7 +106,8 @@ Result<float> FrontEnd::RequestBinary(const std::string& name,
   Result<float> result = Status::Error("unsent");
   for (uint32_t attempt = 0;; ++attempt) {
     if (deadline_ns > 0 && now_ns_() >= deadline_ns) {
-      result = Status::DeadlineExceeded("expired at frontend before send");
+      result = Status::DeadlineExceeded("expired at frontend before send")
+                   .WithDeadlineStage(DeadlineStage::kAdmission);
       break;
     }
     result = backend_->PredictBinary(name, record, deadline_ns);
@@ -139,7 +141,8 @@ Status FrontEnd::RequestAsync(const std::string& name, const std::string& input,
     // Shed at the door: admitting work that already missed its deadline
     // only burns IO-thread time producing a late failure.
     expired_.fetch_add(1, std::memory_order_relaxed);
-    return Status::DeadlineExceeded("expired at frontend admission");
+    return Status::DeadlineExceeded("expired at frontend admission")
+        .WithDeadlineStage(DeadlineStage::kAdmission);
   }
   {
     MutexLock lock(mu_);
@@ -233,8 +236,18 @@ void FrontEnd::EnqueueCompletion(std::function<void(Result<float>)> callback,
 }
 
 void FrontEnd::IoLoop() {
+  // In-backoff retries must never stall runnable work: with few IO threads,
+  // sleeping a popped retry's remaining backoff inline (up to retry_max_us)
+  // would block fresh admissions AND completions — which ride this same
+  // queue — exactly when overload makes retries common. The pop instead
+  // scans for the first DUE item (not_before_ns reached; completions and
+  // fresh work are always due), and only when every queued item is a
+  // future-dated retry does the thread wait — in short slices through the
+  // sleep seam, so newly runnable work is picked up within one slice.
+  constexpr int64_t kBackoffSliceUs = 200;
   while (true) {
     Work work;
+    int64_t poll_us = 0;
     {
       MutexLock lock(mu_);
       while (!stop_ && queue_.empty()) {
@@ -246,8 +259,29 @@ void FrontEnd::IoLoop() {
         }
         continue;
       }
-      work = std::move(queue_.front());
-      queue_.pop_front();
+      const int64_t now = now_ns_();
+      auto due = queue_.end();
+      int64_t earliest_ns = queue_.front().not_before_ns;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->not_before_ns <= now) {
+          due = it;
+          break;
+        }
+        earliest_ns = std::min(earliest_ns, it->not_before_ns);
+      }
+      if (due == queue_.end()) {
+        // Every item is a retry still serving out its backoff (the waits
+        // honor the rejecting tier's retry-after hint; see RetryWaitUs).
+        poll_us = std::min<int64_t>((earliest_ns - now + 999) / 1000,
+                                    kBackoffSliceUs);
+      } else {
+        work = std::move(*due);
+        queue_.erase(due);
+      }
+    }
+    if (poll_us > 0) {
+      sleep_us_(poll_us);
+      continue;
     }
     if (work.is_completion) {
       sleep_us_(options_.network_delay_us);  // Frontend -> client.
@@ -266,19 +300,14 @@ void FrontEnd::IoLoop() {
     }
     if (work.attempt == 0) {
       sleep_us_(options_.network_delay_us);  // Client -> frontend.
-    } else if (work.not_before_ns > 0) {
-      // Scheduled retry: serve out the remaining backoff (the wait was
-      // sized to honor the rejecting tier's retry-after hint).
-      const int64_t remaining_us = (work.not_before_ns - now_ns_()) / 1000;
-      if (remaining_us > 0) {
-        sleep_us_(remaining_us);
-      }
     }
+    // A popped retry is already due: its backoff was served queue-side.
     if (work.deadline_ns > 0 && now_ns_() >= work.deadline_ns) {
       // Expired while queued here: don't burn a backend slot on it.
       EnqueueCompletion(
           std::move(work.callback),
-          Status::DeadlineExceeded("expired in frontend queue"),
+          Status::DeadlineExceeded("expired in frontend queue")
+              .WithDeadlineStage(DeadlineStage::kQueue),
           work.admit_ns);
       continue;
     }

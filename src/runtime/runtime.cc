@@ -77,9 +77,12 @@ static int64_t RetryAfterHintUs(const std::atomic<int64_t>& ewma) {
 
 // Time-spent attribution for a deadline drop: where the budget went is
 // something only the dropping tier knows. `enqueue_ns` == 0 means the work
-// never entered a queue (admission-time drop).
-static Status ExpiredStatus(const char* stage, int64_t now_ns,
-                            int64_t deadline_ns, int64_t enqueue_ns) {
+// never entered a queue (admission-time drop). The machine-readable stage
+// rides the status so ShardRouter's health accounting can tell "arrived
+// already dead" (not this shard's fault) from "died in this shard".
+static Status ExpiredStatus(const char* stage, DeadlineStage stage_tag,
+                            int64_t now_ns, int64_t deadline_ns,
+                            int64_t enqueue_ns) {
   std::string msg = std::string(stage) + ", " +
                     std::to_string((now_ns - deadline_ns) / 1000) +
                     "us past deadline";
@@ -87,7 +90,7 @@ static Status ExpiredStatus(const char* stage, int64_t now_ns,
     msg += " after " + std::to_string((now_ns - enqueue_ns) / 1000) +
            "us queued";
   }
-  return Status::DeadlineExceeded(std::move(msg));
+  return Status::DeadlineExceeded(std::move(msg)).WithDeadlineStage(stage_tag);
 }
 
 // One executor's slice of a plan's latency/batch reservoirs. Only its
@@ -394,7 +397,8 @@ Status Runtime::AdmitDeadline(PlanQueue* pq, int64_t deadline_ns, size_t n) {
   const int64_t now = NowNs();
   if (now >= deadline_ns) {
     pq->expired_admission.fetch_add(n, std::memory_order_relaxed);
-    return ExpiredStatus("at admission", now, deadline_ns, /*enqueue_ns=*/0);
+    return ExpiredStatus("at admission", DeadlineStage::kAdmission, now,
+                         deadline_ns, /*enqueue_ns=*/0);
   }
   // The estimate forecasts the wait behind events queued NOW; with an empty
   // queue it is history, not forecast, and acting on it wedges the valve
@@ -644,7 +648,8 @@ Result<float> Runtime::Predict(PlanId id, std::string_view input,
       const int64_t now = NowNs();
       if (now >= deadline_ns) {
         pq->expired_admission.fetch_add(1, std::memory_order_relaxed);
-        return ExpiredStatus("at admission", now, deadline_ns, 0);
+        return ExpiredStatus("at admission", DeadlineStage::kAdmission, now,
+                             deadline_ns, 0);
       }
     }
     pq->inline_predictions.fetch_add(1, std::memory_order_relaxed);
@@ -1180,8 +1185,9 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
         {
           MutexLock lock(job.error_mu);
           if (job.first_error.ok()) {
-            job.first_error = ExpiredStatus("between batch quanta", now,
-                                            job.deadline_ns, item.enqueue_ns);
+            job.first_error =
+                ExpiredStatus("between batch quanta", DeadlineStage::kExecution,
+                              now, job.deadline_ns, item.enqueue_ns);
           }
         }
         pq->expired_quantum.fetch_add(count, std::memory_order_relaxed);
@@ -1263,8 +1269,8 @@ void Runtime::ExecuteQuantum(PlanQueue* pq, std::vector<Event>& batch,
           // Count before completing: a caller woken by this callback must
           // already see the expiry in GetMetrics.
           pq->expired_dequeue.fetch_add(1, std::memory_order_relaxed);
-          event.done(ExpiredStatus("at dispatch", now, event.deadline_ns,
-                                   event.enqueue_ns));
+          event.done(ExpiredStatus("at dispatch", DeadlineStage::kQueue, now,
+                                   event.deadline_ns, event.enqueue_ns));
           continue;
         }
       }

@@ -94,6 +94,46 @@ class CircuitBreaker {
     }
   }
 
+  // An admitted request ended without a shard-health verdict (backpressure,
+  // caller error, arrived-already-expired — RecordOutcome's neutral
+  // statuses). The outcome says nothing about the shard, but if the request
+  // was holding a half-open probe token the token MUST come back: probes
+  // that end verdictless would otherwise burn the whole quota, after which
+  // Allow() returns false forever with no verdict ever in flight — the
+  // shard is blackholed (Failover only selects kClosed shards). That is
+  // exactly how a recovering shard dies: its queue-delay EWMA is still
+  // high, so deadline admission sheds the probes with ResourceExhausted.
+  //
+  // The caller cannot know whether THIS request was a probe (requests
+  // admitted while closed can finish after a trip, and land here too), so
+  // the re-grant is capped at the quota: the worst case is a refreshed
+  // probe episode, never a wedge, and closing still requires `probe_quota`
+  // genuine successes. Mutation brk_abandon_drop_token models the
+  // pre-fix bug (verdictless probes swallow their token).
+  void OnProbeAbandoned(int64_t now_us) {
+    (void)now_us;
+    if (PRETZEL_LF_MUTATION(brk_abandon_drop_token)) {
+      return;
+    }
+    uint64_t word = word_.load(PRETZEL_MO(brk_word_load, acquire));
+    for (;;) {
+      if (UnpackState(word) != State::kHalfOpen) {
+        return;  // Tokens only exist in half-open; nothing to return.
+      }
+      const uint64_t tokens = UnpackTokens(word);
+      if (tokens >= options_.probe_quota) {
+        return;  // Full quota outstanding: a closed-era straggler.
+      }
+      const uint64_t next =
+          Pack(State::kHalfOpen, 0, tokens + 1, UnpackSuccesses(word));
+      if (word_.compare_exchange_weak(
+              word, next, PRETZEL_MO(brk_regrant_cas, acq_rel),
+              PRETZEL_MO(brk_regrant_cas_fail, acquire))) {
+        return;
+      }
+    }
+  }
+
   // Outcome of an admitted request. In half-open, `probe_quota` successes
   // close the breaker; in closed, any success resets the failure streak.
   void OnSuccess(int64_t now_us) {

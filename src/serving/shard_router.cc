@@ -145,17 +145,25 @@ void ShardRouter::RecordOutcome(size_t shard, const Status& status) {
   bool fault = false;
   if (status.ok()) {
     health.successes.fetch_add(1, std::memory_order_relaxed);
-  } else if (status.IsDeadlineExceeded()) {
+  } else if (status.IsDeadlineExceeded() &&
+             status.deadline_stage() != DeadlineStage::kAdmission) {
+    // Expired inside the shard — its queues or execution burned the budget
+    // (kQueue / kExecution; untagged kUnspecified counts conservatively).
     health.timeouts.fetch_add(1, std::memory_order_relaxed);
     fault = true;
   } else if (status.code() == StatusCode::kError) {
     health.errors.fetch_add(1, std::memory_order_relaxed);
     fault = true;
   } else {
-    // Backpressure (ResourceExhausted) and caller errors (NotFound /
-    // InvalidArgument) say nothing about the shard's health: counting them
-    // would let an overload or a bad client trip the breaker and amplify
-    // the very outage it guards against.
+    // Backpressure (ResourceExhausted), caller errors (NotFound /
+    // InvalidArgument), and admission-time deadline expiry (the request
+    // arrived already dead — the budget was burned upstream, the shard did
+    // no work) say nothing about the shard's health: counting them would
+    // let an overload or a flood of doomed clients trip the breaker and
+    // amplify the very outage it guards against. A verdictless outcome
+    // still owes the breaker its probe token back, or half-open wedges
+    // with every token burned and no verdict ever coming.
+    health.breaker.OnProbeAbandoned(NowNs() / 1000);
     return;
   }
   UpdateEwma(health.failure_ewma_bits, fault ? 1.0 : 0.0);

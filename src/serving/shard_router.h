@@ -59,7 +59,8 @@ struct ShardRouterOptions {
   // Dedup policy for each segment (per-segment scope) or the global store.
   ObjectStore::Options store;
   // Per-shard circuit breaker (trips on consecutive shard faults — errors
-  // and deadline blowouts; backpressure and caller errors never count).
+  // and deadline blowouts inside the shard; backpressure, caller errors,
+  // and requests that arrived already expired never count).
   CircuitBreakerOptions breaker;
   // When a shard's breaker is open, re-Place its plans onto healthy shards
   // through the normal Flour/Oven compile path instead of failing fast.

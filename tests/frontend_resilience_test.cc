@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -217,6 +218,83 @@ void TestAsyncOutcomeSplit() {
   CHECK_EQ(frontend.dropped(), metrics.dropped_backpressure);
 }
 
+// A retry serving out its backoff must never stall runnable work. With one
+// IO thread and a retry parked behind a 2s hinted backoff, a fresh request
+// admitted behind it completes within a poll slice or two — the IO thread
+// skips the future-dated retry instead of sleeping its backoff inline. The
+// retry itself still never fires before the hint.
+void TestBackoffDoesNotStallQueue() {
+  struct NameScriptedBackend : Backend {
+    int64_t hint_us = 2'000'000;
+    Result<float> Predict(const std::string& name, const std::string&,
+                          int64_t) override {
+      if (name == "shed") {
+        return Status::ResourceExhausted("busy").WithRetryAfterUs(hint_us);
+      }
+      return 2.0f;
+    }
+  } backend;
+
+  FrontEndOptions options;
+  options.network_delay_us = 0;
+  options.num_io_threads = 1;
+  options.max_retries = 1;  // "shed" retries once, then counts as dropped.
+  options.retry_base_us = 100;
+  FakeClock clock;
+  clock.Install(&options);
+  FrontEnd frontend(&backend, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int64_t ok_done_ns = 0;
+  int64_t shed_done_ns = 0;
+
+  const int64_t start_ns = clock.now_ns.load();
+  CHECK(frontend
+            .RequestAsync("shed", "x",
+                          [&](Result<float> r) {
+                            CHECK(r.status().IsResourceExhausted());
+                            std::lock_guard<std::mutex> lock(mu);
+                            shed_done_ns = clock.now_ns.load();
+                            cv.notify_all();
+                          })
+            .ok());
+  // The retry is booked before it is queued; once visible, the single IO
+  // thread is (at most a slice from) waiting out the 2s backoff.
+  while (frontend.GetMetrics().retries < 1) {
+    std::this_thread::yield();
+  }
+  const int64_t t0 = clock.now_ns.load();
+  CHECK(frontend
+            .RequestAsync("ok", "x",
+                          [&](Result<float> r) {
+                            CHECK(r.ok());
+                            std::lock_guard<std::mutex> lock(mu);
+                            ok_done_ns = clock.now_ns.load();
+                            cv.notify_all();
+                          })
+            .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ok_done_ns != 0; });
+  }
+  // Far under the backoff horizon: the fresh request was not queued behind
+  // the parked retry's sleep (pre-fix, this waited the full 2s fake).
+  CHECK_MSG(ok_done_ns - t0 < backend.hint_us * 1000 / 2,
+            "fresh request stalled %lldus behind an in-backoff retry",
+            static_cast<long long>((ok_done_ns - t0) / 1000));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return shed_done_ns != 0; });
+  }
+  // Queue-side waiting still honors the hint: the retry never fired early.
+  CHECK_MSG(shed_done_ns - start_ns >= backend.hint_us * 1000,
+            "retry fired %lldus after admission, before the %lldus hint",
+            static_cast<long long>((shed_done_ns - start_ns) / 1000),
+            static_cast<long long>(backend.hint_us));
+  CHECK_EQ(frontend.GetMetrics().dropped_backpressure, uint64_t{1});
+}
+
 }  // namespace
 
 int main() {
@@ -228,5 +306,7 @@ int main() {
   std::printf("TestRetryRespectsDeadline: PASS\n");
   TestAsyncOutcomeSplit();
   std::printf("TestAsyncOutcomeSplit: PASS\n");
+  TestBackoffDoesNotStallQueue();
+  std::printf("TestBackoffDoesNotStallQueue: PASS\n");
   return 0;
 }

@@ -401,6 +401,40 @@ void BreakerReopenRefreshScenario() {
   }});
 }
 
+// Probe-token return: a probe whose outcome delivers no health verdict
+// (backpressure, caller error, arrived-already-expired) must hand its token
+// back, or half-open wedges — every token burned, no verdict ever in
+// flight, Allow() false forever, the shard blackholed. Mutation
+// brk_abandon_drop_token swallows the token (the pre-fix bug): the
+// post-abandon Allow() that must re-grant a probe returns false, and the
+// breaker can never close. Also pins the cap: a closed-era straggler
+// abandoning on top of a full quota must not mint extra tokens.
+void BreakerProbeAbandonScenario() {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 1;
+  opt.cooldown_us = 100;
+  opt.probe_quota = 1;
+  auto brk = std::make_shared<CircuitBreaker>(opt);
+  mc::Go({[brk] {
+    brk->OnFailure(10);  // Trips: reopen at t=110.
+    // Straggler abandons while OPEN: no token state to touch.
+    brk->OnProbeAbandoned(120);
+    mc::Check(brk->Allow(150), "breaker: cooldown over but no probe granted");
+    // The probe above claimed the only token and ended verdictless: the
+    // abandon must return it, or no probe can ever run again.
+    brk->OnProbeAbandoned(150);
+    mc::Check(brk->Allow(151), "breaker: abandoned probe token not returned");
+    // Quota outstanding again; a further abandon must cap at the quota.
+    brk->OnProbeAbandoned(151);
+    brk->OnProbeAbandoned(151);
+    mc::Check(brk->state() == CircuitBreaker::State::kHalfOpen,
+              "breaker: abandon left half-open");
+    brk->OnSuccess(152);
+    mc::Check(brk->state() == CircuitBreaker::State::kClosed,
+              "breaker: re-granted probe's success did not close");
+  }});
+}
+
 // --- Drivers -----------------------------------------------------------------
 
 struct CleanCase {
@@ -423,6 +457,7 @@ const CleanCase kClean[] = {
     {"breaker_trip_visibility", BreakerTripVisibilityScenario, 1500},
     {"breaker_probe_lifecycle", BreakerProbeLifecycleScenario, 20},
     {"breaker_reopen_refresh", BreakerReopenRefreshScenario, 20},
+    {"breaker_probe_abandon", BreakerProbeAbandonScenario, 20},
 };
 
 // >= 3 seeded mutations per structure; each weakens one tagged order to
@@ -448,6 +483,7 @@ const MutationCase kMutations[] = {
     {"brk_trip_cas", BreakerTripVisibilityScenario},
     {"brk_halfopen_keep_tokens", BreakerProbeLifecycleScenario},
     {"brk_reopen_refresh_skip", BreakerReopenRefreshScenario},
+    {"brk_abandon_drop_token", BreakerProbeAbandonScenario},
 };
 
 constexpr long kMutationRunCap = 30000;

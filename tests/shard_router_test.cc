@@ -152,6 +152,37 @@ void TestShardedPredictMatchesMonolith() {
   }
 }
 
+// Requests that ARRIVE already expired burned their budget upstream — the
+// shard did no work, so they must not be booked as shard timeouts or trip
+// its breaker. A flood of doomed clients (tiny deadlines, slow network)
+// would otherwise blackhole a healthy shard and set off failover churn.
+void TestExpiredArrivalNotAShardFault() {
+  auto sa = SmallSa(1);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 1;
+  sopts.runtime.num_executors = 1;
+  sopts.breaker.failure_threshold = 3;
+  ShardRouter router(sopts);
+  const auto& spec = sa.pipelines()[0];
+  CHECK(router.Place(spec).ok());
+
+  Rng rng(5);
+  const std::string input = sa.SampleInput(rng);
+  // Far more arrived-dead requests than the trip threshold.
+  for (int i = 0; i < 10; ++i) {
+    auto dead = router.Predict(spec.name, input, /*deadline_ns=*/1);
+    CHECK(!dead.ok());
+    CHECK(dead.status().IsDeadlineExceeded());
+    CHECK(dead.status().deadline_stage() == DeadlineStage::kAdmission);
+  }
+  CHECK(router.breaker(0).state() == CircuitBreaker::State::kClosed);
+  const ShardedMetrics metrics = router.GetMetrics();
+  CHECK_EQ(metrics.shard_health[0].timeouts, uint64_t{0});
+  CHECK_EQ(metrics.shard_health[0].trips, uint64_t{0});
+  // The shard still serves live-budget traffic.
+  CHECK(router.Predict(spec.name, input).ok());
+}
+
 // Cross-shard GetMetrics: the merged fold equals the sum of the per-shard
 // snapshots it retains.
 void TestCrossShardMetricsAggregation() {
@@ -356,6 +387,7 @@ int main() {
   TestJumpHashStability();
   TestRouterRemapBound();
   TestShardedPredictMatchesMonolith();
+  TestExpiredArrivalNotAShardFault();
   TestCrossShardMetricsAggregation();
   TestInternScopeTradeOff();
   TestShardedBackendDrops();
