@@ -15,6 +15,13 @@
 // Also reported (deterministic): the segment-vs-global intern trade-off at
 // the max shard count — per-segment residency duplicates shared
 // dictionaries per shard, router-global intern keeps one copy.
+//
+// Replication phase: at the max shard count, the same Zipf stream is driven
+// with hot-plan replication off vs on (equal cores). The maintenance scan
+// must find the head of the distribution from routed-traffic shares,
+// replicate it, and power-of-two-choices routing over replica queue-delay
+// EWMAs must flatten the hot-shard imbalance without costing throughput; a
+// uniform stream is the control (no replication, no overhead).
 #include <algorithm>
 #include <atomic>
 #include <thread>
@@ -115,12 +122,14 @@ SweepResult Drive(ShardedBackend& backend,
 
 std::unique_ptr<ShardRouter> BuildRouter(
     const SaWorkload& sa, size_t num_shards, size_t shard_executors,
-    size_t max_batch, ShardRouterOptions::InternScope scope) {
+    size_t max_batch, ShardRouterOptions::InternScope scope,
+    const ReplicationOptions& replication = {}) {
   ShardRouterOptions opts;
   opts.num_shards = num_shards;
   opts.runtime.num_executors = shard_executors;
   opts.runtime.default_max_batch = max_batch;
   opts.intern_scope = scope;
+  opts.replication = replication;
   auto router = std::make_unique<ShardRouter>(opts);
   for (const auto& spec : sa.pipelines()) {
     auto placement = router->Place(spec);
@@ -304,6 +313,198 @@ int main(int argc, char** argv) {
       glo_bytes < seg_bytes,
       "router-global intern is a strict residency win over per-segment "
       "(shared dictionaries land on > 1 shard)");
+  // ---- Hot-plan replication phase ---------------------------------------
+  // Same Zipf stream, fixed max_shards, equal cores either way: replication
+  // OFF pins the head of the distribution to one shard (jump hash), ON lets
+  // the maintenance scan detect it from routed-traffic shares, replicate it,
+  // and route it power-of-two-choices over the replicas' live queue-delay
+  // EWMAs. The claim under test is the balanced-allocations one: p2c over
+  // even two replicas flattens the hot-shard queue-delay imbalance. A
+  // uniform (alpha = 0) stream is the control — no plan crosses the hotness
+  // threshold, so replication must stay quiet and cost nothing.
+  ReplicationOptions rep_opts;
+  rep_opts.enabled = true;  // scan_interval_us stays 0: scans run inline.
+  const std::vector<double> shares = ZipfExpectedShares(names.size(), zipf);
+  std::printf("\n  hot-plan replication at %zu shards: Zipf(%.2f) head share "
+              "%.3f, hot threshold %.3f\n",
+              max_shards, zipf, shares[0], rep_opts.hot_share_threshold);
+  auto rep_off = BuildRouter(sa, max_shards, shard_executors, max_batch,
+                             ShardRouterOptions::InternScope::kPerSegment);
+  auto rep_on = BuildRouter(sa, max_shards, shard_executors, max_batch,
+                            ShardRouterOptions::InternScope::kPerSegment,
+                            rep_opts);
+  auto backend_off = std::make_unique<ShardedBackend>(rep_off.get());
+  auto backend_on = std::make_unique<ShardedBackend>(rep_on.get());
+  for (const auto& name : names) {
+    (void)backend_off->Predict(name, inputs[0]);
+    (void)backend_on->Predict(name, inputs[0]);
+  }
+  // Warm drive: enough traffic for one full detection interval, then scan.
+  // Replicas must exist BEFORE the measured reps — the phase measures p2c
+  // routing over a replicated head, not detection latency.
+  const size_t warm_events = std::min<size_t>(sequence.size(), 4096);
+  const std::vector<size_t> warm_seq(sequence.begin(),
+                                     sequence.begin() + warm_events);
+  (void)Drive(*backend_off, names, inputs, warm_seq, producers, window);
+  (void)Drive(*backend_on, names, inputs, warm_seq, producers, window);
+  const MaintenanceReport scan = rep_on->MaintainReplication();
+  const size_t head_replicas = rep_on->Replicas(names[0]).size();
+  std::printf("  detector: scanned %zu plans over %zu routed requests; "
+              "+%zu replicas (head -> %zu shard(s))\n",
+              scan.plans_scanned, static_cast<size_t>(scan.interval_requests),
+              scan.replications, head_replicas);
+  double rep_eps[2] = {0, 0};  // [0] = off, [1] = on.
+  for (int rep = 0; rep < reps; ++rep) {
+    rep_eps[0] = std::max(
+        rep_eps[0],
+        Drive(*backend_off, names, inputs, sequence, producers, window)
+            .events_per_sec);
+    rep_eps[1] = std::max(
+        rep_eps[1],
+        Drive(*backend_on, names, inputs, sequence, producers, window)
+            .events_per_sec);
+    // Keep the replica set tracking the (stationary) shares between reps —
+    // in production this is the background scan thread.
+    (void)rep_on->MaintainReplication();
+  }
+  const ShardedMetrics rm_off = rep_off->GetMetrics();
+  const ShardedMetrics rm_on = rep_on->GetMetrics();
+  std::printf("  %-8s %16s %14s\n", "repl", "aggregate ev/s", "imbalance");
+  std::printf("  %-8s %16.0f %13.2fx\n", "off", rep_eps[0],
+              rm_off.queue_delay_imbalance);
+  std::printf("  %-8s %16.0f %13.2fx   (%zu plan(s) replicated, %zu "
+              "activations)\n",
+              "on", rep_eps[1], rm_on.queue_delay_imbalance,
+              rm_on.replicated_plans,
+              static_cast<size_t>(rm_on.replications));
+  json.Add("rep_off_eps", rep_eps[0]);
+  json.Add("rep_on_eps", rep_eps[1]);
+  json.Add("rep_off_imbalance", rm_off.queue_delay_imbalance);
+  json.Add("rep_on_imbalance", rm_on.queue_delay_imbalance);
+  json.Add("rep_head_replicas", static_cast<double>(head_replicas));
+  json.Add("rep_replicated_plans", static_cast<double>(rm_on.replicated_plans));
+  json.Add("rep_replications", static_cast<double>(rm_on.replications));
+  // How p2c actually split the head's traffic: the minority replica's share
+  // of the head's routed requests (0.5 = perfectly split, 0 = collapse).
+  double head_min_share = 1.0;
+  for (const auto& pr : rm_on.plan_replicas) {
+    if (pr.name != names[0]) {
+      continue;
+    }
+    uint64_t total = 0;
+    uint64_t min_routed = ~uint64_t{0};
+    size_t active = 0;
+    for (const auto& r : pr.replicas) {
+      total += r.routed;
+      if (r.active) {
+        ++active;
+        min_routed = std::min(min_routed, r.routed);
+      }
+    }
+    if (active >= 2 && total > 0) {
+      head_min_share =
+          static_cast<double>(min_routed) / static_cast<double>(total);
+    }
+    std::printf("  head split: minority replica carried %.0f%% of the "
+                "head's %zu routed requests\n",
+                head_min_share * 100.0, static_cast<size_t>(total));
+  }
+  json.Add("rep_head_min_share", head_min_share);
+
+  if (shares[0] >= rep_opts.hot_share_threshold) {
+    pass &= ShapeCheck(
+        head_replicas >= 2,
+        "hotness detector replicates the Zipf head (rank-0 expected share "
+        "clears the hot threshold)");
+  } else {
+    std::printf("  NOTE: rank-0 expected share %.3f is below the hot "
+                "threshold at this\n  pipeline count / alpha; detector check "
+                "skipped.\n", shares[0]);
+  }
+  if (parallel_host) {
+    pass &= ShapeCheck(
+        rm_on.queue_delay_imbalance < rm_off.queue_delay_imbalance,
+        "p2c over replicas strictly reduces hot-shard queue-delay imbalance "
+        "under Zipf skew");
+    pass &= ShapeCheck(
+        rep_eps[1] >= 0.90 * rep_eps[0],
+        "replication does not regress aggregate throughput under skew "
+        "(replicas split the head's queue)");
+  } else {
+    // One core: every executor timeslices the same CPU, so queue delay
+    // measures the scheduler's round-robin, not routing quality — the
+    // off-cell's own imbalance swings ~30% run to run. What IS observable
+    // here is the routing decision itself: p2c over live queue delays must
+    // actually use both replicas (a collapse onto one — e.g. comparing a
+    // stale signal — would show the minority share near zero).
+    std::printf("  NOTE: single-core host; queue-delay imbalance is "
+                "scheduler-dominated here,\n  so the strict imbalance "
+                "reduction is unobservable. The fallback checks the\n  "
+                "routing decision instead: p2c must split the head across "
+                "its replicas.\n");
+    pass &= ShapeCheck(
+        head_replicas >= 2 && head_min_share >= 0.05,
+        "[1-core fallback] p2c splits the head across its replicas "
+        "(minority replica carries >= 5% — no collapse onto one copy; on "
+        "one core the steady-state EWMAs legitimately favor the less-loaded "
+        "replica shard)");
+    pass &= ShapeCheck(
+        rep_eps[1] >= 0.65 * rep_eps[0],
+        "[1-core fallback] replicated routing sustains >= 0.65x of "
+        "single-placement throughput (p2c + extra registration overhead "
+        "only)");
+  }
+
+  // Uniform control: same machinery, no skew. The detector must stay quiet
+  // (every share sits below the hot threshold) and the p2c/maintenance
+  // plumbing must be free when cold.
+  const std::vector<size_t> uniform_seq =
+      ZipfModelSequence(names.size(), events, 0.0, 7003);
+  auto uni_off = BuildRouter(sa, max_shards, shard_executors, max_batch,
+                             ShardRouterOptions::InternScope::kPerSegment);
+  auto uni_on = BuildRouter(sa, max_shards, shard_executors, max_batch,
+                            ShardRouterOptions::InternScope::kPerSegment,
+                            rep_opts);
+  auto ubackend_off = std::make_unique<ShardedBackend>(uni_off.get());
+  auto ubackend_on = std::make_unique<ShardedBackend>(uni_on.get());
+  for (const auto& name : names) {
+    (void)ubackend_off->Predict(name, inputs[0]);
+    (void)ubackend_on->Predict(name, inputs[0]);
+  }
+  double uni_eps[2] = {0, 0};
+  for (int rep = 0; rep < reps; ++rep) {
+    uni_eps[0] = std::max(
+        uni_eps[0],
+        Drive(*ubackend_off, names, inputs, uniform_seq, producers, window)
+            .events_per_sec);
+    uni_eps[1] = std::max(
+        uni_eps[1],
+        Drive(*ubackend_on, names, inputs, uniform_seq, producers, window)
+            .events_per_sec);
+    (void)uni_on->MaintainReplication();
+  }
+  const ShardedMetrics um_on = uni_on->GetMetrics();
+  const double uniform_ratio = uni_eps[1] / std::max(uni_eps[0], 1e-9);
+  std::printf("  uniform control: off %.0f ev/s, on %.0f ev/s (%.2fx), "
+              "%zu replication(s)\n",
+              uni_eps[0], uni_eps[1], uniform_ratio,
+              static_cast<size_t>(um_on.replications));
+  json.Add("rep_uniform_off_eps", uni_eps[0]);
+  json.Add("rep_uniform_on_eps", uni_eps[1]);
+  json.Add("rep_uniform_replications",
+           static_cast<double>(um_on.replications));
+  if (1.0 / static_cast<double>(names.size()) <
+      rep_opts.hot_share_threshold) {
+    pass &= ShapeCheck(
+        um_on.replications == 0,
+        "uniform traffic stays unreplicated (no plan crosses the hotness "
+        "threshold)");
+  }
+  pass &= ShapeCheck(
+      uniform_ratio >= 0.85,
+      "replication machinery is free when cold: uniform-workload throughput "
+      "within 15% of replication-off");
+
   json.Add("speedup_4_shards", speedup4);
   json.Add("p99_ratio_4_shards", tail_ratio4);
   json.Add("parallel_host", parallel_host ? "true" : "false");

@@ -57,6 +57,10 @@
 #define PRETZEL_LF_UNIQUE_LOCK std::unique_lock<std::mutex>
 #define PRETZEL_LF_LOCK_GUARD std::lock_guard<std::mutex>
 #define PRETZEL_LF_MUTATION(name) false
+// A destructor that performs instrumented atomic ops (e.g. an RAII read
+// guard's exit bump) must be allowed to propagate the model checker's
+// run-abort exception; in normal builds destructors stay noexcept.
+#define PRETZEL_LF_DTOR_NOEXCEPT noexcept
 #endif
 
 namespace pretzel {

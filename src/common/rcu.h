@@ -1,0 +1,186 @@
+// RcuCell<T>: an immutable-snapshot pointer with epoch-based grace-period
+// reclamation — the RCU-style swap discipline the serving tier's routing
+// table rides (and the first concrete step toward versioned plan hot-swap).
+//
+// Readers NEVER take a mutex or spin: entering a read section is one
+// fetch_add on a sharded epoch counter plus one pointer load; leaving is one
+// fetch_add. Writers publish a replacement snapshot, then wait until every
+// reader that could be holding the retired snapshot has left its read
+// section before reclaiming it. std::atomic<std::shared_ptr> was rejected
+// for this role deliberately: libstdc++ implements it through a spinlock
+// pool, which would put a lock back on every predict — the very cost the
+// snapshot design removes.
+//
+// Scheme (the classic two-generation passive reader count):
+//  - `kSlots` cache-line-padded slots, each holding enter/exit counters for
+//    TWO generations (index = epoch parity). A reader picks a slot by
+//    thread identity, reads the epoch, bumps in[epoch & 1], loads the
+//    pointer, and on exit bumps out[epoch & 1] of the SAME generation.
+//  - A writer exchanges the pointer, bumps the epoch, then waits per slot
+//    until in[old parity] == out[old parity]. New readers land in the new
+//    parity, so the old generation quiesces even under continuous traffic.
+//
+// Memory-order argument (model-checked; mutations rcu_skip_grace,
+// rcu_sync_in_load, rcu_read_ptr_load in tests/model_check): the reader's
+// enter bump, pointer load, and the writer's publish + counter reads are
+// all seq_cst because correctness is a Dekker-style total-order claim, not
+// a simple release/acquire pairing. If a reader's pointer load returns the
+// RETIRED snapshot, that load precedes the writer's exchange in the seq_cst
+// order; the reader's enter bump precedes its load (program order within
+// seq_cst), hence precedes the writer's wait-loop reads — so the writer
+// observes in > out for that generation and cannot reclaim until the reader
+// exits. Weaken any leg and the chain breaks: a relaxed wait-loop read can
+// serve a stale pre-bump counter (early reclaim under a live reader); a
+// relaxed reader pointer load can serve a snapshot retired generations ago.
+// Acquire/release alone cannot express the claim — neither side writes the
+// location the other decides on, so there is no pairing edge to lean on;
+// this is the store-buffering shape, and it needs seq_cst. The exit bump is
+// release-only: it must order the reader's snapshot accesses before the
+// writer's acquire-side observation of the count, nothing more.
+//
+// On x86 the reader cost is two `lock xadd` + one plain load — the same
+// order of cost as the uncontended shared-mutex acquire it replaces, but
+// with no writer-blocking, no cache-line writeback on the pointer, and no
+// possibility of a reader convoy behind a writer.
+//
+// Writers are serialized by an internal mutex (publication is control-plane:
+// placements, replication changes). A thread inside a read section MUST NOT
+// publish (the grace wait would wait on its own guard) — keep read guards
+// scoped tightly around the lookup.
+#ifndef PRETZEL_COMMON_RCU_H_
+#define PRETZEL_COMMON_RCU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "src/common/lockfree.h"  // PRETZEL_ATOMIC / PRETZEL_MO seam.
+
+namespace pretzel {
+
+template <typename T, size_t kSlots = 8>
+class RcuCell {
+  static_assert((kSlots & (kSlots - 1)) == 0, "kSlots must be a power of two");
+
+  struct Slot;  // Declared up front so ReadGuard can hold a typed pointer.
+
+ public:
+  // Takes ownership of `initial` (reclaimed by the destructor, or returned
+  // from Exchange when replaced).
+  explicit RcuCell(const T* initial) {
+    ptr_.store(initial, PRETZEL_MO(rcu_init_store, seq_cst));
+  }
+
+  ~RcuCell() {
+    delete ptr_.load(PRETZEL_MO(rcu_dtor_load, relaxed));
+  }
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : ptr_(other.ptr_), slot_(other.slot_), gen_(other.gen_) {
+      other.slot_ = nullptr;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    ~ReadGuard() PRETZEL_LF_DTOR_NOEXCEPT {
+      if (slot_ != nullptr) {
+        // release: the reader's snapshot accesses must be ordered before the
+        // writer's (acquire) observation of this exit count — after that
+        // observation the snapshot may be reclaimed.
+        slot_->out[gen_].fetch_add(1, PRETZEL_MO(rcu_read_exit, release));
+      }
+    }
+
+    const T* get() const { return ptr_; }
+    const T* operator->() const { return ptr_; }
+    const T& operator*() const { return *ptr_; }
+
+   private:
+    friend class RcuCell;
+    ReadGuard(const T* ptr, Slot* slot, size_t gen)
+        : ptr_(ptr), slot_(slot), gen_(gen) {}
+
+    const T* ptr_;
+    Slot* slot_;
+    size_t gen_;
+  };
+
+  // Enters a read section and returns a guard pinning the current snapshot.
+  // Lock-free: one epoch load, one counter RMW, one pointer load.
+  ReadGuard Read() const {
+    Slot& slot = slots_[SlotIndex()];
+    // seq_cst on all three legs: see the header Dekker argument. The epoch
+    // read may race a writer's bump either way — a reader registered in the
+    // OLD generation that loads the NEW pointer is merely waited-for longer;
+    // what cannot happen is holding the OLD pointer unregistered.
+    const size_t gen = static_cast<size_t>(
+                           epoch_.load(PRETZEL_MO(rcu_read_epoch_load, seq_cst))) &
+                       1;
+    slot.in[gen].fetch_add(1, PRETZEL_MO(rcu_read_enter, seq_cst));
+    const T* ptr = ptr_.load(PRETZEL_MO(rcu_read_ptr_load, seq_cst));
+    return ReadGuard(ptr, &slot, gen);
+  }
+
+  // Publishes `next` (ownership transferred in), waits until no reader can
+  // still hold the previous snapshot, and returns it — the caller reclaims.
+  // Blocking, control-plane only; serialized internally.
+  const T* Exchange(const T* next) {
+    PRETZEL_LF_LOCK_GUARD writer_lock(writer_mu_);
+    const T* old = ptr_.exchange(next, PRETZEL_MO(rcu_publish_xchg, seq_cst));
+    const uint64_t epoch =
+        epoch_.fetch_add(1, PRETZEL_MO(rcu_epoch_bump, seq_cst));
+    const size_t retired_gen = static_cast<size_t>(epoch) & 1;
+    // Mutation rcu_skip_grace: reclaiming without the grace wait hands the
+    // caller a snapshot a live reader still dereferences.
+    if (!PRETZEL_LF_MUTATION(rcu_skip_grace)) {
+      for (size_t s = 0; s < kSlots; ++s) {
+        // The retired generation quiesces: post-bump readers register under
+        // the new parity, and every reader that could have loaded `old`
+        // registered in this one before our wait-loop reads (seq_cst order).
+        // Re-reading `in` each iteration covers stragglers that read the
+        // epoch just before the bump.
+        for (;;) {
+          const uint64_t in = slots_[s].in[retired_gen].load(
+              PRETZEL_MO(rcu_sync_in_load, seq_cst));
+          const uint64_t out = slots_[s].out[retired_gen].load(
+              PRETZEL_MO(rcu_sync_out_load, seq_cst));
+          if (in == out) {
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    }
+    return old;
+  }
+
+ private:
+  struct Slot {
+    alignas(64) PRETZEL_ATOMIC(uint64_t) in[2]{};
+    PRETZEL_ATOMIC(uint64_t) out[2]{};
+  };
+
+  static size_t SlotIndex() {
+    // Hashed thread identity, cached: readers on different threads spread
+    // over the slots so the enter/exit RMWs don't all ping one line.
+    thread_local const size_t slot =
+        std::hash<std::thread::id>()(std::this_thread::get_id()) &
+        (kSlots - 1);
+    return slot;
+  }
+
+  PRETZEL_ATOMIC(const T*) ptr_{nullptr};
+  PRETZEL_ATOMIC(uint64_t) epoch_{0};
+  mutable Slot slots_[kSlots]{};
+  PRETZEL_LF_MUTEX writer_mu_;
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_COMMON_RCU_H_

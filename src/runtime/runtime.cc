@@ -386,6 +386,11 @@ Runtime::PlanQueue* Runtime::GetQueue(PlanId id) const {
   return id < plan_queues_.size() ? plan_queues_[id].get() : nullptr;
 }
 
+const std::atomic<int64_t>* Runtime::QueueDelayCounter(PlanId id) const {
+  PlanQueue* pq = GetQueue(id);
+  return pq == nullptr ? nullptr : &pq->queue_delay_ewma_us;
+}
+
 // ---------------------------------------------------------------------------
 // Enqueue protocol. Cap check, timestamping, chunk accounting, runnable
 // publication, and the wakeup rule live here and only here.
@@ -1424,8 +1429,50 @@ std::vector<Reservation> Runtime::reservations() const {
   return reservations_;
 }
 
+// Folds one replica's row into the logical plan row. Counters sum; the
+// queue-delay EWMA is weighted by each replica's event traffic (a cold
+// replica's zero must not halve a hot replica's signal); reservation is a
+// property of the logical plan on any shard.
+static void MergePlanMetrics(PlanMetrics& into, const PlanMetrics& from) {
+  const uint64_t into_events = into.inline_predictions + into.enqueued_events;
+  const uint64_t from_events = from.inline_predictions + from.enqueued_events;
+  const uint64_t total_events = into_events + from_events;
+  if (total_events > 0) {
+    into.queue_delay_ewma_us = static_cast<int64_t>(
+        (static_cast<double>(into.queue_delay_ewma_us) * into_events +
+         static_cast<double>(from.queue_delay_ewma_us) * from_events) /
+        static_cast<double>(total_events));
+  }
+  into.reserved = into.reserved || from.reserved;
+  into.queue_depth += from.queue_depth;
+  into.inline_predictions += from.inline_predictions;
+  into.enqueued_events += from.enqueued_events;
+  into.rejected_events += from.rejected_events;
+  into.dispatches += from.dispatches;
+  into.coalesced_singles += from.coalesced_singles;
+  into.batched_singles += from.batched_singles;
+  into.errors += from.errors;
+  into.expired_admission += from.expired_admission;
+  into.expired_dequeue += from.expired_dequeue;
+  into.expired_quantum += from.expired_quantum;
+  into.shed_deadline += from.shed_deadline;
+  MergeStats(into.batch_records, from.batch_records);
+  MergeStats(into.queue_wait_us, from.queue_wait_us);
+  MergeStats(into.single_latency_us, from.single_latency_us);
+}
+
 void MergeRuntimeMetrics(RuntimeMetrics& into, const RuntimeMetrics& from) {
-  into.plans.insert(into.plans.end(), from.plans.begin(), from.plans.end());
+  for (const PlanMetrics& plan : from.plans) {
+    auto it = std::find_if(into.plans.begin(), into.plans.end(),
+                           [&plan](const PlanMetrics& existing) {
+                             return existing.plan_name == plan.plan_name;
+                           });
+    if (it == into.plans.end()) {
+      into.plans.push_back(plan);
+    } else {
+      MergePlanMetrics(*it, plan);
+    }
+  }
   into.subplan_cache.lookups += from.subplan_cache.lookups;
   into.subplan_cache.hits += from.subplan_cache.hits;
   into.subplan_cache.insertions += from.subplan_cache.insertions;

@@ -178,10 +178,15 @@ struct RuntimeMetrics {
   VectorPool::Stats vector_pool;
 };
 
-// Merges `from` into `into`: plan entries are appended (plan ids and names
-// stay shard-local), cache/pool aggregates are summed. The serving layer's
-// ShardRouter uses this to fold per-shard snapshots into one cross-shard
-// view; the per-shard breakdown is retained separately by the caller.
+// Merges `from` into `into`: cache/pool aggregates are summed, and plan
+// entries are folded BY NAME — two entries with the same plan_name (the
+// replicas a routing tier registers on several Runtimes) collapse into one
+// logical row with summed counters, merged reservoirs, and an
+// event-weighted queue-delay EWMA, so a replicated plan is never counted
+// as N plans. Names unique within the fold (the common case) degrade to a
+// plain append. plan_id keeps the first replica's shard-local id and is
+// not meaningful across Runtimes; the per-shard breakdown (retained
+// separately by the ShardRouter caller) is where per-replica ids live.
 void MergeRuntimeMetrics(RuntimeMetrics& into, const RuntimeMetrics& from);
 
 class Runtime {
@@ -282,6 +287,17 @@ class Runtime {
   size_t num_executors() const { return options_.num_executors; }
   std::vector<Reservation> reservations() const EXCLUDES(registry_mu_);
   ObjectStore* store() const { return store_; }
+
+  // Per-plan load export for a routing tier: a borrowed pointer to the
+  // plan's enqueue->dispatch queue-delay EWMA (microseconds; relaxed
+  // writer-side updates, so readers load relaxed). The pointee lives as
+  // long as the Runtime — PlanQueues are never reclaimed — so a router may
+  // cache the pointer at placement time and read live load on every
+  // routing decision (power-of-two-choices) without re-entering the
+  // registry lock or snapshotting full RuntimeMetrics. Null for unknown
+  // ids.
+  const std::atomic<int64_t>* QueueDelayCounter(PlanId id) const
+      EXCLUDES(registry_mu_);
 
  private:
   struct BatchJob;

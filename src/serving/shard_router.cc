@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <cmath>
+#include <functional>
 
 #include "src/common/clock.h"
 #include "src/common/fault.h"
@@ -29,6 +32,20 @@ void UpdateEwma(std::atomic<uint64_t>& bits, double sample) {
                              std::memory_order_relaxed);
 }
 
+// Per-thread xorshift for the p2c sample — routing needs cheap, not
+// cryptographic, and a shared RNG would put a contended line on every
+// predict.
+uint64_t NextRand() {
+  thread_local uint64_t state =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) | 1;
+  uint64_t x = state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  state = x;
+  return x;
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(const ShardRouterOptions& options)
@@ -36,7 +53,8 @@ ShardRouter::ShardRouter(const ShardRouterOptions& options)
         ShardRouterOptions o = options;
         o.num_shards = std::max<size_t>(1, o.num_shards);
         return o;
-      }()) {
+      }()),
+      table_(new RoutingTable()) {
   if (options_.intern_scope == ShardRouterOptions::InternScope::kGlobal) {
     global_store_ = std::make_unique<ObjectStore>(options_.store);
   }
@@ -54,6 +72,33 @@ ShardRouter::ShardRouter(const ShardRouterOptions& options)
     shard->runtime =
         std::make_unique<Runtime>(shard->segment.get(), options_.runtime);
     shards_.push_back(std::move(shard));
+  }
+  if (options_.replication.scan_interval_us > 0) {
+    maintenance_thread_ = std::thread([this] {
+      const auto period =
+          std::chrono::microseconds(options_.replication.scan_interval_us);
+      std::unique_lock<std::mutex> lock(maintenance_mu_);
+      while (!stop_maintenance_) {
+        maintenance_cv_.wait_for(lock, period);
+        if (stop_maintenance_) {
+          break;
+        }
+        lock.unlock();
+        MaintainReplication();
+        lock.lock();
+      }
+    });
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    stop_maintenance_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_thread_.joinable()) {
+    maintenance_thread_.join();
   }
 }
 
@@ -88,30 +133,61 @@ size_t ShardRouter::ShardFor(const std::string& name) const {
   return ShardForKey(HashName(name));
 }
 
-// Placement entries claim their name BEFORE the compile, marked pending
-// with this sentinel, so a racing Place of the same name fails fast instead
-// of registering a duplicate, orphaned plan with the shard's Runtime.
-static constexpr Runtime::PlanId kPendingPlan =
-    static_cast<Runtime::PlanId>(-1);
+// ---------------------------------------------------------------------------
+// Snapshot publication.
+
+void ShardRouter::PublishLocked() {
+  auto* table = new RoutingTable();
+  table->plans.reserve(plans_.size());
+  for (const auto& [name, st] : plans_) {
+    if (st.pending) {
+      continue;  // Claimed name, compile still in flight: not routable.
+    }
+    PlanRouting routing;
+    routing.traffic = st.traffic.get();
+    const ReplicaState& primary = st.replicas[st.primary];
+    routing.replicas.push_back(ReplicaRef{primary.shard, primary.plan_id,
+                                          primary.queue_delay_us,
+                                          primary.stats.get()});
+    for (size_t i = 0; i < st.replicas.size(); ++i) {
+      if (i == st.primary || !st.replicas[i].active) {
+        continue;
+      }
+      const ReplicaState& r = st.replicas[i];
+      routing.replicas.push_back(
+          ReplicaRef{r.shard, r.plan_id, r.queue_delay_us, r.stats.get()});
+    }
+    table->plans.emplace(name, std::move(routing));
+  }
+  // The grace wait cannot deadlock against readers: route-path read
+  // sections never acquire mu_ (or any lock), so holding mu_ here is safe.
+  delete table_.Exchange(table);
+}
+
+// ---------------------------------------------------------------------------
+// Placement.
 
 Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
                                           const PlanRegistration& registration) {
   const size_t shard = ShardFor(spec.name);
   {
+    // Claim the name BEFORE the compile (entry stays pending, unpublished),
+    // so a racing Place of the same name fails fast instead of registering
+    // a duplicate, orphaned plan with the shard's Runtime.
     WriterMutexLock lock(mu_);
-    auto [it, inserted] =
-        placements_.emplace(spec.name, ShardPlacement{shard, kPendingPlan});
+    auto [it, inserted] = plans_.try_emplace(spec.name);
     if (!inserted) {
       return Status::InvalidArgument("plan '" + spec.name +
                                      "' already placed");
     }
+    it->second.pending = true;
   }
   // Compile against the owning shard's segment — outside the lock; the
   // pending entry holds the name. Flour interns the params into the segment
   // (or through it into the global store), Oven binds there.
   const auto fail = [&](Status status) -> Result<ShardPlacement> {
     WriterMutexLock lock(mu_);
-    placements_.erase(spec.name);
+    plans_.erase(spec.name);  // Pending, never published: plain erase.
     return status;
   };
   FlourContext flour(shards_[shard]->segment.get());
@@ -131,9 +207,20 @@ Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
   }
   ShardPlacement placement{shard, *id};
   WriterMutexLock lock(mu_);
-  placements_[spec.name] = placement;
-  // Retained so Failover can re-compile this plan on a healthy shard.
-  specs_[spec.name] = PlacedSpec{spec, registration};
+  PlanState& st = plans_.at(spec.name);
+  st.spec = spec;  // Retained for replica / failover recompiles.
+  st.registration = registration;
+  st.traffic = std::make_unique<PlanTraffic>();
+  ReplicaState replica;
+  replica.shard = shard;
+  replica.plan_id = *id;
+  replica.queue_delay_us = shards_[shard]->runtime->QueueDelayCounter(*id);
+  replica.stats = std::make_unique<ReplicaStats>();
+  replica.active = true;
+  st.replicas.push_back(std::move(replica));
+  st.primary = 0;
+  st.pending = false;
+  PublishLocked();
   return placement;
 }
 
@@ -191,8 +278,8 @@ Status ShardRouter::InjectedShardFault(size_t shard) {
 
 Result<ShardPlacement> ShardRouter::Failover(const std::string& name,
                                              size_t from) {
-  std::lock_guard<std::mutex> failover_lock(failover_mu_);
-  // Re-check under the failover lock: a racing request may already have
+  std::lock_guard<std::mutex> control(control_mu_);
+  // Re-check under the control lock: a racing request may already have
   // moved the plan while this one waited.
   Result<ShardPlacement> current = Placement(name);
   if (!current.ok()) {
@@ -202,22 +289,56 @@ Result<ShardPlacement> ShardRouter::Failover(const std::string& name,
     return *current;
   }
   ShardHealth& health = *health_[from];
-  // relaxed: failovers is only ever advanced under failover_mu_ (held
+  // relaxed: failovers is only ever advanced under control_mu_ (held
   // here), so this read cannot race another budget check.
   if (health.failovers.load(std::memory_order_relaxed) >=
       options_.max_failover_placements) {
     return Status::ResourceExhausted("shard " + std::to_string(from) +
                                      " failover budget spent");
   }
-  // Candidate scan starts at a name-keyed offset so one sick shard's plans
-  // spread over the survivors instead of piling onto a single neighbor.
+  PipelineSpec spec;
+  PlanRegistration registration;
+  std::vector<bool> hosted(shards_.size(), false);
+  {
+    // Cheapest exit first: a replica already materialized on a healthy
+    // shard becomes the new primary with zero compiles — replication work
+    // doubles as pre-staged failover capacity. The sick replica leaves the
+    // route set but stays registered so in-flight work drains; movement is
+    // additive, never a teardown.
+    WriterMutexLock lock(mu_);
+    auto it = plans_.find(name);
+    if (it == plans_.end() || it->second.pending) {
+      return Status::NotFound("plan '" + name + "'");
+    }
+    PlanState& st = it->second;
+    for (size_t i = 0; i < st.replicas.size(); ++i) {
+      ReplicaState& r = st.replicas[i];
+      hosted[r.shard] = true;
+      if (r.shard == from ||
+          health_[r.shard]->breaker.state() !=
+              CircuitBreaker::State::kClosed) {
+        continue;
+      }
+      r.active = true;
+      st.replicas[st.primary].active = false;
+      st.primary = i;
+      PublishLocked();
+      health.failovers.fetch_add(1, std::memory_order_relaxed);
+      return ShardPlacement{r.shard, r.plan_id};
+    }
+    spec = st.spec;
+    registration = st.registration;
+  }
+  // No usable replica: candidate scan starts at a name-keyed offset so one
+  // sick shard's plans spread over the survivors instead of piling onto a
+  // single neighbor.
   const size_t n = shards_.size();
   size_t target = from;
   if (n > 1) {
     const size_t start = (from + 1 + HashName(name) % (n - 1)) % n;
     for (size_t k = 0; k < n; ++k) {
       const size_t candidate = (start + k) % n;
-      if (candidate == from) {
+      if (candidate == from || hosted[candidate]) {
         continue;
       }
       if (health_[candidate]->breaker.state() ==
@@ -230,71 +351,336 @@ Result<ShardPlacement> ShardRouter::Failover(const std::string& name,
   if (target == from) {
     return Status::Error("no healthy shard to fail '" + name + "' over to");
   }
-  PlacedSpec placed;
-  {
-    ReaderMutexLock lock(mu_);
-    auto it = specs_.find(name);
-    if (it == specs_.end()) {
-      return Status::NotFound("spec for plan '" + name + "'");
-    }
-    placed = it->second;
-  }
-  // Same compile path as Place, against the target shard's segment. The
-  // replica on the sick shard stays registered so in-flight work can drain;
-  // movement is additive and bounded, never a teardown.
+  // Same compile path as Place, against the target shard's segment; mu_
+  // stays dropped around the compile (it is a leaf lock).
   FlourContext flour(shards_[target]->segment.get());
-  auto program = flour.FromPipeline(placed.spec);
+  auto program = flour.FromPipeline(spec);
   if (program == nullptr) {
     return Status::Error("pipeline '" + name + "' did not re-lower");
   }
-  Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, placed.spec.name);
+  Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
   if (!plan.ok()) {
     return plan.status();
   }
   Result<Runtime::PlanId> id =
-      shards_[target]->runtime->Register(std::move(*plan), placed.registration);
+      shards_[target]->runtime->Register(std::move(*plan), registration);
   if (!id.ok()) {
     return id.status();
   }
   ShardPlacement placement{target, *id};
   {
     WriterMutexLock lock(mu_);
-    placements_[name] = placement;
+    PlanState& st = plans_.at(name);
+    ReplicaState replica;
+    replica.shard = target;
+    replica.plan_id = *id;
+    replica.queue_delay_us = shards_[target]->runtime->QueueDelayCounter(*id);
+    replica.stats = std::make_unique<ReplicaStats>();
+    replica.active = true;
+    st.replicas[st.primary].active = false;
+    st.replicas.push_back(std::move(replica));
+    st.primary = st.replicas.size() - 1;
+    PublishLocked();
   }
   health.failovers.fetch_add(1, std::memory_order_relaxed);
   return placement;
 }
 
+// ---------------------------------------------------------------------------
+// Replication control plane.
+
+Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
+                                           size_t target) {
+  const size_t cap = std::max<size_t>(
+      1, std::min(options_.replication.max_replicas_per_plan,
+                  shards_.size()));
+  target = std::min(std::max<size_t>(1, target), cap);
+  size_t active = 0;
+  std::vector<bool> hosted(shards_.size(), false);
+  PipelineSpec spec;
+  PlanRegistration registration;
+  {
+    ReaderMutexLock lock(mu_);
+    auto it = plans_.find(name);
+    if (it == plans_.end() || it->second.pending) {
+      return Status::NotFound("plan '" + name + "'");
+    }
+    spec = it->second.spec;
+    registration = it->second.registration;
+    for (const ReplicaState& r : it->second.replicas) {
+      hosted[r.shard] = true;
+      if (r.active) {
+        ++active;
+      }
+    }
+  }
+  if (target == active) {
+    return 0;
+  }
+  if (target < active) {
+    // Cooling: deactivate non-primary extras, newest first. Registrations
+    // stay materialized — a re-heated plan re-activates with zero compiles,
+    // and residency was already bounded by the cap at materialize time.
+    WriterMutexLock lock(mu_);
+    PlanState& st = plans_.at(name);
+    int removed = 0;
+    for (size_t i = st.replicas.size(); i-- > 0 && active > target;) {
+      if (i == st.primary || !st.replicas[i].active) {
+        continue;
+      }
+      st.replicas[i].active = false;
+      --active;
+      ++removed;
+    }
+    if (removed > 0) {
+      dereplications_.fetch_add(removed, std::memory_order_relaxed);
+      PublishLocked();
+    }
+    return -removed;
+  }
+  // Heating. Free step first: re-activate materialized replicas.
+  int added = 0;
+  {
+    WriterMutexLock lock(mu_);
+    PlanState& st = plans_.at(name);
+    for (size_t i = 0; i < st.replicas.size() && active < target; ++i) {
+      if (st.replicas[i].active) {
+        continue;
+      }
+      st.replicas[i].active = true;
+      ++active;
+      ++added;
+    }
+    if (added > 0) {
+      PublishLocked();
+    }
+  }
+  // Materialize the remainder onto healthy, not-yet-hosting shards walking
+  // the ring from the plan's home — deterministic, and different plans'
+  // homes stagger so replicas spread. One compile per shard, mu_ dropped
+  // around each (leaf lock).
+  const size_t home = ShardFor(name);
+  for (size_t k = 1; k < shards_.size() && active < target; ++k) {
+    const size_t candidate = (home + k) % shards_.size();
+    if (hosted[candidate] ||
+        health_[candidate]->breaker.state() !=
+            CircuitBreaker::State::kClosed) {
+      continue;
+    }
+    FlourContext flour(shards_[candidate]->segment.get());
+    auto program = flour.FromPipeline(spec);
+    if (program == nullptr) {
+      break;  // Spec no longer lowers; nothing later will either.
+    }
+    Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
+    if (!plan.ok()) {
+      break;
+    }
+    Result<Runtime::PlanId> id =
+        shards_[candidate]->runtime->Register(std::move(*plan), registration);
+    if (!id.ok()) {
+      continue;  // This shard is full; the next candidate may not be.
+    }
+    WriterMutexLock lock(mu_);
+    PlanState& st = plans_.at(name);
+    ReplicaState replica;
+    replica.shard = candidate;
+    replica.plan_id = *id;
+    replica.queue_delay_us =
+        shards_[candidate]->runtime->QueueDelayCounter(*id);
+    replica.stats = std::make_unique<ReplicaStats>();
+    replica.active = true;
+    st.replicas.push_back(std::move(replica));
+    PublishLocked();
+    ++active;
+    ++added;
+  }
+  if (added > 0) {
+    replications_.fetch_add(added, std::memory_order_relaxed);
+  }
+  return added;
+}
+
+Status ShardRouter::Replicate(const std::string& name,
+                              size_t target_replicas) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  Result<int> delta = SetActiveReplicas(name, target_replicas);
+  return delta.ok() ? Status::OK() : delta.status();
+}
+
+MaintenanceReport ShardRouter::MaintainReplication() {
+  std::lock_guard<std::mutex> control(control_mu_);
+  MaintenanceReport report;
+  struct Row {
+    std::string name;
+    uint64_t interval = 0;
+    size_t active = 0;
+  };
+  std::vector<Row> rows;
+  uint64_t total = 0;
+  {
+    ReaderMutexLock lock(mu_);
+    rows.reserve(plans_.size());
+    for (auto& [name, st] : plans_) {
+      if (st.pending) {
+        continue;
+      }
+      // relaxed: cumulative routed count read for an interval diff; the
+      // scan needs no ordering against the routes it counts — a straggling
+      // increment simply lands in the next interval.
+      const uint64_t cum = st.traffic->routed.load(std::memory_order_relaxed);
+      Row row;
+      row.name = name;
+      row.interval = cum - st.traffic->last_scan_routed;
+      st.traffic->last_scan_routed = cum;  // Guarded by control_mu_.
+      for (const ReplicaState& r : st.replicas) {
+        row.active += r.active ? 1 : 0;
+      }
+      total += row.interval;
+      rows.push_back(std::move(row));
+    }
+  }
+  report.plans_scanned = rows.size();
+  report.interval_requests = total;
+  if (!options_.replication.enabled ||
+      total < options_.replication.min_interval_requests) {
+    return report;  // Disabled, or the interval carried no signal.
+  }
+  const size_t cap = std::max<size_t>(
+      1, std::min(options_.replication.max_replicas_per_plan,
+                  shards_.size()));
+  for (const Row& row : rows) {
+    const double share =
+        static_cast<double>(row.interval) / static_cast<double>(total);
+    size_t target = row.active;
+    if (share >= options_.replication.hot_share_threshold) {
+      // Replica count proportional to the plan's traffic share of the
+      // fleet (at least 2 — it is hot), bounded by the residency cap.
+      target = std::min(
+          cap, std::max<size_t>(
+                   2, static_cast<size_t>(std::ceil(
+                          share * static_cast<double>(shards_.size())))));
+    } else if (share <= options_.replication.cool_share_threshold) {
+      target = 1;
+    }
+    // Between the thresholds: hysteresis — keep whatever it has.
+    if (target == row.active) {
+      continue;
+    }
+    Result<int> delta = SetActiveReplicas(row.name, target);
+    if (!delta.ok()) {
+      continue;  // Unhealthy candidates etc.; the next scan retries.
+    }
+    if (*delta > 0) {
+      report.replications += static_cast<size_t>(*delta);
+    } else {
+      report.dereplications += static_cast<size_t>(-*delta);
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Request routing.
+
 Result<ShardPlacement> ShardRouter::Route(const std::string& name) {
-  Result<ShardPlacement> placement = Placement(name);
-  if (!placement.ok()) {
-    return placement;
+  size_t blocked_shard = 0;
+  {
+    // The common case runs entirely inside this read section: no mutex,
+    // just the RCU enter/exit counters around a snapshot lookup, the p2c
+    // pick, and the breaker gate.
+    auto guard = table_.Read();
+    auto it = guard->plans.find(name);
+    if (it == guard->plans.end()) {
+      return Status::NotFound("plan '" + name + "'");
+    }
+    const PlanRouting& routing = it->second;
+    routing.traffic->routed.fetch_add(1, std::memory_order_relaxed);
+    const int64_t now_us = NowNs() / 1000;
+    const size_t n = routing.replicas.size();
+    size_t first = 0;
+    size_t second = 0;
+    if (n > 1) {
+      // Power-of-two-choices: sample two distinct replicas, prefer the one
+      // with the shorter live queue delay (balanced allocations: max load
+      // drops from ~log n/log log n to ~log log n versus random).
+      const uint64_t r = NextRand();
+      first = static_cast<size_t>(r >> 32) % n;
+      second = static_cast<size_t>(r & 0xffffffffULL) % (n - 1);
+      if (second >= first) {
+        ++second;
+      }
+      // relaxed: live queue-delay EWMAs are advisory p2c samples — any
+      // coherent value is acceptable; staleness costs pick quality only,
+      // never safety (the breaker gate below decides admissibility).
+      const int64_t delay_first =
+          routing.replicas[first].queue_delay_us->load(
+              std::memory_order_relaxed);
+      const int64_t delay_second =
+          routing.replicas[second].queue_delay_us->load(
+              std::memory_order_relaxed);
+      if (delay_second < delay_first) {
+        std::swap(first, second);
+      }
+    }
+    // Breaker-gate the chosen replica, then the runner-up, then sweep the
+    // rest — Allow() is called per attempted replica only (it claims
+    // half-open probe tokens; probing replicas we will not use would burn
+    // them).
+    for (size_t i = 0; i < n + 2; ++i) {
+      const size_t idx = i == 0 ? first : (i == 1 ? second : i - 2);
+      if ((i >= 2 && (idx == first || idx == second)) ||
+          (i == 1 && second == first)) {
+        continue;
+      }
+      const ReplicaRef& replica = routing.replicas[idx];
+      if (health_[replica.shard]->breaker.Allow(now_us)) {
+        replica.stats->routed.fetch_add(1, std::memory_order_relaxed);
+        return ShardPlacement{replica.shard, replica.plan_id};
+      }
+    }
+    blocked_shard = routing.replicas[0].shard;  // Primary owns the slow path.
   }
-  const size_t shard = placement->shard;
-  const int64_t now_us = NowNs() / 1000;
-  if (health_[shard]->breaker.Allow(now_us)) {
-    return placement;
-  }
-  health_[shard]->rejected.fetch_add(1, std::memory_order_relaxed);
+  // Guard dropped before the control plane: a thread inside an RCU read
+  // section must never publish (Failover swaps the table and would wait on
+  // its own read guard).
+  health_[blocked_shard]->rejected.fetch_add(1, std::memory_order_relaxed);
   if (options_.failover_enabled) {
-    Result<ShardPlacement> moved = Failover(name, shard);
+    Result<ShardPlacement> moved = Failover(name, blocked_shard);
     if (moved.ok()) {
       return moved;
     }
   }
-  const int64_t reopen_us = health_[shard]->breaker.reopen_at_us();
-  return Status::ResourceExhausted("shard " + std::to_string(shard) +
+  const int64_t now_us = NowNs() / 1000;
+  const int64_t reopen_us = health_[blocked_shard]->breaker.reopen_at_us();
+  return Status::ResourceExhausted("shard " + std::to_string(blocked_shard) +
                                    " circuit open")
       .WithRetryAfterUs(std::max<int64_t>(1, reopen_us - now_us));
 }
 
 Result<ShardPlacement> ShardRouter::Placement(const std::string& name) const {
-  ReaderMutexLock lock(mu_);
-  auto it = placements_.find(name);
-  if (it == placements_.end() || it->second.plan_id == kPendingPlan) {
+  auto guard = table_.Read();
+  auto it = guard->plans.find(name);
+  if (it == guard->plans.end()) {
     return Status::NotFound("plan '" + name + "'");
   }
-  return it->second;
+  const ReplicaRef& primary = it->second.replicas.front();
+  return ShardPlacement{primary.shard, primary.plan_id};
+}
+
+std::vector<ShardPlacement> ShardRouter::Replicas(
+    const std::string& name) const {
+  std::vector<ShardPlacement> replicas;
+  auto guard = table_.Read();
+  auto it = guard->plans.find(name);
+  if (it == guard->plans.end()) {
+    return replicas;
+  }
+  replicas.reserve(it->second.replicas.size());
+  for (const ReplicaRef& r : it->second.replicas) {
+    replicas.push_back(ShardPlacement{r.shard, r.plan_id});
+  }
+  return replicas;
 }
 
 Result<float> ShardRouter::Predict(const std::string& name,
@@ -384,11 +770,16 @@ ShardedMetrics ShardRouter::GetMetrics() const {
     shard.runtime = shards_[i]->runtime->GetMetrics();
     shard.store_objects = shards_[i]->segment->NumObjects();
     shard.store_bytes = shards_[i]->segment->TotalBytes();
+    // The fold dedups by plan name, so a replicated plan contributes one
+    // logical row with summed counters — never K rows for K replicas.
     MergeRuntimeMetrics(metrics.merged, shard.runtime);
     metrics.store_objects += shard.store_objects;
     metrics.store_bytes += shard.store_bytes;
     metrics.shards.push_back(std::move(shard));
   }
+  metrics.unique_plans = metrics.merged.plans.size();
+  metrics.replications = replications_.load(std::memory_order_relaxed);
+  metrics.dereplications = dereplications_.load(std::memory_order_relaxed);
   if (global_store_ != nullptr) {
     // Delegating segments hold nothing; the uniques live here.
     metrics.store_objects = global_store_->NumObjects();
@@ -422,6 +813,44 @@ ShardedMetrics ShardRouter::GetMetrics() const {
   if (metrics.mean_shard_queue_delay_us > 0.0) {
     metrics.queue_delay_imbalance =
         metrics.max_shard_queue_delay_us / metrics.mean_shard_queue_delay_us;
+  }
+  {
+    // Per-replica breakdown: where each logical plan's traffic landed.
+    // Brief reader-side mu_ — control-plane state, not the route path.
+    ReaderMutexLock lock(mu_);
+    metrics.plan_replicas.reserve(plans_.size());
+    for (const auto& [name, st] : plans_) {
+      if (st.pending) {
+        continue;
+      }
+      PlanReplicaMetrics plan;
+      plan.name = name;
+      plan.replicas.reserve(st.replicas.size());
+      size_t active = 0;
+      const auto snapshot = [](const ReplicaState& r) {
+        ReplicaMetrics m;
+        m.shard = r.shard;
+        m.plan_id = r.plan_id;
+        m.active = r.active;
+        m.routed = r.stats->routed.load(std::memory_order_relaxed);
+        m.queue_delay_ewma_us =
+            r.queue_delay_us->load(std::memory_order_relaxed);
+        return m;
+      };
+      plan.replicas.push_back(snapshot(st.replicas[st.primary]));
+      active += st.replicas[st.primary].active ? 1 : 0;
+      for (size_t i = 0; i < st.replicas.size(); ++i) {
+        if (i == st.primary) {
+          continue;
+        }
+        plan.replicas.push_back(snapshot(st.replicas[i]));
+        active += st.replicas[i].active ? 1 : 0;
+      }
+      if (active > 1) {
+        ++metrics.replicated_plans;
+      }
+      metrics.plan_replicas.push_back(std::move(plan));
+    }
   }
   metrics.shard_health.reserve(health_.size());
   for (const auto& health : health_) {

@@ -21,21 +21,46 @@
 // the cost of a shared deploy-time intern point). Serving never touches the
 // store either way — plans hold their params.
 //
+// Hot-plan replication: jump hash pins each plan to ONE shard, so under
+// Zipf-skewed traffic the shard owning the head of the distribution
+// saturates while siblings idle. MaintainReplication() watches each plan's
+// routed-traffic share, replicates plans above a hotness threshold onto
+// extra shards (the same Flour/Oven compile path as Place, once per
+// replica), and routes replicated plans with power-of-two-choices over the
+// replicas' live queue-delay EWMAs — the balanced-allocations result:
+// sampling two queues and taking the shorter collapses max load from
+// Θ(log n / log log n) to Θ(log log n). Plans that cool are de-replicated
+// (deactivated, not torn down: the Runtime registration stays materialized
+// so re-heating re-activates for free, and residency stays bounded by
+// max_replicas_per_plan).
+//
+// The routing table is an immutable snapshot behind an RcuCell: the predict
+// path takes NO mutex — one RCU read (two counter RMWs + a pointer load)
+// covers the name lookup, the p2c pick, and the breaker gate. Writers
+// (Place / Replicate / Failover / maintenance) copy-update under mu_ and
+// swap the snapshot, with an epoch grace period before reclaiming the old
+// table. See src/common/rcu.h for the memory-order argument.
+//
 // GetMetrics() folds every shard's RuntimeMetrics into one cross-shard
-// snapshot (MergeRuntimeMetrics) while retaining the per-shard breakdown.
+// snapshot (MergeRuntimeMetrics) while retaining the per-shard breakdown;
+// the fold merges replicas of one plan BY NAME so a replicated plan is
+// counted once, and the per-replica load breakdown is reported separately.
 #ifndef PRETZEL_SERVING_SHARD_ROUTER_H_
 #define PRETZEL_SERVING_SHARD_ROUTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/mutex.h"
+#include "src/common/rcu.h"
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
 #include "src/ops/params.h"
@@ -44,6 +69,29 @@
 #include "src/store/object_store.h"
 
 namespace pretzel {
+
+// Hot-plan replication policy. Shares are fractions of the router's routed
+// requests since the previous maintenance scan.
+struct ReplicationOptions {
+  bool enabled = false;
+  // Residency bound: a plan's parameters are materialized on at most this
+  // many shards, ever (de-replication deactivates but keeps the
+  // registration, so the bound is what ObjectStore residency pays).
+  size_t max_replicas_per_plan = 4;
+  // A plan at or above this traffic share is hot: replicate to
+  // clamp(ceil(share * num_shards), 2, max). Hysteresis gap to
+  // cool_share_threshold prevents flapping at the boundary.
+  double hot_share_threshold = 0.08;
+  // A replicated plan at or below this share has cooled: drop back to 1
+  // active replica. Must be < hot_share_threshold.
+  double cool_share_threshold = 0.04;
+  // A maintenance scan is a no-op (no signal) until the router has routed
+  // at least this many requests since the previous scan.
+  uint64_t min_interval_requests = 256;
+  // > 0 starts a background thread calling MaintainReplication() at this
+  // period; 0 leaves maintenance to explicit calls (benches, tests).
+  int64_t scan_interval_us = 0;
+};
 
 struct ShardRouterOptions {
   size_t num_shards = 1;
@@ -68,6 +116,8 @@ struct ShardRouterOptions {
   // Bounded movement: at most this many plans ever migrate off one shard,
   // so a flapping breaker cannot churn the whole placement map.
   size_t max_failover_placements = 4;
+  // Hot-plan replication + power-of-two-choices routing.
+  ReplicationOptions replication;
 };
 
 // Where a deployed plan lives.
@@ -96,9 +146,34 @@ struct ShardHealthSnapshot {
   double failure_ewma = 0.0;  // Smoothed fault indicator in [0,1].
 };
 
+// One replica's slice of a plan's load breakdown.
+struct ReplicaMetrics {
+  size_t shard = 0;
+  Runtime::PlanId plan_id = 0;
+  bool active = false;           // Inactive = cooled, kept materialized.
+  uint64_t routed = 0;           // Requests this replica was chosen for.
+  int64_t queue_delay_ewma_us = 0;  // Live p2c signal at snapshot time.
+};
+
+// A logical plan's replica set (primary first).
+struct PlanReplicaMetrics {
+  std::string name;
+  std::vector<ReplicaMetrics> replicas;
+};
+
 struct ShardedMetrics {
   std::vector<ShardMetrics> shards;  // Per-shard breakdown, index == shard.
-  RuntimeMetrics merged;             // Cross-shard fold of the above.
+  // Cross-shard fold of the above. Replicas of one plan merge BY NAME into
+  // a single logical row (counters summed, EWMAs event-weighted) — a plan
+  // replicated onto K shards is one plan, not K.
+  RuntimeMetrics merged;
+  size_t unique_plans = 0;       // == merged.plans.size(), deduplicated.
+  size_t replicated_plans = 0;   // Plans with > 1 active replica.
+  uint64_t replications = 0;     // Replica activations, lifetime.
+  uint64_t dereplications = 0;   // Replica deactivations, lifetime.
+  // Per-plan, per-replica load breakdown (primary first): where each
+  // logical plan's traffic actually landed.
+  std::vector<PlanReplicaMetrics> plan_replicas;
   // Resident parameter state: sum of the segments (per-segment scope) or
   // the global store's uniques (global scope).
   size_t store_objects = 0;
@@ -117,9 +192,18 @@ struct ShardedMetrics {
   std::vector<ShardHealthSnapshot> shard_health;
 };
 
+// What one MaintainReplication() scan did.
+struct MaintenanceReport {
+  size_t plans_scanned = 0;
+  uint64_t interval_requests = 0;  // Routed since the previous scan.
+  size_t replications = 0;         // Replicas activated this scan.
+  size_t dereplications = 0;       // Replicas deactivated this scan.
+};
+
 class ShardRouter {
  public:
   explicit ShardRouter(const ShardRouterOptions& options);
+  ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
@@ -138,10 +222,11 @@ class ShardRouter {
   Result<ShardPlacement> Place(const PipelineSpec& spec,
                                const PlanRegistration& registration = {});
 
-  // Request routing: one placement lookup gated by the owning shard's
-  // circuit breaker, then that shard's Runtime. `deadline_ns` (absolute,
-  // NowNs() domain; 0 = none) is forwarded so expiry is enforced inside the
-  // shard's queues, not just at the edge.
+  // Request routing: one snapshot lookup (no mutex), breaker-gated; a
+  // replicated plan picks its replica by power-of-two-choices over live
+  // queue delay. `deadline_ns` (absolute, NowNs() domain; 0 = none) is
+  // forwarded so expiry is enforced inside the shard's queues, not just at
+  // the edge.
   Result<float> Predict(const std::string& name, const std::string& input,
                         int64_t deadline_ns = 0);
   // Binary wire record, borrowed: routed to the owning shard's zero-parse
@@ -157,7 +242,24 @@ class ShardRouter {
                                           size_t max_batch,
                                           int64_t deadline_ns = 0);
 
+  // The plan's primary replica (replica 0 — its jump-hash home until a
+  // failover moves it).
   Result<ShardPlacement> Placement(const std::string& name) const;
+  // Every ACTIVE replica, primary first.
+  std::vector<ShardPlacement> Replicas(const std::string& name) const;
+
+  // Pins `name`'s active replica count to `target_replicas` (clamped to
+  // [1, min(max_replicas_per_plan, num_shards)]), compiling onto new shards
+  // or re-activating materialized ones as needed. The admin/test face of
+  // the machinery MaintainReplication() drives from traffic.
+  Status Replicate(const std::string& name, size_t target_replicas);
+
+  // One hotness scan: computes each plan's share of requests routed since
+  // the previous scan, replicates plans above hot_share_threshold, and
+  // de-replicates plans at or below cool_share_threshold. Cheap no-op when
+  // the interval carried fewer than min_interval_requests. Runs inline on
+  // the caller (or on the background thread when scan_interval_us > 0).
+  MaintenanceReport MaintainReplication();
 
   // Cross-shard snapshot: per-shard breakdown plus the merged fold.
   ShardedMetrics GetMetrics() const;
@@ -199,16 +301,78 @@ class ShardRouter {
     std::atomic<uint64_t> failure_ewma_bits{0};
   };
 
-  // The breaker gate + failover step shared by every predict entry point.
+  // Per-replica routing counters. Heap-allocated, owned by the PlanState
+  // and never reclaimed while the router lives, so published snapshots can
+  // hold raw pointers across table swaps.
+  struct ReplicaStats {
+    std::atomic<uint64_t> routed{0};
+  };
+  // Per-logical-plan traffic, the hotness signal. Same lifetime rule.
+  struct PlanTraffic {
+    std::atomic<uint64_t> routed{0};
+    // Maintenance bookkeeping (cumulative count at the previous scan).
+    // Touched only under control_mu_.
+    uint64_t last_scan_routed = 0;
+  };
+
+  // One materialized registration of a plan on a shard. Control-plane
+  // record, under mu_; the published table carries flat ReplicaRef copies.
+  struct ReplicaState {
+    size_t shard = 0;
+    Runtime::PlanId plan_id = 0;
+    // Borrowed from the shard's Runtime (valid for its lifetime): the live
+    // queue-delay EWMA p2c compares.
+    const std::atomic<int64_t>* queue_delay_us = nullptr;
+    std::unique_ptr<ReplicaStats> stats;
+    bool active = true;
+  };
+
+  struct PlanState {
+    PipelineSpec spec;              // Kept for replica/failover recompiles.
+    PlanRegistration registration;
+    std::vector<ReplicaState> replicas;  // Every materialized registration.
+    size_t primary = 0;             // Index into replicas.
+    bool pending = true;            // Claimed, compile still in flight.
+    std::unique_ptr<PlanTraffic> traffic;
+  };
+
+  // The immutable snapshot the predict path reads. Rebuilt (copied) by
+  // every control-plane mutation, swapped through table_.
+  struct ReplicaRef {
+    size_t shard = 0;
+    Runtime::PlanId plan_id = 0;
+    const std::atomic<int64_t>* queue_delay_us = nullptr;
+    ReplicaStats* stats = nullptr;
+  };
+  struct PlanRouting {
+    std::vector<ReplicaRef> replicas;  // ACTIVE replicas, primary first.
+    PlanTraffic* traffic = nullptr;
+  };
+  struct RoutingTable {
+    std::unordered_map<std::string, PlanRouting> plans;
+  };
+
+  // The breaker gate + p2c pick + failover step shared by every predict
+  // entry point. Mutex-free in the common (routed) case.
   Result<ShardPlacement> Route(const std::string& name);
   // Books a finished request's outcome into the owning shard's health.
   void RecordOutcome(size_t shard, const Status& status);
   // Injected shard-unresponsive fault (chaos builds only): stalls, books a
   // failure, and yields the error the caller should return.
   Status InjectedShardFault(size_t shard);
-  // Moves `name` off tripped shard `from` onto a healthy shard by
-  // re-compiling through the normal Place path. Serialized by failover_mu_.
+  // Moves `name`'s primary off tripped shard `from`: re-activates a
+  // materialized replica on a healthy shard if one exists, else re-compiles
+  // through the normal Place path. Serialized by control_mu_.
   Result<ShardPlacement> Failover(const std::string& name, size_t from);
+  // Pins the active replica count; REQUIRES control_mu_ (compiles outside
+  // mu_, commits + publishes under it). Returns net change in active
+  // replicas (negative = deactivated).
+  Result<int> SetActiveReplicas(const std::string& name, size_t target);
+  // Rebuilds the snapshot from plans_ and swaps it in, reclaiming the old
+  // table after the RCU grace period. Readers never block this (they hold
+  // no lock), and holding mu_ across the grace wait is safe because read
+  // sections never acquire mu_.
+  void PublishLocked() REQUIRES(mu_);
 
   const ShardRouterOptions options_;
   std::unique_ptr<ObjectStore> global_store_;  // kGlobal scope only.
@@ -219,27 +383,36 @@ class ShardRouter {
   // Shards are constructed once in the constructor and never added, removed,
   // or reseated afterwards, so the vector itself needs no guard; each
   // shard's Runtime/ObjectStore do their own internal locking. GetMetrics
-  // deliberately reads the shards WITHOUT mu_ — per-shard snapshots and the
-  // cross-shard merge touch only Runtime/segment state, never placements_,
-  // so a snapshot cannot stall (or deadlock behind) a concurrent Place
-  // holding mu_ while it compiles a pipeline.
+  // reads the shards WITHOUT mu_ — per-shard snapshots and the cross-shard
+  // merge touch only Runtime/segment state — and takes a brief reader mu_
+  // only for the replica breakdown, so a snapshot cannot stall behind a
+  // concurrent compile (compiles run with mu_ dropped).
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Deploy-time writes only; Predict paths take the shared side. Lock
-  // order: mu_ is a leaf — never acquired while holding any Runtime or
-  // ObjectStore lock, and Place drops it around the compile+register step.
+  // Control-plane state. Predict paths never touch it — they read table_.
+  // Lock order: control_mu_ -> mu_; mu_ is a leaf — never acquired while
+  // holding any Runtime or ObjectStore lock, and every compile+register
+  // step runs with it dropped.
   mutable SharedMutex mu_;
-  std::unordered_map<std::string, ShardPlacement> placements_ GUARDED_BY(mu_);
-  // What Place() was given, kept so Failover can re-compile the plan on a
-  // different shard. Written only on successful Place.
-  struct PlacedSpec {
-    PipelineSpec spec;
-    PlanRegistration registration;
-  };
-  std::unordered_map<std::string, PlacedSpec> specs_ GUARDED_BY(mu_);
-  // Serializes failovers (cold path — only taken with a breaker open) so
-  // racing requests cannot double-migrate one plan.
-  std::mutex failover_mu_;
+  std::unordered_map<std::string, PlanState> plans_ GUARDED_BY(mu_);
+  // The published routing snapshot. Swapped under mu_ (writers), read by
+  // predicts with no lock at all.
+  RcuCell<RoutingTable> table_;
+  // Serializes control-plane multi-step operations (failover, replication,
+  // maintenance) so racing requests cannot double-migrate or double-
+  // replicate one plan. Cold path only.
+  std::mutex control_mu_;
+
+  // Lifetime replication counters (maintenance + explicit Replicate).
+  std::atomic<uint64_t> replications_{0};
+  std::atomic<uint64_t> dereplications_{0};
+
+  // Optional background maintenance (scan_interval_us > 0). Declared last:
+  // destroyed (joined) first, before the state it scans.
+  std::mutex maintenance_mu_;
+  std::condition_variable maintenance_cv_;
+  bool stop_maintenance_ = false;
+  std::thread maintenance_thread_;
 };
 
 }  // namespace pretzel

@@ -120,4 +120,17 @@ std::vector<size_t> ZipfModelSequence(size_t num_models, size_t count,
   return sequence;
 }
 
+std::vector<double> ZipfExpectedShares(size_t num_models, double zipf_alpha) {
+  std::vector<double> shares(num_models);
+  double total = 0.0;
+  for (size_t i = 0; i < num_models; ++i) {
+    shares[i] = 1.0 / std::pow(static_cast<double>(i + 1), zipf_alpha);
+    total += shares[i];
+  }
+  for (double& s : shares) {
+    s /= total;
+  }
+  return shares;
+}
+
 }  // namespace pretzel

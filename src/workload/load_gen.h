@@ -50,6 +50,13 @@ std::vector<LoadEvent> GenerateFlashCrowdSchedule(const FlashCrowdOptions& optio
 std::vector<size_t> ZipfModelSequence(size_t num_models, size_t count,
                                       double zipf_alpha, uint64_t seed);
 
+// The hot set the samplers above draw from, exact rather than sampled:
+// expected traffic share per model rank (share[i] = (1/(i+1)^alpha) / H).
+// Benches and tests assert a hotness detector found the TRUE head of the
+// distribution against this, instead of eyeballing routed counters.
+// alpha = 0 degenerates to uniform (every share == 1/num_models).
+std::vector<double> ZipfExpectedShares(size_t num_models, double zipf_alpha);
+
 // Pre-sampled input pool for one model in either wire format. Works with
 // any workload exposing SampleInput(Rng&, WireFormat, size_t) — AC and SA
 // both do — so drivers toggle text vs. binary ingestion with one flag

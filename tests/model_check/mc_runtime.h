@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -154,6 +155,13 @@ class Sim {
   // Yield the token back to the scheduler; resume when rescheduled.
   void SchedPoint() {
     if (!InSimThread()) return;  // Main runs only while no thread does.
+    // An instrumented op inside a destructor running during exception
+    // unwind (e.g. an RAII read-guard's exit bump after a failed Check, or
+    // during abort drain) must not re-enter the scheduler: Pass could
+    // throw a second exception mid-unwind and terminate. Executing the op
+    // inline on the held token is safe — a run that is unwinding is
+    // already failed or void.
+    if (std::uncaught_exceptions() > 0) return;
     Pass(St::kReady, nullptr);
   }
 
@@ -369,6 +377,10 @@ inline void Check(bool ok, const char* msg) {
 #define PRETZEL_LF_UNIQUE_LOCK ::pretzel::mc::UniqueLock
 #define PRETZEL_LF_LOCK_GUARD ::pretzel::mc::LockGuard
 #define PRETZEL_LF_MUTATION(name) (::pretzel::mc::MutationEnabled(#name))
+// Destructors doing instrumented ops must let AbortRunError out (the
+// scheduler unwinds threads through Pass); dtors during an in-flight
+// unwind are covered by SchedPoint's uncaught-exception inline path.
+#define PRETZEL_LF_DTOR_NOEXCEPT noexcept(false)
 
 namespace pretzel {
 namespace mc {

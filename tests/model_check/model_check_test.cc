@@ -22,6 +22,8 @@
 // Header-only and built on the same seam, so the packed-word circuit
 // breaker runs under the model too.
 #include "src/serving/health.h"
+// The routing-table snapshot cell (epoch-based RCU) — same seam.
+#include "src/common/rcu.h"
 
 #include <array>
 #include <cstdio>
@@ -435,6 +437,53 @@ void BreakerProbeAbandonScenario() {
   }});
 }
 
+// RcuCell snapshot swap (src/common/rcu.h), the routing-table discipline:
+// a reader pins a snapshot while a writer publishes a replacement and
+// reclaims the retired one after the grace period. The invariant is
+// use-after-reclaim freedom: a guard's snapshot is never marked freed while
+// the guard is live. Reclamation is modeled by per-table freed flags (the
+// scenario never really deletes under the reader), so a violation is a
+// failed Check, not UB. kSlots=1 keeps the state space tight — slot choice
+// is a perf spread, not a correctness axis.
+//
+// The memory-order claim is Dekker-shaped (store-buffering): the reader's
+// enter bump and the writer's counter reads race on separate locations, so
+// seq_cst carries the proof. Mutations: rcu_skip_grace reclaims without any
+// wait; rcu_sync_in_load lets the writer's wait loop read a stale zero
+// enter count under a live reader; rcu_read_ptr_load lets a reader
+// registered in the NEW generation load a pointer retired generations ago
+// (the writer never waits on that parity). Weakening the reader's enter
+// bump (rcu_read_enter) is analyzed in the header but excluded here: the
+// model serves RMWs from the latest value, so in-model it is
+// indistinguishable from seq_cst — a provably-undetectable weakening, like
+// the prior structures' excluded legs.
+struct RcuTable {
+  int gen;  // Identity: which freed[] flag models this table's reclamation.
+};
+
+void RcuSwapScenario() {
+  auto* table_a = new RcuTable{0};
+  auto* table_b = new RcuTable{1};
+  auto cell = std::make_shared<RcuCell<RcuTable, 1>>(table_a);
+  auto freed = std::make_shared<std::array<mc::Atomic<int>, 2>>();
+  mc::Go({
+      [cell, table_b, freed] {
+        const RcuTable* old = cell->Exchange(table_b);
+        // Grace period over: the writer is entitled to reclaim `old`.
+        (*freed)[old->gen].store(1, mc::kSeqCst);
+      },
+      [cell, freed] {
+        auto guard = cell->Read();
+        mc::Check((*freed)[guard->gen].load(mc::kSeqCst) == 0,
+                  "rcu: snapshot reclaimed under a live reader");
+      },
+  });
+  // Cleanup (runs even on pruned runs; single-threaded now): the cell's
+  // destructor frees whichever table it currently holds, we free the other.
+  const RcuTable* current = cell->Read().get();
+  delete (current == table_a ? table_b : table_a);
+}
+
 // --- Drivers -----------------------------------------------------------------
 
 struct CleanCase {
@@ -458,6 +507,7 @@ const CleanCase kClean[] = {
     {"breaker_probe_lifecycle", BreakerProbeLifecycleScenario, 20},
     {"breaker_reopen_refresh", BreakerReopenRefreshScenario, 20},
     {"breaker_probe_abandon", BreakerProbeAbandonScenario, 20},
+    {"rcu_snapshot_swap", RcuSwapScenario, 1500},
 };
 
 // >= 3 seeded mutations per structure; each weakens one tagged order to
@@ -484,6 +534,10 @@ const MutationCase kMutations[] = {
     {"brk_halfopen_keep_tokens", BreakerProbeLifecycleScenario},
     {"brk_reopen_refresh_skip", BreakerReopenRefreshScenario},
     {"brk_abandon_drop_token", BreakerProbeAbandonScenario},
+    // RcuCell (src/common/rcu.h).
+    {"rcu_skip_grace", RcuSwapScenario},
+    {"rcu_sync_in_load", RcuSwapScenario},
+    {"rcu_read_ptr_load", RcuSwapScenario},
 };
 
 constexpr long kMutationRunCap = 30000;

@@ -18,6 +18,7 @@
 #include "src/oven/model_plan.h"
 #include "src/serving/shard_router.h"
 #include "src/serving/sharded_backend.h"
+#include "src/workload/load_gen.h"
 #include "src/workload/sa_workload.h"
 #include "tests/test_util.h"
 
@@ -381,6 +382,249 @@ void TestFrontEndOverShardedStack() {
   CHECK_EQ(backend.dropped(), uint64_t{0});
 }
 
+// Replica parity: a plan replicated onto K shards is the SAME model K
+// times — every replica, driven directly through its shard's Runtime,
+// scores exactly what one monolithic Runtime scores. (Each replica is an
+// independent Flour+Oven compile against a different segment, so this
+// pins down compile determinism across segments, not just routing.)
+void TestReplicaParity() {
+  auto sa = SmallSa(6);
+
+  ObjectStore mono_store;
+  RuntimeOptions ropts;
+  ropts.num_executors = 1;
+  Runtime monolith(&mono_store, ropts);
+  FlourContext flour(&mono_store);
+  std::vector<Runtime::PlanId> mono_ids;
+  for (const auto& spec : sa.pipelines()) {
+    auto program = flour.FromPipeline(spec);
+    mono_ids.push_back(*monolith.Register(*Plan(*program, spec.name)));
+  }
+
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  sopts.replication.enabled = true;
+  sopts.replication.max_replicas_per_plan = 3;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Replicate(spec.name, 3).ok());
+    CHECK_EQ(router.Replicas(spec.name).size(), size_t{3});
+  }
+
+  Rng rng(121);
+  for (size_t i = 0; i < sa.pipelines().size(); ++i) {
+    const std::string& name = sa.pipelines()[i].name;
+    const std::vector<ShardPlacement> replicas = router.Replicas(name);
+    std::set<size_t> shards;
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::string input = sa.SampleInput(rng);
+      auto expected = monolith.Predict(mono_ids[i], input);
+      CHECK(expected.ok());
+      for (const ShardPlacement& r : replicas) {
+        shards.insert(r.shard);
+        auto got = router.runtime(r.shard)->Predict(r.plan_id, input);
+        CHECK(got.ok());
+        CHECK_EQ(*expected, *got);
+      }
+      // The routed path (whichever replica p2c lands on) agrees too.
+      auto routed = router.Predict(name, input);
+      CHECK(routed.ok());
+      CHECK_EQ(*expected, *routed);
+    }
+    CHECK_EQ(shards.size(), size_t{3});  // Replicas on 3 distinct shards.
+  }
+}
+
+// The hotness detector, driven by a real Zipf trace: maintenance must
+// replicate the TRUE head of the distribution (checked against
+// ZipfExpectedShares, not eyeballed counters), leave the tail at one
+// replica, and de-replicate once the head cools. Along the way the merged
+// metrics must count the replicated plan ONCE (the dedup fix) while the
+// per-replica breakdown accounts for where its traffic went.
+void TestHotDetectorReplicatesHead() {
+  constexpr size_t kModels = 8;
+  auto sa = SmallSa(kModels);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  sopts.replication.enabled = true;
+  sopts.replication.max_replicas_per_plan = 3;
+  sopts.replication.min_interval_requests = 64;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+
+  // Zipf(2) over 8 models: the exact head share is ~0.83 — far above the
+  // hot threshold; every tail model from rank 1 down is below it.
+  const std::vector<double> shares = ZipfExpectedShares(kModels, 2.0);
+  CHECK(shares[0] > sopts.replication.hot_share_threshold);
+  CHECK(shares[2] < sopts.replication.hot_share_threshold);
+  const std::vector<size_t> trace = ZipfModelSequence(kModels, 1200, 2.0, 7);
+
+  Rng rng(131);
+  for (const size_t model : trace) {
+    CHECK(router.Predict(sa.pipelines()[model].name, sa.SampleInput(rng)).ok());
+  }
+  const MaintenanceReport scan = router.MaintainReplication();
+  CHECK_EQ(scan.plans_scanned, kModels);
+  CHECK_EQ(scan.interval_requests, uint64_t{1200});
+  CHECK_MSG(scan.replications > 0, "hot head not replicated");
+
+  // The detector found the true head: rank 0 is replicated...
+  const std::string& head = sa.pipelines()[0].name;
+  const size_t head_replicas = router.Replicas(head).size();
+  CHECK_MSG(head_replicas > 1, "head '%s' still single-replica", head.c_str());
+  CHECK(head_replicas <= sopts.replication.max_replicas_per_plan);
+  // ...and the deep tail is not (rank 2 share ~3.7% is sub-threshold; rank
+  // 1 at ~21% may legitimately replicate).
+  for (size_t m = 2; m < kModels; ++m) {
+    CHECK_EQ(router.Replicas(sa.pipelines()[m].name).size(), size_t{1});
+  }
+
+  // Spread the head's traffic over its replicas, then audit the metrics.
+  for (int i = 0; i < 200; ++i) {
+    CHECK(router.Predict(head, sa.SampleInput(rng)).ok());
+  }
+  const ShardedMetrics metrics = router.GetMetrics();
+  // Dedup: the merged fold reports 8 logical plans even though the shards
+  // together hold more registrations than that.
+  size_t registrations = 0;
+  uint64_t shard_events = 0;
+  for (const auto& shard : metrics.shards) {
+    registrations += shard.runtime.plans.size();
+    for (const auto& pm : shard.runtime.plans) {
+      shard_events += pm.inline_predictions + pm.enqueued_events;
+    }
+  }
+  CHECK_MSG(registrations > kModels, "replication left no extra registration");
+  CHECK_EQ(metrics.merged.plans.size(), kModels);
+  CHECK_EQ(metrics.unique_plans, kModels);
+  CHECK(metrics.replicated_plans >= 1);
+  CHECK_EQ(metrics.replications, static_cast<uint64_t>(scan.replications));
+  // The fold preserves totals: merging by name sums, never drops.
+  uint64_t merged_events = 0;
+  for (const auto& pm : metrics.merged.plans) {
+    merged_events += pm.inline_predictions + pm.enqueued_events;
+  }
+  CHECK_EQ(merged_events, shard_events);
+  // Per-replica breakdown: the head's row shows > 1 active replica and its
+  // routed counts add up to everything p2c sent its way.
+  bool found_head = false;
+  for (const auto& plan : metrics.plan_replicas) {
+    if (plan.name != head) {
+      continue;
+    }
+    found_head = true;
+    size_t active = 0;
+    uint64_t routed = 0;
+    for (const auto& replica : plan.replicas) {
+      active += replica.active ? 1 : 0;
+      routed += replica.routed;
+    }
+    CHECK_EQ(active, head_replicas);
+    CHECK_MSG(routed >= 200, "head breakdown lost routed traffic");
+  }
+  CHECK(found_head);
+
+  // Cooling: an interval where the head goes quiet de-replicates it back
+  // to one ACTIVE replica (the registrations stay materialized — cooling
+  // is deactivation, not teardown). Scan once first so the audit traffic
+  // above does not bleed into the cooling interval.
+  router.MaintainReplication();
+  for (int i = 0; i < 200; ++i) {
+    const auto& spec = sa.pipelines()[1 + (i % (kModels - 1))];
+    CHECK(router.Predict(spec.name, sa.SampleInput(rng)).ok());
+  }
+  const MaintenanceReport cool = router.MaintainReplication();
+  CHECK_MSG(cool.dereplications > 0, "cooled head not de-replicated");
+  CHECK_EQ(router.Replicas(head).size(), size_t{1});
+  const ShardedMetrics after = router.GetMetrics();
+  CHECK_EQ(after.unique_plans, kModels);
+  CHECK(after.dereplications >= cool.dereplications);
+}
+
+// Replicate/de-replicate churning against racing predicts: every request
+// completes exactly once with the correct score — routing over snapshot
+// swaps never drops a request (stale table: the old replica is still
+// registered) and never double-executes one (each request routes to
+// exactly one replica). Run under ASan+TSan in CI.
+void TestRouteUnderChurn() {
+  auto sa = SmallSa(4);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  sopts.replication.enabled = true;
+  sopts.replication.max_replicas_per_plan = 3;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const std::string churned = sa.pipelines()[0].name;
+
+  // Ground-truth scores from the pre-churn single replica.
+  Rng rng(141);
+  std::vector<std::string> inputs;
+  std::vector<float> expected;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(sa.SampleInput(rng));
+    auto score = router.Predict(churned, inputs.back());
+    CHECK(score.ok());
+    expected.push_back(*score);
+  }
+
+  constexpr int kPredictThreads = 4;
+  constexpr int kPredictsPerThread = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_predicts{0};
+  std::thread churn([&] {
+    // Grow/shrink the churned plan's replica set as fast as the control
+    // plane allows; every cycle publishes at least two table swaps.
+    while (!stop.load(std::memory_order_relaxed)) {
+      CHECK(router.Replicate(churned, 3).ok());
+      CHECK(router.Replicate(churned, 1).ok());
+    }
+  });
+  std::vector<std::thread> predictors;
+  for (int t = 0; t < kPredictThreads; ++t) {
+    predictors.emplace_back([&, t] {
+      for (int i = 0; i < kPredictsPerThread; ++i) {
+        const size_t which = static_cast<size_t>(t + i) % inputs.size();
+        auto got = router.Predict(churned, inputs[which]);
+        CHECK(got.ok());
+        CHECK_EQ(*got, expected[which]);
+        ok_predicts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : predictors) {
+    thread.join();
+  }
+  stop.store(true);
+  churn.join();
+  // Exactly-once completion: nothing dropped, nothing duplicated.
+  CHECK_EQ(ok_predicts.load(),
+           static_cast<uint64_t>(kPredictThreads * kPredictsPerThread));
+  // The routed totals booked against the plan match the requests issued
+  // (8 ground-truth + the churned predicts), counted once each.
+  const ShardedMetrics metrics = router.GetMetrics();
+  for (const auto& plan : metrics.plan_replicas) {
+    if (plan.name != churned) {
+      continue;
+    }
+    uint64_t routed = 0;
+    for (const auto& replica : plan.replicas) {
+      routed += replica.routed;
+    }
+    CHECK_EQ(routed, static_cast<uint64_t>(
+                         8 + kPredictThreads * kPredictsPerThread));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -392,6 +636,9 @@ int main() {
   TestInternScopeTradeOff();
   TestShardedBackendDrops();
   TestFrontEndOverShardedStack();
+  TestReplicaParity();
+  TestHotDetectorReplicatesHead();
+  TestRouteUnderChurn();
   std::printf("shard_router_test: PASS\n");
   return 0;
 }
