@@ -11,37 +11,71 @@
 // pool, which would put a lock back on every predict — the very cost the
 // snapshot design removes.
 //
-// Scheme (the classic two-generation passive reader count):
+// Scheme (the classic two-generation passive reader count, with reader
+// validation — the standard userspace-RCU discipline):
 //  - `kSlots` cache-line-padded slots, each holding enter/exit counters for
 //    TWO generations (index = epoch parity). A reader picks a slot by
-//    thread identity, reads the epoch, bumps in[epoch & 1], loads the
-//    pointer, and on exit bumps out[epoch & 1] of the SAME generation.
+//    thread identity, reads the epoch, bumps in[epoch & 1], then RE-READS
+//    the epoch: if the parity moved between the first read and the bump, a
+//    writer may already have quiesced that generation, so the reader
+//    retires the registration (bumps out[same parity]) and retries under
+//    the current parity. Once validation passes it loads the pointer, and
+//    on exit bumps out[epoch & 1] of the SAME generation it registered in.
 //  - A writer exchanges the pointer, bumps the epoch, then waits per slot
 //    until in[old parity] == out[old parity]. New readers land in the new
 //    parity, so the old generation quiesces even under continuous traffic.
 //
-// Memory-order argument (model-checked; mutations rcu_skip_grace,
-// rcu_sync_in_load, rcu_read_ptr_load in tests/model_check): the reader's
-// enter bump, pointer load, and the writer's publish + counter reads are
-// all seq_cst because correctness is a Dekker-style total-order claim, not
-// a simple release/acquire pairing. If a reader's pointer load returns the
-// RETIRED snapshot, that load precedes the writer's exchange in the seq_cst
-// order; the reader's enter bump precedes its load (program order within
-// seq_cst), hence precedes the writer's wait-loop reads — so the writer
-// observes in > out for that generation and cannot reclaim until the reader
-// exits. Weaken any leg and the chain breaks: a relaxed wait-loop read can
-// serve a stale pre-bump counter (early reclaim under a live reader); a
-// relaxed reader pointer load can serve a snapshot retired generations ago.
-// Acquire/release alone cannot express the claim — neither side writes the
-// location the other decides on, so there is no pairing edge to lean on;
-// this is the store-buffering shape, and it needs seq_cst. The exit bump is
-// release-only: it must order the reader's snapshot accesses before the
-// writer's acquire-side observation of the count, nothing more.
+// Why the validation step is load-bearing: without it, a straggler that
+// read the epoch (parity 0), stalled, and resumed after a writer's swap +
+// grace wait would register under parity 0 UNOBSERVED (the writer already
+// saw in[0]==out[0]) while loading the new pointer — and the NEXT exchange
+// waits only on parity 1, so it would reclaim the pointer that straggler
+// still holds. Two back-to-back exchanges are routine (a replication
+// maintenance scan publishes repeatedly), so this is a real-traffic
+// interleaving, not a curiosity. With validation the straggler notices the
+// parity moved, retires, and re-registers under the current parity.
 //
-// On x86 the reader cost is two `lock xadd` + one plain load — the same
-// order of cost as the uncontended shared-mutex acquire it replaces, but
-// with no writer-blocking, no cache-line writeback on the pointer, and no
-// possibility of a reader convoy behind a writer.
+// Memory-order argument (model-checked, incl. a two-exchange straggler
+// scenario; mutations rcu_skip_grace, rcu_sync_in_load, rcu_skip_validate
+// in tests/model_check): the reader's enter bump,
+// validation load, pointer load, and the writer's publish + epoch bump +
+// counter reads are all seq_cst because correctness is a Dekker-style
+// total-order claim, not a simple release/acquire pairing. Let E be the
+// epoch value the reader's validation load returns (parity(E) == its
+// registered generation g). That load follows the in[g] bump in program
+// order, so in the seq_cst total order the bump precedes every writer
+// epoch-bump the validation load did NOT observe. Hence writer W_{E+1}
+// (the one that retires generation g next) bumps the epoch AFTER the
+// reader's registration, and its wait-loop reads observe in[g] > out[g]
+// until the reader exits. The pointer the reader then loads is either the
+// one W_{E+1} retires (covered by that wait) or W_{E+1}'s own newly
+// published one — whose retirer W_{E+2} is serialized behind W_{E+1}'s
+// grace wait and so cannot even begin until the reader exits. (The load
+// cannot return anything OLDER: the validation load reads-from the epoch
+// RMW chain — each fetch_add is also a release store — so the reader
+// happens-after exchange E's pointer store, and coherence forbids a later
+// load of the same location returning an earlier value. That makes the
+// pointer load's declared order no longer load-bearing post-validation;
+// it stays seq_cst for uniformity, and its weakening joins rcu_read_enter
+// as analyzed-benign rather than seeded in the mutation suite.) Weaken
+// the genuinely load-bearing legs and the chain breaks: a relaxed
+// wait-loop read can serve a stale pre-bump counter (early reclaim under
+// a live reader); skipping validation reintroduces the straggler reclaim
+// above. Acquire/release alone cannot express the claim — neither side
+// writes the location the other decides on, so there is no pairing edge
+// to lean on; this is the store-buffering shape, and it needs seq_cst.
+// The exit bump is release-only: it must order the reader's snapshot
+// accesses before the writer's acquire-side observation of the count,
+// nothing more; the retry-path retire bump matches it (no snapshot was
+// accessed under the abandoned registration, and sequencing after the
+// seq_cst enter bump means a writer observing the retire also observes
+// the registration).
+//
+// On x86 the reader cost is two `lock xadd` + three plain loads (epoch,
+// validation re-read, pointer) — the same order of cost as the uncontended
+// shared-mutex acquire it replaces, but with no writer-blocking, no
+// cache-line writeback on the pointer, and no possibility of a reader
+// convoy behind a writer.
 //
 // Writers are serialized by an internal mutex (publication is control-plane:
 // placements, replication changes). A thread inside a read section MUST NOT
@@ -112,19 +146,39 @@ class RcuCell {
   };
 
   // Enters a read section and returns a guard pinning the current snapshot.
-  // Lock-free: one epoch load, one counter RMW, one pointer load.
+  // Lock-free: one epoch load, one counter RMW, one validating epoch
+  // re-read, one pointer load (the retry loop only spins if a writer bumps
+  // the epoch inside that four-instruction window — writers are serialized
+  // control-plane operations with grace waits between them, so in practice
+  // it runs once).
   ReadGuard Read() const {
     Slot& slot = slots_[SlotIndex()];
-    // seq_cst on all three legs: see the header Dekker argument. The epoch
-    // read may race a writer's bump either way — a reader registered in the
-    // OLD generation that loads the NEW pointer is merely waited-for longer;
-    // what cannot happen is holding the OLD pointer unregistered.
-    const size_t gen = static_cast<size_t>(
-                           epoch_.load(PRETZEL_MO(rcu_read_epoch_load, seq_cst))) &
-                       1;
-    slot.in[gen].fetch_add(1, PRETZEL_MO(rcu_read_enter, seq_cst));
-    const T* ptr = ptr_.load(PRETZEL_MO(rcu_read_ptr_load, seq_cst));
-    return ReadGuard(ptr, &slot, gen);
+    for (;;) {
+      // seq_cst on every leg: see the header Dekker argument.
+      const size_t gen =
+          static_cast<size_t>(
+              epoch_.load(PRETZEL_MO(rcu_read_epoch_load, seq_cst))) &
+          1;
+      slot.in[gen].fetch_add(1, PRETZEL_MO(rcu_read_enter, seq_cst));
+      // Validate AFTER the registration: if the parity still matches, any
+      // writer retiring generation `gen` after this point must observe the
+      // registration and wait for our exit. Without this re-read a
+      // straggler could register under a parity a writer already quiesced
+      // while holding the new pointer — which the NEXT exchange reclaims
+      // without waiting on us (mutation rcu_skip_validate restores that
+      // bug; the two-exchange model-check scenario catches it).
+      if (PRETZEL_LF_MUTATION(rcu_skip_validate) ||
+          (static_cast<size_t>(
+               epoch_.load(PRETZEL_MO(rcu_read_validate, seq_cst))) &
+           1) == gen) {
+        const T* ptr = ptr_.load(PRETZEL_MO(rcu_read_ptr_load, seq_cst));
+        return ReadGuard(ptr, &slot, gen);
+      }
+      // Parity moved inside the window: this registration may be invisible
+      // to the writer that retired `gen`. Retire it (no snapshot was
+      // touched under it) and re-register under the current parity.
+      slot.out[gen].fetch_add(1, PRETZEL_MO(rcu_read_retire, release));
+    }
   }
 
   // Publishes `next` (ownership transferred in), waits until no reader can
@@ -140,11 +194,13 @@ class RcuCell {
     // caller a snapshot a live reader still dereferences.
     if (!PRETZEL_LF_MUTATION(rcu_skip_grace)) {
       for (size_t s = 0; s < kSlots; ++s) {
-        // The retired generation quiesces: post-bump readers register under
-        // the new parity, and every reader that could have loaded `old`
-        // registered in this one before our wait-loop reads (seq_cst order).
-        // Re-reading `in` each iteration covers stragglers that read the
-        // epoch just before the bump.
+        // The retired generation quiesces: post-bump readers validate into
+        // the new parity (a straggler that registered here against a stale
+        // epoch read retires itself and retries), and every reader that
+        // VALIDATED in this generation registered before our wait-loop
+        // reads (seq_cst order), so we observe in > out until it exits.
+        // Re-reading `in` each iteration covers registrations that land
+        // while we spin.
         for (;;) {
           const uint64_t in = slots_[s].in[retired_gen].load(
               PRETZEL_MO(rcu_sync_in_load, seq_cst));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "src/common/clock.h"
 #include "src/common/fault.h"
@@ -1462,15 +1463,21 @@ static void MergePlanMetrics(PlanMetrics& into, const PlanMetrics& from) {
 }
 
 void MergeRuntimeMetrics(RuntimeMetrics& into, const RuntimeMetrics& from) {
+  // Name -> index, built once per fold: the cross-shard GetMetrics merge is
+  // then linear in total plan rows instead of quadratic in fleet size.
+  // Owned keys: push_back below can reallocate into.plans, which moves the
+  // rows' SSO name bytes out from under any view into them.
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(into.plans.size() + from.plans.size());
+  for (size_t i = 0; i < into.plans.size(); ++i) {
+    index.emplace(into.plans[i].plan_name, i);
+  }
   for (const PlanMetrics& plan : from.plans) {
-    auto it = std::find_if(into.plans.begin(), into.plans.end(),
-                           [&plan](const PlanMetrics& existing) {
-                             return existing.plan_name == plan.plan_name;
-                           });
-    if (it == into.plans.end()) {
+    auto [it, inserted] = index.emplace(plan.plan_name, into.plans.size());
+    if (inserted) {
       into.plans.push_back(plan);
     } else {
-      MergePlanMetrics(*it, plan);
+      MergePlanMetrics(into.plans[it->second], plan);
     }
   }
   into.subplan_cache.lookups += from.subplan_cache.lookups;

@@ -438,7 +438,10 @@ Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
     }
     return -removed;
   }
-  // Heating. Free step first: re-activate materialized replicas.
+  // Heating. Free step first: re-activate materialized replicas. The
+  // activation flips are committed now (under mu_) but published together
+  // with the materialized remainder below — one snapshot swap for the
+  // whole heat-up.
   int added = 0;
   {
     WriterMutexLock lock(mu_);
@@ -451,14 +454,17 @@ Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
       ++active;
       ++added;
     }
-    if (added > 0) {
-      PublishLocked();
-    }
   }
   // Materialize the remainder onto healthy, not-yet-hosting shards walking
   // the ring from the plan's home — deterministic, and different plans'
-  // homes stagger so replicas spread. One compile per shard, mu_ dropped
-  // around each (leaf lock).
+  // homes stagger so replicas spread. Compiles run with no router lock
+  // held; the fresh replicas are collected locally and committed in ONE
+  // publish after the loop. Per-replica activation visibility mid-loop is
+  // not load-bearing, and PublishLocked blocks in the RCU grace wait while
+  // holding mu_ — publishing per replica would charge a K-replica heat-up
+  // K table copies and K grace waits, stalling other control-plane
+  // writers.
+  std::vector<ReplicaState> fresh;
   const size_t home = ShardFor(name);
   for (size_t k = 1; k < shards_.size() && active < target; ++k) {
     const size_t candidate = (home + k) % shards_.size();
@@ -481,8 +487,6 @@ Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
     if (!id.ok()) {
       continue;  // This shard is full; the next candidate may not be.
     }
-    WriterMutexLock lock(mu_);
-    PlanState& st = plans_.at(name);
     ReplicaState replica;
     replica.shard = candidate;
     replica.plan_id = *id;
@@ -490,13 +494,19 @@ Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
         shards_[candidate]->runtime->QueueDelayCounter(*id);
     replica.stats = std::make_unique<ReplicaStats>();
     replica.active = true;
-    st.replicas.push_back(std::move(replica));
-    PublishLocked();
+    fresh.push_back(std::move(replica));
     ++active;
     ++added;
   }
   if (added > 0) {
-    replications_.fetch_add(added, std::memory_order_relaxed);
+    WriterMutexLock lock(mu_);
+    PlanState& st = plans_.at(name);
+    for (ReplicaState& replica : fresh) {
+      st.replicas.push_back(std::move(replica));
+    }
+    PublishLocked();
+    replications_.fetch_add(static_cast<uint64_t>(added),
+                            std::memory_order_relaxed);
   }
   return added;
 }

@@ -450,13 +450,18 @@ void BreakerProbeAbandonScenario() {
 // enter bump and the writer's counter reads race on separate locations, so
 // seq_cst carries the proof. Mutations: rcu_skip_grace reclaims without any
 // wait; rcu_sync_in_load lets the writer's wait loop read a stale zero
-// enter count under a live reader; rcu_read_ptr_load lets a reader
-// registered in the NEW generation load a pointer retired generations ago
-// (the writer never waits on that parity). Weakening the reader's enter
-// bump (rcu_read_enter) is analyzed in the header but excluded here: the
-// model serves RMWs from the latest value, so in-model it is
-// indistinguishable from seq_cst — a provably-undetectable weakening, like
-// the prior structures' excluded legs.
+// enter count under a live reader. Two weakenings are analyzed and
+// excluded rather than seeded: the reader's enter bump (rcu_read_enter)
+// is an RMW, which the model (like real coherence) serves from the latest
+// value regardless of declared order; and the reader's pointer load
+// (rcu_read_ptr_load) became provably benign once reader validation
+// landed — the validation load reads-from the epoch RMW chain, so the
+// reader happens-after every exchange up to the epoch it observed, and
+// coherence then pins the pointer load (at ANY order) to the
+// current-or-next snapshot, both of whose retirers are ordered behind the
+// reader's registration (full derivation in rcu.h). A single swap also
+// cannot reach the two-exchange straggler reclaim; RcuTwoSwapScenario
+// below covers it (and detects rcu_skip_validate).
 struct RcuTable {
   int gen;  // Identity: which freed[] flag models this table's reclamation.
 };
@@ -484,6 +489,50 @@ void RcuSwapScenario() {
   delete (current == table_a ? table_b : table_a);
 }
 
+// Two consecutive Exchanges against one straggling reader — the
+// interleaving a single swap cannot reach, and exactly what a replication
+// maintenance scan produces (back-to-back publishes). Pre-validation
+// hazard: the reader loads the epoch (parity 0) and stalls; writer's first
+// Exchange swaps, bumps, sees in[0]==out[0] (the straggler never bumped)
+// and reclaims table 0; the straggler resumes, registers under parity 0
+// UNOBSERVED, and loads table 1; the second Exchange retires table 1 but
+// waits only on parity 1 — reclaiming table 1 under the live reader. The
+// validation re-read in Read() closes the window: the straggler notices
+// the parity moved, retires its parity-0 registration, and re-registers
+// under parity 1, which the second Exchange's grace wait does cover.
+// Mutation rcu_skip_validate restores the pre-fix algorithm and must trip
+// the freed-under-reader Check here.
+void RcuTwoSwapScenario() {
+  auto* t0 = new RcuTable{0};
+  auto* t1 = new RcuTable{1};
+  auto* t2 = new RcuTable{2};
+  auto cell = std::make_shared<RcuCell<RcuTable, 1>>(t0);
+  auto freed = std::make_shared<std::array<mc::Atomic<int>, 3>>();
+  mc::Go({
+      [cell, t1, t2, freed] {
+        const RcuTable* a = cell->Exchange(t1);
+        (*freed)[a->gen].store(1, mc::kSeqCst);
+        const RcuTable* b = cell->Exchange(t2);
+        (*freed)[b->gen].store(1, mc::kSeqCst);
+      },
+      [cell, freed] {
+        auto guard = cell->Read();
+        mc::Check((*freed)[guard->gen].load(mc::kSeqCst) == 0,
+                  "rcu: snapshot reclaimed under a straggling reader "
+                  "across two exchanges");
+      },
+  });
+  // Cleanup (single-threaded now; pruned runs may stop after either
+  // exchange): the cell's destructor frees the table it holds, we free the
+  // other two.
+  const RcuTable* current = cell->Read().get();
+  for (RcuTable* t : {t0, t1, t2}) {
+    if (t != current) {
+      delete t;
+    }
+  }
+}
+
 // --- Drivers -----------------------------------------------------------------
 
 struct CleanCase {
@@ -508,6 +557,7 @@ const CleanCase kClean[] = {
     {"breaker_reopen_refresh", BreakerReopenRefreshScenario, 20},
     {"breaker_probe_abandon", BreakerProbeAbandonScenario, 20},
     {"rcu_snapshot_swap", RcuSwapScenario, 1500},
+    {"rcu_two_exchange_straggler", RcuTwoSwapScenario, 1500},
 };
 
 // >= 3 seeded mutations per structure; each weakens one tagged order to
@@ -534,10 +584,14 @@ const MutationCase kMutations[] = {
     {"brk_halfopen_keep_tokens", BreakerProbeLifecycleScenario},
     {"brk_reopen_refresh_skip", BreakerReopenRefreshScenario},
     {"brk_abandon_drop_token", BreakerProbeAbandonScenario},
-    // RcuCell (src/common/rcu.h).
+    // RcuCell (src/common/rcu.h). rcu_read_enter and rcu_read_ptr_load are
+    // analyzed-and-excluded, not seeded — see the RcuSwapScenario comment.
     {"rcu_skip_grace", RcuSwapScenario},
     {"rcu_sync_in_load", RcuSwapScenario},
-    {"rcu_read_ptr_load", RcuSwapScenario},
+    // Structural: drops the reader's post-registration epoch validation,
+    // restoring the pre-fix algorithm; only the two-exchange scenario can
+    // reach the resulting straggler reclaim.
+    {"rcu_skip_validate", RcuTwoSwapScenario},
 };
 
 constexpr long kMutationRunCap = 30000;
