@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/fault.h"
+
 namespace pretzel {
 
 const char* StageKindName(StageKind kind) {
@@ -131,6 +133,13 @@ Result<std::shared_ptr<ModelPlan>> CompilePlan(const LogicalProgram& program,
                                                const CompileOptions& options) {
   if (program.ops.empty()) {
     return Status::InvalidArgument("empty program");
+  }
+  // Chaos site: a compile that fails mid-deploy. The lifecycle invariant it
+  // exists to prove: a failed canary compile surfaces as a Deploy error and
+  // the live version keeps serving — it must never tear down or stall the
+  // active plan.
+  if (PRETZEL_FAULT_POINT("oven.compile_fail", static_cast<int64_t>(0))) {
+    return Status::Error("injected compile failure: " + name);
   }
   auto plan = std::make_shared<ModelPlan>();
   plan->name_ = name;

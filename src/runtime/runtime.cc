@@ -213,6 +213,38 @@ struct Runtime::PlanQueue {
   int64_t max_delay_us = 0;
   size_t shard_window = kMetricsWindow;
 
+  // ---- Versioned lifecycle ----
+  // Retire() publishes `retired`, then waits for scheduler occupancy and
+  // `lifecycle_refs` to drain before dropping `plan`. Every path that
+  // touches `plan` outside the registry lock holds a ref: admission gates
+  // take theirs BEFORE loading `retired` (both seq_cst — the classic
+  // store-buffering pair, so either the admitter sees the flag or the
+  // retirer sees the ref), and executors take theirs for each gathered
+  // quantum BEFORE decrementing `queued` (before releasing the group mutex
+  // in the baseline), so gathered-but-executing events are never in neither
+  // count.
+  std::atomic<bool> retired{false};
+  std::atomic<int64_t> lifecycle_refs{0};
+  // Immutable name copy: GetMetrics stays readable after Retire drops
+  // `plan`.
+  std::string plan_name;
+
+  // Admission half of the lifecycle protocol above. On false the ref is
+  // already released; on true the caller must ReleaseLifecycle after its
+  // last touch of `plan` (for queued work: after the enqueue publishes —
+  // admitted events are then covered by the occupancy drain instead).
+  bool AdmitLifecycle() {
+    lifecycle_refs.fetch_add(1, std::memory_order_seq_cst);
+    if (retired.load(std::memory_order_seq_cst)) {
+      lifecycle_refs.fetch_sub(1, std::memory_order_seq_cst);
+      return false;
+    }
+    return true;
+  }
+  void ReleaseLifecycle() {
+    lifecycle_refs.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
   // ---- Lock-free mode ----
   BoundedMpmcRing<Event> ring;
   // Overflow spill: FIFO chain of SpillSegments (wait-free producer push);
@@ -343,6 +375,7 @@ Result<Runtime::PlanId> Runtime::Register(std::shared_ptr<ModelPlan> plan,
       options_.lockfree_scheduler ? options_.event_ring_capacity : 2);
   pq->id = id;
   pq->plan = std::move(plan);
+  pq->plan_name = pq->plan->name();
   pq->max_batch = registration.max_batch > 0 ? registration.max_batch
                                              : options_.default_max_batch;
   pq->max_delay_us = registration.max_delay_us >= 0
@@ -390,6 +423,42 @@ Runtime::PlanQueue* Runtime::GetQueue(PlanId id) const {
 const std::atomic<int64_t>* Runtime::QueueDelayCounter(PlanId id) const {
   PlanQueue* pq = GetQueue(id);
   return pq == nullptr ? nullptr : &pq->queue_delay_ewma_us;
+}
+
+Status Runtime::Retire(PlanId id) {
+  PlanQueue* pq = GetQueue(id);
+  if (pq == nullptr) {
+    return Status::NotFound("plan " + std::to_string(id));
+  }
+  if (pq->retired.exchange(true, std::memory_order_seq_cst)) {
+    return Status::OK();  // Already retired; the first caller drained.
+  }
+  // Drain. The check order inside each pass is load-bearing: scheduler
+  // occupancy FIRST, lifecycle_refs SECOND. Executors take their quantum
+  // ref before decrementing `queued` (before leaving the group mutex in the
+  // baseline) and admitters take theirs before loading `retired`, so any
+  // in-flight work the occupancy check misses is visible to the refs check
+  // of the same pass.
+  for (;;) {
+    bool drained;
+    if (options_.lockfree_scheduler) {
+      drained = pq->queued.load(std::memory_order_seq_cst) == 0 &&
+                pq->overflow_count.load(std::memory_order_seq_cst) == 0 &&
+                !pq->scheduled.load(std::memory_order_seq_cst);
+    } else {
+      MutexLock lock(pq->group->mu);
+      drained = pq->events.empty() && !pq->m_runnable;
+    }
+    if (drained && pq->lifecycle_refs.load(std::memory_order_seq_cst) == 0) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  // No admission can now succeed and no executor holds the plan: drop the
+  // reference, so params the ObjectStore has Released can actually leave
+  // the heap. The PlanQueue shell stays (id/counter pointer stability).
+  pq->plan.reset();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -658,11 +727,15 @@ Result<float> Runtime::Predict(PlanId id, std::string_view input,
                              deadline_ns, 0);
       }
     }
+    if (!pq->AdmitLifecycle()) {
+      return Status::NotFound("plan " + std::to_string(id) + " retired");
+    }
     pq->inline_predictions.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<ExecContext> ctx = caller_contexts_.Acquire();
     ctx->subplan_cache = caller_cache_.get();
     Result<float> result = ExecutePlan(*pq->plan, input, *ctx);
     caller_contexts_.Release(std::move(ctx));
+    pq->ReleaseLifecycle();
     return result;
   }
   // Reserved plan: ride the dedicated queue so sync traffic is served by
@@ -685,7 +758,11 @@ Result<float> Runtime::Predict(PlanId id, std::string_view input,
     waiter.done = true;
     waiter.cv.notify_one();
   };
+  if (!pq->AdmitLifecycle()) {
+    return Status::NotFound("plan " + std::to_string(id) + " retired");
+  }
   Status submitted = EnqueueOne(pq, std::move(event));
+  pq->ReleaseLifecycle();
   if (!submitted.ok()) {
     return submitted;
   }
@@ -721,7 +798,12 @@ Status Runtime::PredictAsync(PlanId id, std::string input,
   event.input = std::move(input);
   event.done = std::move(callback);
   event.deadline_ns = deadline_ns;
-  return EnqueueOne(pq, std::move(event));
+  if (!pq->AdmitLifecycle()) {
+    return Status::NotFound("plan " + std::to_string(id) + " retired");
+  }
+  Status submitted = EnqueueOne(pq, std::move(event));
+  pq->ReleaseLifecycle();
+  return submitted;
 }
 
 // Sub-batch size: fill every executor that serves this plan, but never
@@ -766,6 +848,9 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
       !admit.ok()) {
     return admit;
   }
+  if (!pq->AdmitLifecycle()) {
+    return Status::NotFound("plan " + std::to_string(id) + " retired");
+  }
   auto job = std::make_shared<BatchJob>();
   job->plan = pq->plan;
   job->owned_inputs = std::move(inputs);
@@ -776,7 +861,9 @@ Status Runtime::PredictBatchAsync(PlanId id, std::vector<std::string> inputs,
   job->remaining.store(job->count);
   job->callback = std::move(callback);
   job->deadline_ns = deadline_ns;
-  return SubmitBatchJob(pq, std::move(job), max_batch);
+  Status submitted = SubmitBatchJob(pq, std::move(job), max_batch);
+  pq->ReleaseLifecycle();
+  return submitted;
 }
 
 // The synchronous borrowed-input protocol: submit, block until the last
@@ -826,6 +913,9 @@ Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
   // Borrowed inputs/results: this caller blocks until the last chunk
   // completes, so the executors write scores straight through the caller's
   // span and read the caller's strings in place — no copy on either side.
+  if (!pq->AdmitLifecycle()) {
+    return Status::NotFound("plan " + std::to_string(id) + " retired");
+  }
   auto job = std::make_shared<BatchJob>();
   job->plan = pq->plan;
   job->str_inputs = inputs.data();
@@ -833,7 +923,9 @@ Status Runtime::PredictBatch(PlanId id, const std::vector<std::string>& inputs,
   job->count = inputs.size();
   job->remaining.store(job->count);
   job->deadline_ns = deadline_ns;
-  return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+  Status submitted = SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+  pq->ReleaseLifecycle();
+  return submitted;
 }
 
 Status Runtime::PredictBatch(PlanId id, const std::string_view* inputs,
@@ -852,6 +944,9 @@ Status Runtime::PredictBatch(PlanId id, const std::string_view* inputs,
   if (Status admit = AdmitDeadline(pq, deadline_ns, n); !admit.ok()) {
     return admit;
   }
+  if (!pq->AdmitLifecycle()) {
+    return Status::NotFound("plan " + std::to_string(id) + " retired");
+  }
   auto job = std::make_shared<BatchJob>();
   job->plan = pq->plan;
   job->view_inputs = inputs;
@@ -859,7 +954,9 @@ Status Runtime::PredictBatch(PlanId id, const std::string_view* inputs,
   job->count = n;
   job->remaining.store(n);
   job->deadline_ns = deadline_ns;
-  return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+  Status submitted = SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+  pq->ReleaseLifecycle();
+  return submitted;
 }
 
 Status Runtime::PredictBinary(PlanId id, std::span<const uint8_t> records,
@@ -890,13 +987,18 @@ Status Runtime::PredictBinary(PlanId id, std::span<const uint8_t> records,
       !admit.ok()) {
     return admit;
   }
+  if (!pq->AdmitLifecycle()) {
+    return Status::NotFound("plan " + std::to_string(id) + " retired");
+  }
   job->plan = pq->plan;
   job->view_inputs = job->owned_views.data();
   job->results = out.data();
   job->count = job->owned_views.size();
   job->remaining.store(job->count);
   job->deadline_ns = deadline_ns;
-  return SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+  Status submitted = SubmitBatchJobAndWait(pq, std::move(job), max_batch);
+  pq->ReleaseLifecycle();
+  return submitted;
 }
 
 Result<std::vector<float>> Runtime::PredictBatch(
@@ -1017,6 +1119,10 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache,
       }
     }
     if (!batch.empty()) {
+      // Quantum lifecycle ref, taken BEFORE the queued decrement below:
+      // Retire's drain checks occupancy first and refs second, so gathered
+      // events are never in neither count.
+      pq->lifecycle_refs.fetch_add(1, std::memory_order_seq_cst);
       const int64_t dispatch_ns = NowNs();
       pq->dispatches.fetch_add(1, std::memory_order_relaxed);
       if (chunk_quantum) {
@@ -1060,6 +1166,7 @@ void Runtime::ExecutorLoop(ExecGroup* group, SubPlanCache* cache,
       continue;
     }
     ExecuteQuantum(pq, batch, ctx, shard_idx);
+    pq->ReleaseLifecycle();
   }
 }
 
@@ -1123,6 +1230,10 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
         }
       }
       if (!batch.empty()) {
+        // Quantum lifecycle ref, taken while still under the group mutex:
+        // Retire's baseline drain checks the deque under this same mutex,
+        // then refs, so a gathered-but-executing quantum is always covered.
+        pq->lifecycle_refs.fetch_add(1, std::memory_order_seq_cst);
         const int64_t dispatch_ns = NowNs();
         pq->dispatches.fetch_add(1, std::memory_order_relaxed);
         records = batch.front().job != nullptr
@@ -1163,6 +1274,7 @@ void Runtime::ExecutorLoopMutex(ExecGroup* group, ExecContext& ctx,
       AddWindowed(shard.queue_wait_us, wait_us, pq->shard_window);
     }
     ExecuteQuantum(pq, batch, ctx, shard_idx);
+    pq->ReleaseLifecycle();
   }
 }
 
@@ -1361,8 +1473,9 @@ RuntimeMetrics Runtime::GetMetrics() const {
   for (const auto& pq : plan_queues_) {
     PlanMetrics pm;
     pm.plan_id = pq->id;
-    pm.plan_name = pq->plan->name();
+    pm.plan_name = pq->plan_name;  // Retained copy: valid after Retire.
     pm.reserved = pq->reserved;
+    pm.retired = pq->retired.load(std::memory_order_relaxed);
     pm.inline_predictions =
         pq->inline_predictions.load(std::memory_order_relaxed);
     pm.enqueued_events = pq->enqueued.load(std::memory_order_relaxed);
@@ -1445,6 +1558,8 @@ static void MergePlanMetrics(PlanMetrics& into, const PlanMetrics& from) {
         static_cast<double>(total_events));
   }
   into.reserved = into.reserved || from.reserved;
+  // A logical plan is retired only once every replica is.
+  into.retired = into.retired && from.retired;
   into.queue_depth += from.queue_depth;
   into.inline_predictions += from.inline_predictions;
   into.enqueued_events += from.enqueued_events;

@@ -132,6 +132,7 @@ struct PlanMetrics {
   size_t plan_id = 0;
   std::string plan_name;
   bool reserved = false;
+  bool retired = false;  // Retire() completed; the plan no longer admits.
   size_t queue_depth = 0;           // Events queued right now.
   uint64_t inline_predictions = 0;  // Unreserved sync fast path.
   uint64_t enqueued_events = 0;
@@ -208,6 +209,18 @@ class Runtime {
 
   Result<PlanId> Register(std::shared_ptr<ModelPlan> plan,
                           const PlanRegistration& registration = {});
+
+  // Retires a plan: new work is refused with NotFound, in-flight work (an
+  // inline predict mid-execution, queued events, a dispatching quantum)
+  // drains, and then the ModelPlan reference is dropped — so once the
+  // ObjectStore has Released the version's params, Retire is the point its
+  // unshared blobs can actually leave the heap. Blocking, control-plane
+  // only; MUST NOT be called from an executor thread (it waits on executor
+  // progress). Idempotent: a second call returns OK without re-draining.
+  // The PlanQueue shell itself persists — id stability and the
+  // QueueDelayCounter pointer contract are unchanged — only the plan (and
+  // its parameter references) is reclaimed.
+  Status Retire(PlanId id);
 
   // Every entry point takes an optional absolute deadline (NowNs() domain;
   // 0 = none). Expired work is dropped at admission, when a queued single

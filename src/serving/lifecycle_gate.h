@@ -1,0 +1,158 @@
+// Versioned-lifecycle primitives for zero-downtime plan swaps, shared by the
+// ShardRouter's deploy/canary/retire control plane and the model checker:
+//
+//  - VersionGate: a per-version inflight gate implementing the epoch side of
+//    version reclamation. Requests Enter() the gate of the version they were
+//    routed to (inside the routing-table RCU read section, so the gate
+//    pointer is valid) and Exit() after booking their outcome; the retirer
+//    Close()s the gate once the routing table no longer references the
+//    version and AwaitDrain()s before dropping the plan and sweeping its
+//    ObjectStore blobs. Enter-then-check and close-then-check form a
+//    store-buffering pair (both seq_cst): either the admitting request sees
+//    the closed flag and backs out, or the retirer's drain sees its inflight
+//    increment — a request can never run against a version whose blobs are
+//    being reclaimed.
+//
+//  - CanarySplit: the mutable canary traffic fraction, updated mid-rollout
+//    without republishing the routing table. Publish() stores the target
+//    version token first and the fraction with release order second; Load()
+//    acquires the fraction before reading the target, so a reader that
+//    observes a nonzero fraction is guaranteed to observe the version that
+//    fraction was published for. The zero-fraction publish doubles as the
+//    auto-rollback kill switch: any request thread can stop canary traffic
+//    immediately, before the heavyweight rollback takes the control mutex.
+//
+// Both live on the PRETZEL_ATOMIC seam, so tests/model_check exercises them
+// under the deterministic scheduler. Seeded mutations the checker must
+// detect: lc_skip_drain (retirer skips the inflight drain before
+// reclamation), lc_fraction_publish (fraction store weakened to relaxed —
+// readers can see a fraction without its target), lc_drain_inflight (drain's
+// inflight load weakened to relaxed — a stale zero lets reclamation start
+// under a live reader).
+#ifndef PRETZEL_SERVING_LIFECYCLE_GATE_H_
+#define PRETZEL_SERVING_LIFECYCLE_GATE_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "src/common/lockfree.h"
+
+namespace pretzel {
+
+class VersionGate {
+ public:
+  VersionGate() = default;
+  VersionGate(const VersionGate&) = delete;
+  VersionGate& operator=(const VersionGate&) = delete;
+
+  // Registers an in-flight request against this version. Returns false (and
+  // leaves the gate untouched) when the version is already closed for
+  // retirement; the caller must route elsewhere. The increment is issued
+  // BEFORE the closed-flag load — the store-buffering pairing with
+  // Close()/Drained() is what makes "closed" mean "no request inside".
+  bool Enter() {
+    inflight_.fetch_add(1, PRETZEL_MO(lc_enter_inc, seq_cst));
+    if (closed_.load(PRETZEL_MO(lc_enter_closed, seq_cst))) {
+      inflight_.fetch_sub(1, PRETZEL_MO(lc_enter_undo, seq_cst));
+      return false;
+    }
+    return true;
+  }
+
+  // Ends the request registered by a successful Enter(). Release order: the
+  // caller's per-version stat writes happen-before the retirer observes the
+  // drain, so stats can be reclaimed with the version.
+  void Exit() { inflight_.fetch_sub(1, PRETZEL_MO(lc_exit_dec, release)); }
+
+  // Closes admission. Callers must only Close after the routing table no
+  // longer hands out this gate (the RCU grace period of the table swap);
+  // Enter() rejections are then a transient impossibility kept as defense.
+  void Close() { closed_.store(true, PRETZEL_MO(lc_close_store, seq_cst)); }
+
+  // True once the gate is closed and every admitted request has exited.
+  bool Drained() const {
+    if (!closed_.load(PRETZEL_MO(lc_drain_closed, seq_cst))) {
+      return false;
+    }
+    return inflight_.load(PRETZEL_MO(lc_drain_inflight, seq_cst)) == 0;
+  }
+
+  // Blocks until Drained(). Only after this returns may the version's plan,
+  // stats, and ObjectStore pins be reclaimed.
+  void AwaitDrain() const {
+    if (PRETZEL_LF_MUTATION(lc_skip_drain)) {
+      return;
+    }
+    while (!Drained()) {
+      std::this_thread::yield();
+    }
+  }
+
+  bool closed() const {
+    return closed_.load(PRETZEL_MO(lc_closed_peek, seq_cst));
+  }
+  int64_t inflight() const {
+    // relaxed: metrics-only peek; never feeds a reclamation decision.
+    return inflight_.load(PRETZEL_MO(lc_inflight_peek, relaxed));
+  }
+
+ private:
+  PRETZEL_ATOMIC(int64_t) inflight_{0};
+  PRETZEL_ATOMIC(bool) closed_{false};
+};
+
+class CanarySplit {
+ public:
+  struct Split {
+    uint32_t fraction_bp = 0;  // Canary share in basis points (of 10000).
+    uint64_t target = 0;       // Version token the fraction applies to.
+  };
+
+  CanarySplit() = default;
+  CanarySplit(const CanarySplit&) = delete;
+  CanarySplit& operator=(const CanarySplit&) = delete;
+
+  // Publishes `fraction_bp` of traffic for canary version `target`.
+  // target-then-fraction with a release fence on the fraction store is the
+  // message-passing pattern: a reader that acquires the new fraction also
+  // sees its target.
+  void Publish(uint32_t fraction_bp, uint64_t target) {
+    target_.store(target, PRETZEL_MO(lc_target_store, relaxed));
+    fraction_bp_.store(fraction_bp, PRETZEL_MO(lc_fraction_publish, release));
+  }
+
+  Split Load() const {
+    Split s;
+    s.fraction_bp = fraction_bp_.load(PRETZEL_MO(lc_fraction_load, acquire));
+    // relaxed: ordered by the acquire on the fraction load above; a reader
+    // acting on a nonzero fraction has synchronized with its Publish.
+    s.target = target_.load(PRETZEL_MO(lc_target_load, relaxed));
+    return s;
+  }
+
+  // Deterministic traffic-split decision: hashes the request sequence number
+  // (splitmix64) against the fraction, so the canary share is exact in the
+  // count domain and reproducible across runs — the same discipline the
+  // fault-injection layer uses for probabilities.
+  static bool InCanary(uint64_t seq, uint32_t fraction_bp) {
+    if (fraction_bp == 0) {
+      return false;
+    }
+    if (fraction_bp >= 10000) {
+      return true;
+    }
+    uint64_t z = seq + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z % 10000 < fraction_bp;
+  }
+
+ private:
+  PRETZEL_ATOMIC(uint32_t) fraction_bp_{0};
+  PRETZEL_ATOMIC(uint64_t) target_{0};
+};
+
+}  // namespace pretzel
+
+#endif  // PRETZEL_SERVING_LIFECYCLE_GATE_H_

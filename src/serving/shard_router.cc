@@ -46,6 +46,28 @@ uint64_t NextRand() {
   return x;
 }
 
+// The ObjectStore pins a compile took: one per op param; released against
+// the compiling shard's segment when the version retires.
+std::vector<uint64_t> CollectChecksums(const LogicalProgram& program) {
+  std::vector<uint64_t> checksums;
+  checksums.reserve(program.ops.size());
+  for (const auto& op : program.ops) {
+    checksums.push_back(op.params->ContentChecksum());
+  }
+  return checksums;
+}
+
+// Unwinds an aborted compile: drops the pins the lowering's interning took
+// and sweeps the segment, so a failed Plan/Register (including an armed
+// oven.compile_fail) leaves the store exactly as it found it. Leaked pins
+// would keep retired blobs resident forever.
+void ReleaseProgramPins(ObjectStore* segment, const LogicalProgram& program) {
+  for (const uint64_t checksum : CollectChecksums(program)) {
+    (void)segment->Release(checksum);
+  }
+  (void)segment->Sweep();
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(const ShardRouterOptions& options)
@@ -145,6 +167,19 @@ void ShardRouter::PublishLocked() {
     }
     PlanRouting routing;
     routing.traffic = st.traffic.get();
+    routing.version = st.active_version;
+    routing.gate = st.gate;
+    routing.stats = st.vstats;
+    if (st.rollout != nullptr) {
+      const ReplicaState& c = st.rollout->replica;
+      routing.has_canary = true;
+      routing.canary_version = st.rollout->version;
+      routing.canary =
+          ReplicaRef{c.shard, c.plan_id, c.queue_delay_us, c.stats.get()};
+      routing.canary_gate = st.rollout->gate;
+      routing.canary_stats = st.rollout->stats;
+      routing.split = st.rollout->split;
+    }
     const ReplicaState& primary = st.replicas[st.primary];
     routing.replicas.push_back(ReplicaRef{primary.shard, primary.plan_id,
                                           primary.queue_delay_us,
@@ -198,30 +233,303 @@ Result<ShardPlacement> ShardRouter::Place(const PipelineSpec& spec,
   }
   Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
   if (!plan.ok()) {
+    ReleaseProgramPins(shards_[shard]->segment.get(), *program);
     return fail(plan.status());
   }
   Result<Runtime::PlanId> id =
       shards_[shard]->runtime->Register(std::move(*plan), registration);
   if (!id.ok()) {
+    ReleaseProgramPins(shards_[shard]->segment.get(), *program);
     return fail(id.status());
   }
   ShardPlacement placement{shard, *id};
+  VersionGate* gate = NewGate();
+  VersionStats* vstats = NewVersionStats();
   WriterMutexLock lock(mu_);
   PlanState& st = plans_.at(spec.name);
   st.spec = spec;  // Retained for replica / failover recompiles.
   st.registration = registration;
   st.traffic = std::make_unique<PlanTraffic>();
+  st.active_version = 1;
+  st.next_version = 2;
+  st.gate = gate;
+  st.vstats = vstats;
   ReplicaState replica;
   replica.shard = shard;
   replica.plan_id = *id;
   replica.queue_delay_us = shards_[shard]->runtime->QueueDelayCounter(*id);
   replica.stats = std::make_unique<ReplicaStats>();
   replica.active = true;
+  replica.checksums = CollectChecksums(*program);
   st.replicas.push_back(std::move(replica));
   st.primary = 0;
   st.pending = false;
   PublishLocked();
   return placement;
+}
+
+// ---------------------------------------------------------------------------
+// Versioned lifecycle.
+
+VersionGate* ShardRouter::NewGate() {
+  std::lock_guard<std::mutex> lock(lifecycle_.mu);
+  lifecycle_.gates.push_back(std::make_unique<VersionGate>());
+  return lifecycle_.gates.back().get();
+}
+
+ShardRouter::VersionStats* ShardRouter::NewVersionStats() {
+  std::lock_guard<std::mutex> lock(lifecycle_.mu);
+  lifecycle_.stats.push_back(std::make_unique<VersionStats>());
+  return lifecycle_.stats.back().get();
+}
+
+CanarySplit* ShardRouter::NewSplit() {
+  std::lock_guard<std::mutex> lock(lifecycle_.mu);
+  lifecycle_.splits.push_back(std::make_unique<CanarySplit>());
+  return lifecycle_.splits.back().get();
+}
+
+Result<uint64_t> ShardRouter::Deploy(const PipelineSpec& spec) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  size_t shard = 0;
+  uint64_t version = 0;
+  PlanRegistration registration;
+  {
+    ReaderMutexLock lock(mu_);
+    auto it = plans_.find(spec.name);
+    if (it == plans_.end() || it->second.pending) {
+      return Status::NotFound("plan '" + spec.name +
+                              "' not placed (Deploy upgrades; Place first)");
+    }
+    const PlanState& st = it->second;
+    if (st.rollout != nullptr) {
+      return Status::InvalidArgument("rollout already in flight for '" +
+                                     spec.name + "'");
+    }
+    // Compile where the active version lives: its params are interned in
+    // that shard's segment, so v(n+1)'s unchanged blobs resolve to hits.
+    shard = st.replicas[st.primary].shard;
+    version = st.next_version;
+    registration = st.registration;
+  }
+  // Compile + register outside every router lock (mu_ is a leaf; the
+  // control mutex serializes lifecycle ops only). A failure — including an
+  // armed oven.compile_fail — returns here with the live version untouched.
+  FlourContext flour(shards_[shard]->segment.get());
+  auto program = flour.FromPipeline(spec);
+  if (program == nullptr) {
+    return Status::InvalidArgument("pipeline '" + spec.name +
+                                   "' did not lower");
+  }
+  Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
+  if (!plan.ok()) {
+    ReleaseProgramPins(shards_[shard]->segment.get(), *program);
+    return plan.status();
+  }
+  Result<Runtime::PlanId> id =
+      shards_[shard]->runtime->Register(std::move(*plan), registration);
+  if (!id.ok()) {
+    ReleaseProgramPins(shards_[shard]->segment.get(), *program);
+    return id.status();
+  }
+  auto rollout = std::make_unique<Rollout>();
+  rollout->version = version;
+  rollout->initial_fraction_bp = options_.rollout.canary_fraction_bp;
+  rollout->spec = spec;
+  rollout->replica.shard = shard;
+  rollout->replica.plan_id = *id;
+  rollout->replica.queue_delay_us =
+      shards_[shard]->runtime->QueueDelayCounter(*id);
+  rollout->replica.stats = std::make_unique<ReplicaStats>();
+  rollout->replica.active = true;
+  rollout->replica.checksums = CollectChecksums(*program);
+  rollout->gate = NewGate();
+  rollout->stats = NewVersionStats();
+  rollout->split = NewSplit();
+  rollout->split->Publish(rollout->initial_fraction_bp, version);
+  {
+    WriterMutexLock lock(mu_);
+    PlanState& st = plans_.at(spec.name);
+    st.next_version = version + 1;
+    st.rollout = std::move(rollout);
+    PublishLocked();
+  }
+  deploys_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+Status ShardRouter::Promote(const std::string& name) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  std::vector<ReplicaState> old_replicas;
+  VersionGate* old_gate = nullptr;
+  uint64_t killed_version = 0;
+  {
+    WriterMutexLock lock(mu_);
+    auto it = plans_.find(name);
+    if (it == plans_.end() || it->second.pending) {
+      return Status::NotFound("plan '" + name + "'");
+    }
+    PlanState& st = it->second;
+    if (st.rollout == nullptr) {
+      return Status::NotFound("no rollout in flight for '" + name + "'");
+    }
+    if (st.rollout->initial_fraction_bp != 0 &&
+        st.rollout->split->Load().fraction_bp == 0) {
+      // The data path's kill switch fired but nothing has completed the
+      // teardown yet (async completions only flip the switch; the sync and
+      // maintenance paths may not have run since). Promoting a canary the
+      // health gate condemned would defeat the controller, so finish the
+      // rollback instead and tell the caller why.
+      killed_version = st.rollout->version;
+    } else {
+      std::unique_ptr<Rollout> rollout = std::move(st.rollout);
+      old_replicas = std::move(st.replicas);
+      old_gate = st.gate;
+      st.replicas.clear();
+      st.replicas.push_back(std::move(rollout->replica));
+      st.primary = 0;
+      st.spec = std::move(rollout->spec);
+      st.active_version = rollout->version;
+      st.gate = rollout->gate;
+      st.vstats = rollout->stats;
+      // One swap: all traffic moves to the new version, the canary split
+      // disappears from the snapshot. The RCU grace inside guarantees no
+      // reader still routes to the old version when we return.
+      PublishLocked();
+    }
+  }
+  if (killed_version != 0) {
+    (void)RollbackLocked(name, killed_version, /*auto_trigger=*/true);
+    return Status::Error("canary for '" + name +
+                         "' was killed by the health gate; rolled back");
+  }
+  promotes_.fetch_add(1, std::memory_order_relaxed);
+  ReclaimVersion(old_gate, std::move(old_replicas));
+  return Status::OK();
+}
+
+Status ShardRouter::Rollback(const std::string& name) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  return RollbackLocked(name, /*expect_version=*/0, /*auto_trigger=*/false);
+}
+
+Status ShardRouter::RollbackLocked(const std::string& name,
+                                   uint64_t expect_version,
+                                   bool auto_trigger) {
+  std::unique_ptr<Rollout> rollout;
+  {
+    WriterMutexLock lock(mu_);
+    auto it = plans_.find(name);
+    if (it == plans_.end() || it->second.rollout == nullptr) {
+      return Status::NotFound("no rollout in flight for '" + name + "'");
+    }
+    if (expect_version != 0 &&
+        it->second.rollout->version != expect_version) {
+      return Status::NotFound("rollout for '" + name + "' superseded");
+    }
+    rollout = std::move(it->second.rollout);
+    PublishLocked();  // Snapshot without the canary: no new canary routes.
+  }
+  // Belt and braces: the kill switch may already have fired from the data
+  // path; republish 0 so every observer agrees before the teardown.
+  rollout->split->Publish(0, rollout->version);
+  std::vector<ReplicaState> replicas;
+  replicas.push_back(std::move(rollout->replica));
+  ReclaimVersion(rollout->gate, std::move(replicas));
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (auto_trigger) {
+    auto_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void ShardRouter::TryAutoRollback(const std::string& name, uint64_t version) {
+  std::unique_lock<std::mutex> control(control_mu_, std::try_to_lock);
+  if (!control.owns_lock()) {
+    // Another lifecycle/control op is running. The kill switch has already
+    // stopped canary traffic; the MaintainReplication backstop (or the next
+    // sync request) completes the teardown.
+    return;
+  }
+  (void)RollbackLocked(name, version, /*auto_trigger=*/true);
+}
+
+void ShardRouter::ReclaimVersion(VersionGate* gate,
+                                 std::vector<ReplicaState> replicas) {
+  // Chaos site: the swap commit stalls (slow store, straggling drain). The
+  // armed latency lands HERE — on the control plane, after the new snapshot
+  // is live — so a stalled reclaim can never block the route path. That
+  // separation is the invariant the chaos scenario asserts.
+  PRETZEL_FAULT_STALL("store.swap_stall", static_cast<int64_t>(0));
+  // Epoch order: the table swap's RCU grace already passed (PublishLocked),
+  // so no new request can reach this gate; close it and wait out the
+  // stragglers that routed before the swap.
+  gate->Close();
+  gate->AwaitDrain();
+  for (const ReplicaState& r : replicas) {
+    (void)shards_[r.shard]->runtime->Retire(r.plan_id);
+    for (const uint64_t checksum : r.checksums) {
+      shards_[r.shard]->segment->Release(checksum);
+    }
+  }
+  // Sweep once per distinct segment (global scope delegates, so any one
+  // sweep clears the shared store's zero-pin entries).
+  std::vector<bool> swept(shards_.size(), false);
+  for (const ReplicaState& r : replicas) {
+    if (!swept[r.shard]) {
+      swept[r.shard] = true;
+      shards_[r.shard]->segment->Sweep();
+    }
+  }
+}
+
+bool ShardRouter::FinishVersion(const RouteDecision& decision,
+                                const Status& status, int64_t start_ns) {
+  bool want_rollback = false;
+  if (decision.stats != nullptr) {
+    // Mirror RecordOutcome's verdict taxonomy: backpressure, caller errors,
+    // and admission-expired requests say nothing about the version either.
+    const bool fault =
+        (status.IsDeadlineExceeded() &&
+         status.deadline_stage() != DeadlineStage::kAdmission) ||
+        status.code() == StatusCode::kError;
+    if (status.ok()) {
+      decision.stats->successes.fetch_add(1, std::memory_order_relaxed);
+    } else if (fault) {
+      decision.stats->faults.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (status.ok() || fault) {
+      UpdateEwma(decision.stats->failure_ewma_bits, fault ? 1.0 : 0.0);
+      UpdateEwma(decision.stats->latency_ewma_bits,
+                 static_cast<double>(NowNs() - start_ns) / 1000.0);
+    }
+    if (decision.canary && options_.rollout.auto_rollback &&
+        decision.split != nullptr && decision.baseline != nullptr) {
+      // Verdict is evaluated INSIDE the gate: the rollout (and these stats)
+      // cannot be reclaimed until we exit.
+      const RolloutOptions& ro = options_.rollout;
+      // relaxed: monotone counter; a stale read only delays the verdict by
+      // a request or two.
+      const uint64_t seen =
+          decision.stats->routed.load(std::memory_order_relaxed);
+      if (seen >= ro.min_canary_requests) {
+        const double fail = LoadEwma(decision.stats->failure_ewma_bits);
+        const double canary_lat = LoadEwma(decision.stats->latency_ewma_bits);
+        const double stable_lat = LoadEwma(decision.baseline->latency_ewma_bits);
+        if (fail >= ro.rollback_failure_ewma ||
+            (stable_lat > 0.0 && canary_lat > stable_lat * ro.rollback_latency_x)) {
+          // Kill switch first — lock-free, stops canary traffic NOW; the
+          // heavyweight teardown follows outside the gate.
+          decision.split->Publish(0, decision.version);
+          want_rollback = true;
+        }
+      }
+    }
+  }
+  if (decision.gate != nullptr) {
+    decision.gate->Exit();
+  }
+  return want_rollback;
 }
 
 // ---------------------------------------------------------------------------
@@ -360,11 +668,13 @@ Result<ShardPlacement> ShardRouter::Failover(const std::string& name,
   }
   Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
   if (!plan.ok()) {
+    ReleaseProgramPins(shards_[target]->segment.get(), *program);
     return plan.status();
   }
   Result<Runtime::PlanId> id =
       shards_[target]->runtime->Register(std::move(*plan), registration);
   if (!id.ok()) {
+    ReleaseProgramPins(shards_[target]->segment.get(), *program);
     return id.status();
   }
   ShardPlacement placement{target, *id};
@@ -377,6 +687,7 @@ Result<ShardPlacement> ShardRouter::Failover(const std::string& name,
     replica.queue_delay_us = shards_[target]->runtime->QueueDelayCounter(*id);
     replica.stats = std::make_unique<ReplicaStats>();
     replica.active = true;
+    replica.checksums = CollectChecksums(*program);
     st.replicas[st.primary].active = false;
     st.replicas.push_back(std::move(replica));
     st.primary = st.replicas.size() - 1;
@@ -480,11 +791,13 @@ Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
     }
     Result<std::shared_ptr<ModelPlan>> plan = Plan(*program, spec.name);
     if (!plan.ok()) {
+      ReleaseProgramPins(shards_[candidate]->segment.get(), *program);
       break;
     }
     Result<Runtime::PlanId> id =
         shards_[candidate]->runtime->Register(std::move(*plan), registration);
     if (!id.ok()) {
+      ReleaseProgramPins(shards_[candidate]->segment.get(), *program);
       continue;  // This shard is full; the next candidate may not be.
     }
     ReplicaState replica;
@@ -494,6 +807,7 @@ Result<int> ShardRouter::SetActiveReplicas(const std::string& name,
         shards_[candidate]->runtime->QueueDelayCounter(*id);
     replica.stats = std::make_unique<ReplicaStats>();
     replica.active = true;
+    replica.checksums = CollectChecksums(*program);
     fresh.push_back(std::move(replica));
     ++active;
     ++added;
@@ -521,6 +835,27 @@ Status ShardRouter::Replicate(const std::string& name,
 MaintenanceReport ShardRouter::MaintainReplication() {
   std::lock_guard<std::mutex> control(control_mu_);
   MaintenanceReport report;
+  // Lifecycle backstop: a canary whose kill switch fired on a thread that
+  // could not run the blocking teardown (async completions book outcomes on
+  // executor threads, and TryAutoRollback yields when the control plane is
+  // busy) is finished here. "Killed" = live fraction reached 0 while the
+  // configured split was nonzero — a dark deploy (configured 0) is not a
+  // kill.
+  {
+    std::vector<std::string> killed;
+    {
+      ReaderMutexLock lock(mu_);
+      for (const auto& [name, st] : plans_) {
+        if (st.rollout != nullptr && st.rollout->initial_fraction_bp != 0 &&
+            st.rollout->split->Load().fraction_bp == 0) {
+          killed.push_back(name);
+        }
+      }
+    }
+    for (const std::string& name : killed) {
+      (void)RollbackLocked(name, /*expect_version=*/0, /*auto_trigger=*/true);
+    }
+  }
   struct Row {
     std::string name;
     uint64_t interval = 0;
@@ -593,79 +928,170 @@ MaintenanceReport ShardRouter::MaintainReplication() {
 // ---------------------------------------------------------------------------
 // Request routing.
 
-Result<ShardPlacement> ShardRouter::Route(const std::string& name) {
+Result<ShardRouter::RouteDecision> ShardRouter::Route(
+    const std::string& name) {
   size_t blocked_shard = 0;
-  {
-    // The common case runs entirely inside this read section: no mutex,
-    // just the RCU enter/exit counters around a snapshot lookup, the p2c
-    // pick, and the breaker gate.
-    auto guard = table_.Read();
-    auto it = guard->plans.find(name);
-    if (it == guard->plans.end()) {
-      return Status::NotFound("plan '" + name + "'");
+  // A successful failover republishes the table, so the route is retried
+  // against the fresh snapshot (the new primary enters its version gate
+  // like any other route). Bounded: each extra pass requires a failover
+  // that succeeded, and the budget caps those.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    {
+      // The common case runs entirely inside this read section: no mutex,
+      // just the RCU enter/exit counters around a snapshot lookup, the
+      // canary split, the p2c pick, and the breaker gate.
+      auto guard = table_.Read();
+      auto it = guard->plans.find(name);
+      if (it == guard->plans.end()) {
+        return Status::NotFound("plan '" + name + "'");
+      }
+      const PlanRouting& routing = it->second;
+      const uint64_t seq =
+          routing.traffic->routed.fetch_add(1, std::memory_order_relaxed);
+      const int64_t now_us = NowNs() / 1000;
+      // ---- Canary split. Deterministic in the count domain: request seq
+      // hashes against the live fraction, so a 5% canary sees 5% exactly,
+      // reproducibly. The split's target token must match the snapshot's
+      // canary version — a reader can never send traffic to a canary whose
+      // fraction it observed without its identity.
+      if (routing.has_canary) {
+        const CanarySplit::Split split = routing.split->Load();
+        if (split.fraction_bp != 0 &&
+            split.target == routing.canary_version &&
+            CanarySplit::InCanary(seq, split.fraction_bp) &&
+            health_[routing.canary.shard]->breaker.Allow(now_us)) {
+          // Gate entry INSIDE the read section: the snapshot holding this
+          // gate is what keeps it un-reclaimed until we are counted. A
+          // closed gate (rollout tearing down) falls through to stable —
+          // the request is never lost.
+          if (routing.canary_gate->Enter()) {
+            routing.canary.stats->routed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            routing.canary_stats->routed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            RouteDecision decision;
+            decision.shard = routing.canary.shard;
+            decision.plan_id = routing.canary.plan_id;
+            decision.version = routing.canary_version;
+            decision.canary = true;
+            decision.gate = routing.canary_gate;
+            decision.stats = routing.canary_stats;
+            decision.baseline = routing.stats;
+            decision.split = routing.split;
+            return decision;
+          }
+        }
+      }
+      const size_t n = routing.replicas.size();
+      size_t first = 0;
+      size_t second = 0;
+      if (n > 1) {
+        // Power-of-two-choices: sample two distinct replicas, prefer the one
+        // with the shorter live queue delay (balanced allocations: max load
+        // drops from ~log n/log log n to ~log log n versus random).
+        const uint64_t r = NextRand();
+        first = static_cast<size_t>(r >> 32) % n;
+        second = static_cast<size_t>(r & 0xffffffffULL) % (n - 1);
+        if (second >= first) {
+          ++second;
+        }
+        // relaxed: live queue-delay EWMAs are advisory p2c samples — any
+        // coherent value is acceptable; staleness costs pick quality only,
+        // never safety (the breaker gate below decides admissibility).
+        const int64_t delay_first =
+            routing.replicas[first].queue_delay_us->load(
+                std::memory_order_relaxed);
+        const int64_t delay_second =
+            routing.replicas[second].queue_delay_us->load(
+                std::memory_order_relaxed);
+        if (delay_second < delay_first) {
+          std::swap(first, second);
+        }
+      }
+      // Breaker-gate the chosen replica, then the runner-up, then sweep the
+      // rest — Allow() is called per attempted replica only (it claims
+      // half-open probe tokens; probing replicas we will not use would burn
+      // them).
+      for (size_t i = 0; i < n + 2; ++i) {
+        const size_t idx = i == 0 ? first : (i == 1 ? second : i - 2);
+        if ((i >= 2 && (idx == first || idx == second)) ||
+            (i == 1 && second == first)) {
+          continue;
+        }
+        const ReplicaRef& replica = routing.replicas[idx];
+        if (health_[replica.shard]->breaker.Allow(now_us)) {
+          // The active version's gate closes only after a snapshot without
+          // it has published and its grace passed, so inside this read
+          // section entry cannot fail; the check is defense in depth (a
+          // rejection falls to the blocked path like an open breaker).
+          if (!routing.gate->Enter()) {
+            break;
+          }
+          replica.stats->routed.fetch_add(1, std::memory_order_relaxed);
+          routing.stats->routed.fetch_add(1, std::memory_order_relaxed);
+          RouteDecision decision;
+          decision.shard = replica.shard;
+          decision.plan_id = replica.plan_id;
+          decision.version = routing.version;
+          decision.gate = routing.gate;
+          decision.stats = routing.stats;
+          return decision;
+        }
+      }
+      blocked_shard = routing.replicas[0].shard;  // Primary owns the slow path.
     }
-    const PlanRouting& routing = it->second;
-    routing.traffic->routed.fetch_add(1, std::memory_order_relaxed);
-    const int64_t now_us = NowNs() / 1000;
-    const size_t n = routing.replicas.size();
-    size_t first = 0;
-    size_t second = 0;
-    if (n > 1) {
-      // Power-of-two-choices: sample two distinct replicas, prefer the one
-      // with the shorter live queue delay (balanced allocations: max load
-      // drops from ~log n/log log n to ~log log n versus random).
-      const uint64_t r = NextRand();
-      first = static_cast<size_t>(r >> 32) % n;
-      second = static_cast<size_t>(r & 0xffffffffULL) % (n - 1);
-      if (second >= first) {
-        ++second;
-      }
-      // relaxed: live queue-delay EWMAs are advisory p2c samples — any
-      // coherent value is acceptable; staleness costs pick quality only,
-      // never safety (the breaker gate below decides admissibility).
-      const int64_t delay_first =
-          routing.replicas[first].queue_delay_us->load(
-              std::memory_order_relaxed);
-      const int64_t delay_second =
-          routing.replicas[second].queue_delay_us->load(
-              std::memory_order_relaxed);
-      if (delay_second < delay_first) {
-        std::swap(first, second);
-      }
+    // Guard dropped before the control plane: a thread inside an RCU read
+    // section must never publish (Failover swaps the table and would wait on
+    // its own read guard).
+    health_[blocked_shard]->rejected.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.failover_enabled) {
+      break;
     }
-    // Breaker-gate the chosen replica, then the runner-up, then sweep the
-    // rest — Allow() is called per attempted replica only (it claims
-    // half-open probe tokens; probing replicas we will not use would burn
-    // them).
-    for (size_t i = 0; i < n + 2; ++i) {
-      const size_t idx = i == 0 ? first : (i == 1 ? second : i - 2);
-      if ((i >= 2 && (idx == first || idx == second)) ||
-          (i == 1 && second == first)) {
-        continue;
-      }
-      const ReplicaRef& replica = routing.replicas[idx];
-      if (health_[replica.shard]->breaker.Allow(now_us)) {
-        replica.stats->routed.fetch_add(1, std::memory_order_relaxed);
-        return ShardPlacement{replica.shard, replica.plan_id};
-      }
-    }
-    blocked_shard = routing.replicas[0].shard;  // Primary owns the slow path.
-  }
-  // Guard dropped before the control plane: a thread inside an RCU read
-  // section must never publish (Failover swaps the table and would wait on
-  // its own read guard).
-  health_[blocked_shard]->rejected.fetch_add(1, std::memory_order_relaxed);
-  if (options_.failover_enabled) {
     Result<ShardPlacement> moved = Failover(name, blocked_shard);
-    if (moved.ok()) {
-      return moved;
+    if (!moved.ok()) {
+      break;
     }
+    // Loop: re-route through the republished snapshot.
   }
   const int64_t now_us = NowNs() / 1000;
   const int64_t reopen_us = health_[blocked_shard]->breaker.reopen_at_us();
   return Status::ResourceExhausted("shard " + std::to_string(blocked_shard) +
                                    " circuit open")
       .WithRetryAfterUs(std::max<int64_t>(1, reopen_us - now_us));
+}
+
+Result<PlanVersionInfo> ShardRouter::VersionInfo(
+    const std::string& name) const {
+  ReaderMutexLock lock(mu_);
+  auto it = plans_.find(name);
+  if (it == plans_.end() || it->second.pending) {
+    return Status::NotFound("plan '" + name + "'");
+  }
+  const PlanState& st = it->second;
+  PlanVersionInfo info;
+  info.active_version = st.active_version;
+  info.next_version = st.next_version;
+  if (st.vstats != nullptr) {
+    info.stable_latency_ewma_us = LoadEwma(st.vstats->latency_ewma_bits);
+  }
+  if (st.gate != nullptr) {
+    info.stable_inflight = st.gate->inflight();
+  }
+  if (st.rollout != nullptr) {
+    info.rollout_in_flight = true;
+    info.rollout_version = st.rollout->version;
+    info.canary_fraction_bp = st.rollout->split->Load().fraction_bp;
+    // relaxed: point-in-time snapshot for tests/benches; no decision rides
+    // on cross-counter consistency.
+    info.canary_routed =
+        st.rollout->stats->routed.load(std::memory_order_relaxed);
+    info.canary_faults =
+        st.rollout->stats->faults.load(std::memory_order_relaxed);
+    info.canary_failure_ewma = LoadEwma(st.rollout->stats->failure_ewma_bits);
+    info.canary_latency_ewma_us =
+        LoadEwma(st.rollout->stats->latency_ewma_bits);
+  }
+  return info;
 }
 
 Result<ShardPlacement> ShardRouter::Placement(const std::string& name) const {
@@ -696,60 +1122,85 @@ std::vector<ShardPlacement> ShardRouter::Replicas(
 Result<float> ShardRouter::Predict(const std::string& name,
                                    const std::string& input,
                                    int64_t deadline_ns) {
-  Result<ShardPlacement> placement = Route(name);
-  if (!placement.ok()) {
-    return placement.status();
+  Result<RouteDecision> route = Route(name);
+  if (!route.ok()) {
+    return route.status();
   }
-  const size_t shard = placement->shard;
-  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+  const RouteDecision decision = *route;
+  const int64_t start_ns = NowNs();
+  if (Status fault = InjectedShardFault(decision.shard); !fault.ok()) {
+    if (FinishVersion(decision, fault, start_ns)) {
+      TryAutoRollback(name, decision.version);
+    }
     return fault;
   }
-  Result<float> result = shards_[shard]->runtime->Predict(placement->plan_id,
-                                                          input, deadline_ns);
-  RecordOutcome(shard, result.status());
+  Result<float> result = shards_[decision.shard]->runtime->Predict(
+      decision.plan_id, input, deadline_ns);
+  RecordOutcome(decision.shard, result.status());
+  if (FinishVersion(decision, result.status(), start_ns)) {
+    TryAutoRollback(name, decision.version);
+  }
   return result;
 }
 
 Result<float> ShardRouter::PredictBinary(const std::string& name,
                                          std::span<const uint8_t> record,
                                          int64_t deadline_ns) {
-  Result<ShardPlacement> placement = Route(name);
-  if (!placement.ok()) {
-    return placement.status();
+  Result<RouteDecision> route = Route(name);
+  if (!route.ok()) {
+    return route.status();
   }
-  const size_t shard = placement->shard;
-  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+  const RouteDecision decision = *route;
+  const int64_t start_ns = NowNs();
+  if (Status fault = InjectedShardFault(decision.shard); !fault.ok()) {
+    if (FinishVersion(decision, fault, start_ns)) {
+      TryAutoRollback(name, decision.version);
+    }
     return fault;
   }
-  Result<float> result = shards_[shard]->runtime->PredictBinary(
-      placement->plan_id, record, deadline_ns);
-  RecordOutcome(shard, result.status());
+  Result<float> result = shards_[decision.shard]->runtime->PredictBinary(
+      decision.plan_id, record, deadline_ns);
+  RecordOutcome(decision.shard, result.status());
+  if (FinishVersion(decision, result.status(), start_ns)) {
+    TryAutoRollback(name, decision.version);
+  }
   return result;
 }
 
 Status ShardRouter::PredictAsync(const std::string& name, std::string input,
                                  Runtime::SingleCallback callback,
                                  int64_t deadline_ns) {
-  Result<ShardPlacement> placement = Route(name);
-  if (!placement.ok()) {
-    return placement.status();
+  Result<RouteDecision> route = Route(name);
+  if (!route.ok()) {
+    return route.status();
   }
-  const size_t shard = placement->shard;
-  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+  const RouteDecision decision = *route;
+  const int64_t start_ns = NowNs();
+  if (Status fault = InjectedShardFault(decision.shard); !fault.ok()) {
+    FinishVersion(decision, fault, start_ns);
     return fault;
   }
   // Outcome books from the completion, not the submit: `this` outlives the
   // callback because shards_ (joined first, reverse declaration order)
-  // drains its executors before health_ goes away.
-  Status status = shards_[shard]->runtime->PredictAsync(
-      placement->plan_id, std::move(input),
-      [this, shard, done = std::move(callback)](Result<float> result) mutable {
-        RecordOutcome(shard, result.status());
+  // drains its executors before health_ and the lifecycle pool go away.
+  // The completion runs on an executor thread, so FinishVersion's rollback
+  // verdict is NOT acted on here — the kill switch it fires stops canary
+  // traffic, and a sync caller or the maintenance backstop finishes the
+  // teardown (Runtime::Retire must never run on an executor).
+  Status status = shards_[decision.shard]->runtime->PredictAsync(
+      decision.plan_id, std::move(input),
+      [this, decision, start_ns,
+       done = std::move(callback)](Result<float> result) mutable {
+        RecordOutcome(decision.shard, result.status());
+        FinishVersion(decision, result.status(), start_ns);
         done(std::move(result));
       },
       deadline_ns);
   if (!status.ok()) {
-    RecordOutcome(shard, status);
+    // Admission failed synchronously: the callback never fires, so the
+    // gate exits here, exactly once.
+    RecordOutcome(decision.shard, status);
+    FinishVersion(decision, status, start_ns);
   }
   return status;
 }
@@ -757,17 +1208,25 @@ Status ShardRouter::PredictAsync(const std::string& name, std::string input,
 Result<std::vector<float>> ShardRouter::PredictBatch(
     const std::string& name, const std::vector<std::string>& inputs,
     size_t max_batch, int64_t deadline_ns) {
-  Result<ShardPlacement> placement = Route(name);
-  if (!placement.ok()) {
-    return placement.status();
+  Result<RouteDecision> route = Route(name);
+  if (!route.ok()) {
+    return route.status();
   }
-  const size_t shard = placement->shard;
-  if (Status fault = InjectedShardFault(shard); !fault.ok()) {
+  const RouteDecision decision = *route;
+  const int64_t start_ns = NowNs();
+  if (Status fault = InjectedShardFault(decision.shard); !fault.ok()) {
+    if (FinishVersion(decision, fault, start_ns)) {
+      TryAutoRollback(name, decision.version);
+    }
     return fault;
   }
-  Result<std::vector<float>> result = shards_[shard]->runtime->PredictBatch(
-      placement->plan_id, inputs, max_batch, deadline_ns);
-  RecordOutcome(shard, result.status());
+  Result<std::vector<float>> result =
+      shards_[decision.shard]->runtime->PredictBatch(decision.plan_id, inputs,
+                                                     max_batch, deadline_ns);
+  RecordOutcome(decision.shard, result.status());
+  if (FinishVersion(decision, result.status(), start_ns)) {
+    TryAutoRollback(name, decision.version);
+  }
   return result;
 }
 
@@ -790,6 +1249,10 @@ ShardedMetrics ShardRouter::GetMetrics() const {
   metrics.unique_plans = metrics.merged.plans.size();
   metrics.replications = replications_.load(std::memory_order_relaxed);
   metrics.dereplications = dereplications_.load(std::memory_order_relaxed);
+  metrics.deploys = deploys_.load(std::memory_order_relaxed);
+  metrics.promotes = promotes_.load(std::memory_order_relaxed);
+  metrics.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  metrics.auto_rollbacks = auto_rollbacks_.load(std::memory_order_relaxed);
   if (global_store_ != nullptr) {
     // Delegating segments hold nothing; the uniques live here.
     metrics.store_objects = global_store_->NumObjects();

@@ -34,6 +34,21 @@
 // so re-heating re-activates for free, and residency stays bounded by
 // max_replicas_per_plan).
 //
+// Versioned lifecycle (zero-downtime model swaps): Deploy() compiles v(n+1)
+// of an already-placed plan against the shard where v(n) lives, so the
+// ObjectStore intern resolves every unchanged parameter to the resident
+// blob — the swap costs O(changed params) bytes, not O(model). The new
+// version starts as a CANARY taking a deterministic hash-fraction of the
+// plan's traffic (exact in the count domain, like the fault layer's
+// probabilities), watched by per-version failure/latency EWMAs; a degraded
+// canary flips its CanarySplit kill switch from the data path and rolls
+// back, a healthy one is Promote()d. Retiring the losing version is
+// epoch-ordered: publish a table that no longer routes to it (RCU grace),
+// close its VersionGate and wait out the stragglers that routed before the
+// swap, drain its Runtime registrations (Runtime::Retire), then Release its
+// ObjectStore pins and Sweep — resident bytes return to the pre-deploy
+// baseline, and no request can ever observe a torn or retired version.
+//
 // The routing table is an immutable snapshot behind an RcuCell: the predict
 // path takes NO mutex — one RCU read (two counter RMWs + a pointer load)
 // covers the name lookup, the p2c pick, and the breaker gate. Writers
@@ -66,6 +81,7 @@
 #include "src/ops/params.h"
 #include "src/runtime/runtime.h"
 #include "src/serving/health.h"
+#include "src/serving/lifecycle_gate.h"
 #include "src/store/object_store.h"
 
 namespace pretzel {
@@ -93,6 +109,25 @@ struct ReplicationOptions {
   int64_t scan_interval_us = 0;
 };
 
+// Canary rollout policy for Deploy()ed plan versions.
+struct RolloutOptions {
+  // Canary share of the plan's traffic while a rollout is in flight, in
+  // basis points (of 10000). 0 deploys dark: the version is compiled and
+  // registered but takes no traffic until Promote().
+  uint32_t canary_fraction_bp = 500;
+  // The auto-rollback verdict needs at least this many canary-routed
+  // requests of signal before it may fire.
+  uint64_t min_canary_requests = 64;
+  // Canary failure EWMA at or above this triggers auto-rollback.
+  double rollback_failure_ewma = 0.5;
+  // Canary latency EWMA above this multiple of the stable version's
+  // triggers auto-rollback (inert until the stable EWMA is nonzero).
+  double rollback_latency_x = 8.0;
+  // false disables the controller: rollouts end only by explicit
+  // Promote()/Rollback() calls.
+  bool auto_rollback = true;
+};
+
 struct ShardRouterOptions {
   size_t num_shards = 1;
   // Applied to every shard's Runtime (shards are symmetric; executors,
@@ -118,6 +153,8 @@ struct ShardRouterOptions {
   size_t max_failover_placements = 4;
   // Hot-plan replication + power-of-two-choices routing.
   ReplicationOptions replication;
+  // Versioned-deploy canary policy.
+  RolloutOptions rollout;
 };
 
 // Where a deployed plan lives.
@@ -178,6 +215,11 @@ struct ShardedMetrics {
   // the global store's uniques (global scope).
   size_t store_objects = 0;
   size_t store_bytes = 0;
+  // Versioned-lifecycle counters, lifetime.
+  uint64_t deploys = 0;         // Canary versions registered.
+  uint64_t promotes = 0;        // Canaries promoted to active.
+  uint64_t rollbacks = 0;       // Rollouts aborted (manual + auto).
+  uint64_t auto_rollbacks = 0;  // Subset fired by the health controller.
   // Per-shard load (index == shard): the event-weighted mean of the shard's
   // plan queue-delay EWMAs — hot plans dominate their shard's number, which
   // is exactly the hot-shard bound Zipf skew produces. `imbalance` is
@@ -198,6 +240,22 @@ struct MaintenanceReport {
   uint64_t interval_requests = 0;  // Routed since the previous scan.
   size_t replications = 0;         // Replicas activated this scan.
   size_t dereplications = 0;       // Replicas deactivated this scan.
+};
+
+// One plan's lifecycle state, for tests and benches.
+struct PlanVersionInfo {
+  uint64_t active_version = 0;
+  uint64_t next_version = 0;
+  bool rollout_in_flight = false;
+  uint64_t rollout_version = 0;
+  // Live canary split; 0 once the kill switch fired (or a dark deploy).
+  uint32_t canary_fraction_bp = 0;
+  uint64_t canary_routed = 0;
+  uint64_t canary_faults = 0;
+  double canary_failure_ewma = 0.0;
+  double canary_latency_ewma_us = 0.0;
+  double stable_latency_ewma_us = 0.0;
+  int64_t stable_inflight = 0;  // Requests currently inside the version gate.
 };
 
 class ShardRouter {
@@ -241,6 +299,27 @@ class ShardRouter {
                                           const std::vector<std::string>& inputs,
                                           size_t max_batch,
                                           int64_t deadline_ns = 0);
+
+  // ---- Versioned lifecycle ----------------------------------------------
+  // Begins a canary rollout of a new version of the already-placed plan
+  // named `spec.name`: compiles against the shard where the active version
+  // lives (so the ObjectStore intern shares every unchanged parameter —
+  // the swap moves O(changed params) bytes), registers it with that shard's
+  // Runtime, and splits rollout.canary_fraction_bp of the plan's traffic
+  // onto it. One rollout per plan at a time. A compile or registration
+  // failure surfaces here and leaves the active version untouched. Returns
+  // the new version number.
+  Result<uint64_t> Deploy(const PipelineSpec& spec);
+  // Commits the rollout: the canary becomes the active version in one
+  // snapshot swap, then the old version is epoch-reclaimed — its gate
+  // drains, its Runtime registrations retire, and its ObjectStore pins are
+  // released and swept. Blocking, control-plane only.
+  Status Promote(const std::string& name);
+  // Aborts the rollout: canary traffic stops in one snapshot swap and the
+  // canary version is epoch-reclaimed. The active version never moved.
+  Status Rollback(const std::string& name);
+  // Lifecycle snapshot of one plan.
+  Result<PlanVersionInfo> VersionInfo(const std::string& name) const;
 
   // The plan's primary replica (replica 0 — its jump-hash home until a
   // failover moves it).
@@ -315,6 +394,17 @@ class ShardRouter {
     uint64_t last_scan_routed = 0;
   };
 
+  // Per-version health/latency signal for the canary controller. Same
+  // lifetime rule (pool-owned, never freed while the router lives).
+  struct VersionStats {
+    std::atomic<uint64_t> routed{0};
+    std::atomic<uint64_t> successes{0};
+    std::atomic<uint64_t> faults{0};  // Errors + shard-attributed timeouts.
+    // EWMAs, alpha = 1/16, stored as double bits advanced by CAS.
+    std::atomic<uint64_t> failure_ewma_bits{0};
+    std::atomic<uint64_t> latency_ewma_bits{0};
+  };
+
   // One materialized registration of a plan on a shard. Control-plane
   // record, under mu_; the published table carries flat ReplicaRef copies.
   struct ReplicaState {
@@ -325,6 +415,21 @@ class ShardRouter {
     const std::atomic<int64_t>* queue_delay_us = nullptr;
     std::unique_ptr<ReplicaStats> stats;
     bool active = true;
+    // ObjectStore pins this registration's compile took, released against
+    // its shard's segment when the version retires.
+    std::vector<uint64_t> checksums;
+  };
+
+  // An in-flight canary rollout: one registration of the new version on the
+  // active primary's shard. gate/stats/split are lifecycle_-pool pointers.
+  struct Rollout {
+    uint64_t version = 0;
+    uint32_t initial_fraction_bp = 0;  // Configured split at Deploy time.
+    PipelineSpec spec;
+    ReplicaState replica;
+    VersionGate* gate = nullptr;
+    VersionStats* stats = nullptr;
+    CanarySplit* split = nullptr;
   };
 
   struct PlanState {
@@ -334,6 +439,14 @@ class ShardRouter {
     size_t primary = 0;             // Index into replicas.
     bool pending = true;            // Claimed, compile still in flight.
     std::unique_ptr<PlanTraffic> traffic;
+    // Versioned lifecycle. The gate and stats belong to the ACTIVE version
+    // (replicas above are its materializations); a non-null rollout is the
+    // one in-flight canary of the next version.
+    uint64_t active_version = 1;
+    uint64_t next_version = 2;
+    VersionGate* gate = nullptr;     // Pool-owned.
+    VersionStats* vstats = nullptr;  // Pool-owned.
+    std::unique_ptr<Rollout> rollout;
   };
 
   // The immutable snapshot the predict path reads. Rebuilt (copied) by
@@ -347,16 +460,62 @@ class ShardRouter {
   struct PlanRouting {
     std::vector<ReplicaRef> replicas;  // ACTIVE replicas, primary first.
     PlanTraffic* traffic = nullptr;
+    // Active-version lifecycle handles (pool-owned, always valid).
+    uint64_t version = 0;
+    VersionGate* gate = nullptr;
+    VersionStats* stats = nullptr;
+    // Canary (rollout in flight when has_canary).
+    bool has_canary = false;
+    uint64_t canary_version = 0;
+    ReplicaRef canary;
+    VersionGate* canary_gate = nullptr;
+    VersionStats* canary_stats = nullptr;
+    CanarySplit* split = nullptr;
   };
   struct RoutingTable {
     std::unordered_map<std::string, PlanRouting> plans;
   };
 
-  // The breaker gate + p2c pick + failover step shared by every predict
-  // entry point. Mutex-free in the common (routed) case.
-  Result<ShardPlacement> Route(const std::string& name);
+  // What Route hands a predict wrapper: where to send the request, plus the
+  // version bookkeeping the wrapper must settle. A returned decision holds
+  // an Enter() on `gate`; FinishVersion() exits it.
+  struct RouteDecision {
+    size_t shard = 0;
+    Runtime::PlanId plan_id = 0;
+    uint64_t version = 0;
+    bool canary = false;
+    VersionGate* gate = nullptr;
+    VersionStats* stats = nullptr;
+    VersionStats* baseline = nullptr;  // Stable-version stats (canary only).
+    CanarySplit* split = nullptr;      // Kill switch (canary only).
+  };
+
+  // The breaker gate + canary split + p2c pick + failover step shared by
+  // every predict entry point. Mutex-free in the common (routed) case.
+  Result<RouteDecision> Route(const std::string& name);
   // Books a finished request's outcome into the owning shard's health.
   void RecordOutcome(size_t shard, const Status& status);
+  // Books the outcome into the decision's per-version stats, evaluates the
+  // canary auto-rollback verdict (firing the kill switch while still inside
+  // the gate), and exits the gate. Returns true when the caller should
+  // complete the rollback via TryAutoRollback — callers on executor threads
+  // (async completions) must NOT: Runtime::Retire blocks there, so they
+  // leave completion to a sync caller or the next maintenance scan.
+  bool FinishVersion(const RouteDecision& decision, const Status& status,
+                     int64_t start_ns);
+  // Completes a kill-switched rollback if the control plane is free; a held
+  // control_mu_ means another lifecycle op is already running and the
+  // backstop in MaintainReplication will finish the job.
+  void TryAutoRollback(const std::string& name, uint64_t version);
+  // Rollback body. REQUIRES control_mu_. expect_version 0 matches any.
+  Status RollbackLocked(const std::string& name, uint64_t expect_version,
+                        bool auto_trigger);
+  // Epoch-reclaims one retired version: closes and drains its gate (every
+  // straggler that routed before the swap exits), retires each
+  // materialized registration with its shard's Runtime, releases the
+  // version's ObjectStore pins, and sweeps the affected segments. REQUIRES
+  // control_mu_; must not hold mu_.
+  void ReclaimVersion(VersionGate* gate, std::vector<ReplicaState> replicas);
   // Injected shard-unresponsive fault (chaos builds only): stalls, books a
   // failure, and yields the error the caller should return.
   Status InjectedShardFault(size_t shard);
@@ -376,6 +535,23 @@ class ShardRouter {
 
   const ShardRouterOptions options_;
   std::unique_ptr<ObjectStore> global_store_;  // kGlobal scope only.
+  // Version-lifecycle objects (gates, per-version stats, canary splits) are
+  // allocated here and never freed while the router lives: published
+  // snapshots and in-flight decisions hold raw pointers across table swaps,
+  // and async completions book into them on shard executors — the pool is
+  // declared before shards_ so it outlives the executor join. Growth is one
+  // ~56-byte triple per Deploy; the bytes that matter (parameter blobs) are
+  // what ReclaimVersion sweeps.
+  struct LifecyclePool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<VersionGate>> gates;
+    std::vector<std::unique_ptr<VersionStats>> stats;
+    std::vector<std::unique_ptr<CanarySplit>> splits;
+  };
+  LifecyclePool lifecycle_;
+  VersionGate* NewGate();
+  VersionStats* NewVersionStats();
+  CanarySplit* NewSplit();
   // Declared before shards_ so it outlives them: async callbacks running on
   // shard executors record outcomes here, and members destroy in reverse
   // declaration order (shards_ joins its executors first).
@@ -406,6 +582,11 @@ class ShardRouter {
   // Lifetime replication counters (maintenance + explicit Replicate).
   std::atomic<uint64_t> replications_{0};
   std::atomic<uint64_t> dereplications_{0};
+  // Lifetime lifecycle counters.
+  std::atomic<uint64_t> deploys_{0};
+  std::atomic<uint64_t> promotes_{0};
+  std::atomic<uint64_t> rollbacks_{0};
+  std::atomic<uint64_t> auto_rollbacks_{0};
 
   // Optional background maintenance (scan_interval_us > 0). Declared last:
   // destroyed (joined) first, before the state it scans.

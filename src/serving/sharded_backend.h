@@ -44,6 +44,19 @@ class ShardedBackend : public Backend {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  // ---- Versioned lifecycle passthrough: the client-facing face of the
+  // router's zero-downtime deploys. Serving traffic through this backend is
+  // never interrupted by any of these (the router swaps snapshots; readers
+  // hold no locks).
+  Result<uint64_t> Deploy(const PipelineSpec& spec) {
+    return router_->Deploy(spec);
+  }
+  Status Promote(const std::string& name) { return router_->Promote(name); }
+  Status Rollback(const std::string& name) { return router_->Rollback(name); }
+  Result<PlanVersionInfo> VersionInfo(const std::string& name) const {
+    return router_->VersionInfo(name);
+  }
+
  private:
   ShardRouter* router_;
   std::atomic<uint64_t> dropped_{0};

@@ -1,5 +1,7 @@
 #include "src/store/object_store.h"
 
+#include <algorithm>
+
 namespace pretzel {
 
 std::shared_ptr<const OpParams> ObjectStore::Intern(
@@ -29,12 +31,78 @@ std::shared_ptr<const OpParams> ObjectStore::InternLocal(
     undeduped_.push_back(params);
     return params;
   }
-  auto [it, inserted] = by_checksum_.try_emplace(params->ContentChecksum(), params);
+  auto [it, inserted] =
+      by_checksum_.try_emplace(params->ContentChecksum(), Entry{params, 0});
+  ++it->second.pins;
   if (!inserted) {
     ++stats_.hits;
     *hit = true;
   }
-  return it->second;
+  return it->second.params;
+}
+
+bool ObjectStore::Release(uint64_t checksum) {
+  if (parent_ != nullptr) {
+    // Segment: the pin lives where the canonical object lives. Book the
+    // release locally so per-shard retire traffic stays observable, exactly
+    // as Intern books per-shard intern traffic.
+    const bool found = parent_->ReleaseLocal(checksum);
+    WriterMutexLock lock(mu_);
+    if (found) {
+      ++stats_.releases;
+    }
+    return found;
+  }
+  return ReleaseLocal(checksum);
+}
+
+bool ObjectStore::ReleaseLocal(uint64_t checksum) {
+  WriterMutexLock lock(mu_);
+  if (!options_.dedup_enabled) {
+    // No pins without dedup: each Intern registered a private copy, so a
+    // release erases one matching copy outright.
+    auto it = std::find_if(undeduped_.begin(), undeduped_.end(),
+                           [checksum](const auto& p) {
+                             return p->ContentChecksum() == checksum;
+                           });
+    if (it == undeduped_.end()) {
+      return false;
+    }
+    undeduped_.erase(it);
+    ++stats_.releases;
+    return true;
+  }
+  auto it = by_checksum_.find(checksum);
+  if (it == by_checksum_.end()) {
+    return false;
+  }
+  if (it->second.pins > 0) {
+    --it->second.pins;
+  }
+  ++stats_.releases;
+  return true;
+}
+
+size_t ObjectStore::Sweep() {
+  if (parent_ != nullptr) {
+    return parent_->SweepLocal();
+  }
+  return SweepLocal();
+}
+
+size_t ObjectStore::SweepLocal() {
+  WriterMutexLock lock(mu_);
+  size_t reclaimed = 0;
+  for (auto it = by_checksum_.begin(); it != by_checksum_.end();) {
+    if (it->second.pins == 0) {
+      reclaimed += it->second.params->HeapBytes();
+      ++stats_.swept;
+      it = by_checksum_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
 }
 
 std::shared_ptr<const OpParams> ObjectStore::Lookup(uint64_t checksum) const {
@@ -46,14 +114,14 @@ std::shared_ptr<const OpParams> ObjectStore::Lookup(uint64_t checksum) const {
     return nullptr;
   }
   auto it = by_checksum_.find(checksum);
-  return it == by_checksum_.end() ? nullptr : it->second;
+  return it == by_checksum_.end() ? nullptr : it->second.params;
 }
 
 size_t ObjectStore::TotalBytes() const {
   ReaderMutexLock lock(mu_);
   size_t total = 0;
-  for (const auto& [ck, params] : by_checksum_) {
-    total += params->HeapBytes();
+  for (const auto& [ck, entry] : by_checksum_) {
+    total += entry.params->HeapBytes();
   }
   for (const auto& params : undeduped_) {
     total += params->HeapBytes();

@@ -11,6 +11,18 @@
 // then share one resident copy — while still counting its own intern
 // traffic. Without a parent (the default) each segment dedups privately, so
 // shards share nothing and deployment never contends cross-shard.
+//
+// Reclamation (the versioned-lifecycle tier): every Intern takes a PIN on
+// the canonical entry; Release(checksum) drops one, and Sweep() erases the
+// entries whose pin count reached zero, returning their bytes to the
+// allocator. Callers that never Release (the offline-deploy pattern) keep
+// their entries pinned forever, so the store behaves exactly as the old
+// append-only design for them. Release/Sweep delegate segment -> parent the
+// same way Intern does, so a retired version's blobs leave the process no
+// matter which segment deployed them. Plans still hold shared_ptrs to their
+// params, so a sweep can never free memory under a live reader — it only
+// unmaps the store's own reference; the blob's heap bytes leave TotalBytes
+// accounting at sweep and the allocator when the last plan drops out.
 #ifndef PRETZEL_STORE_OBJECT_STORE_H_
 #define PRETZEL_STORE_OBJECT_STORE_H_
 
@@ -34,8 +46,10 @@ class ObjectStore {
   };
 
   struct Stats {
-    uint64_t interns = 0;  // Total Intern calls.
-    uint64_t hits = 0;     // Calls resolved to an existing object.
+    uint64_t interns = 0;   // Total Intern calls.
+    uint64_t hits = 0;      // Calls resolved to an existing object.
+    uint64_t releases = 0;  // Release calls that found their object.
+    uint64_t swept = 0;     // Entries reclaimed by Sweep.
   };
 
   ObjectStore() : ObjectStore(Options{}) {}
@@ -59,6 +73,21 @@ class ObjectStore {
   // Checksum probe; null when absent or dedup is off.
   std::shared_ptr<const OpParams> Lookup(uint64_t checksum) const;
 
+  // Drops one pin from the entry with this checksum (delegating to the
+  // intern parent when this store is a segment, mirroring Intern). Returns
+  // true when an entry was found. An entry whose pins reach zero stays
+  // resident — and counted by TotalBytes/NumObjects — until Sweep runs, so
+  // a canary that rolls back can re-pin it with a plain Intern hit instead
+  // of re-uploading the blob. With dedup off there are no pins: the call
+  // erases one matching private copy outright.
+  bool Release(uint64_t checksum);
+
+  // Erases every entry whose pin count is zero and returns the parameter
+  // bytes those entries accounted for. Delegates to the intern parent.
+  // Plans holding shared_ptrs to a swept entry's params keep them alive;
+  // the store just stops counting (and re-interning against) them.
+  size_t Sweep();
+
   // Resident parameter bytes across all stored objects (each canonical
   // object counted once). A delegating segment holds nothing itself — its
   // objects live in (and are counted by) the parent.
@@ -69,14 +98,22 @@ class ObjectStore {
   ObjectStore* intern_parent() const { return parent_; }
 
  private:
+  // One canonical entry: the object plus the number of Intern calls that
+  // have not yet been Released. pins == 0 marks the entry sweepable.
+  struct Entry {
+    std::shared_ptr<const OpParams> params;
+    uint64_t pins = 0;
+  };
+
   std::shared_ptr<const OpParams> InternLocal(
       std::shared_ptr<const OpParams> params, bool* hit) EXCLUDES(mu_);
+  bool ReleaseLocal(uint64_t checksum) EXCLUDES(mu_);
+  size_t SweepLocal() EXCLUDES(mu_);
 
   const Options options_;
   ObjectStore* const parent_ = nullptr;
   mutable SharedMutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const OpParams>> by_checksum_
-      GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Entry> by_checksum_ GUARDED_BY(mu_);
   std::vector<std::shared_ptr<const OpParams>> undeduped_
       GUARDED_BY(mu_);  // dedup off.
   Stats stats_ GUARDED_BY(mu_);

@@ -10,6 +10,8 @@
 //   serving.shard_unresponsive — a shard faults every request it is routed
 //   serialize.corrupt_record   — binary records arrive failing validation
 //   ops.slow_kernel            — plan execution stalls inside the operator
+//   oven.compile_fail          — a versioned deploy's compile blows up
+//   store.swap_stall           — version reclamation stalls before draining
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
@@ -508,6 +510,200 @@ void TestSlowKernelExpiresQuanta() {
   CHECK(healthy_status.ok());
 }
 
+// oven.compile_fail under a flash crowd: versioned deploys blow up in the
+// Oven while predictors hammer the plan. Every failed Deploy must surface
+// as a clean error with the live version untouched — zero dropped requests,
+// zero torn scores, ObjectStore bytes exactly where they started (the
+// aborted compile's intern pins are unwound) — and once the fault budget is
+// spent, the SAME deploy succeeds and promotes under the same load.
+void TestCompileFailDeployKeepsServing() {
+  fault::DisarmAll();
+  ShardRouterOptions sopts;
+  sopts.num_shards = 2;
+  sopts.runtime.num_executors = 1;
+  sopts.rollout.canary_fraction_bp = 5000;
+  ShardRouter router(sopts);
+  auto sa = SmallSa(4);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const PipelineSpec& target = sa.pipelines()[0];
+  Rng rng(41);
+  std::vector<std::string> inputs;
+  std::vector<float> expected;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(sa.SampleInput(rng));
+    auto score = router.Predict(target.name, inputs.back());
+    CHECK(score.ok());
+    expected.push_back(*score);
+  }
+  const size_t baseline_bytes = router.GetMetrics().store_bytes;
+
+  // The flash crowd: requests must keep completing, exactly scored, across
+  // every failed deploy and through the eventual promote.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> crowd_ok{0};
+  std::vector<std::thread> crowd;
+  for (int t = 0; t < 3; ++t) {
+    crowd.emplace_back([&, t] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t which = (static_cast<size_t>(t) + i++) % inputs.size();
+        auto got = router.Predict(target.name, inputs[which]);
+        CHECK(got.ok());  // Zero dropped requests, ever.
+        CHECK_EQ(*got, expected[which]);
+        crowd_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  fault::SetSeed(0x5EED);
+  fault::Spec boom;
+  boom.budget = 3;
+  fault::Arm("oven.compile_fail", boom);
+  for (int i = 0; i < 3; ++i) {
+    auto failed = router.Deploy(target);
+    CHECK(!failed.ok());
+    CHECK_EQ(static_cast<int>(failed.status().code()),
+             static_cast<int>(StatusCode::kError));
+    auto info = router.VersionInfo(target.name);
+    CHECK(info.ok());
+    CHECK(!info->rollout_in_flight);  // The blown deploy left no residue...
+    CHECK_EQ(info->active_version, uint64_t{1});  // ...and the live version
+  }                                               // never moved.
+  CHECK_EQ(fault::Fires("oven.compile_fail"), uint64_t{3});
+  CHECK_EQ(router.GetMetrics().store_bytes, baseline_bytes);  // Pins unwound.
+
+  // Budget spent: the identical deploy now lands and promotes under load.
+  auto deployed = router.Deploy(target);
+  CHECK(deployed.ok());
+  CHECK(router.Promote(target.name).ok());
+  const uint64_t before_settle = crowd_ok.load(std::memory_order_relaxed);
+  while (crowd_ok.load(std::memory_order_relaxed) < before_settle + 50) {
+    std::this_thread::yield();  // The crowd keeps scoring on the new version.
+  }
+  stop.store(true);
+  for (auto& thread : crowd) {
+    thread.join();
+  }
+  auto info = router.VersionInfo(target.name);
+  CHECK_EQ(info->active_version, *deployed);
+  CHECK_EQ(router.GetMetrics().store_bytes, baseline_bytes);
+  CHECK_EQ(router.GetMetrics().deploys, uint64_t{1});  // Failures don't count.
+  fault::DisarmAll();
+}
+
+// Health-gated auto-rollback: a canary whose shard faults every request it
+// serves must be killed by the rollout controller — from the data path,
+// with no operator in the loop. The kill switch fires once the canary's
+// failure EWMA crosses the gate with enough routed signal, the rollout is
+// reclaimed, and the stable version is still version 1 when the dust
+// settles.
+void TestCanaryAutoRollbackOnFaults() {
+  fault::DisarmAll();
+  ShardRouterOptions sopts;
+  sopts.num_shards = 1;
+  sopts.runtime.num_executors = 1;
+  sopts.rollout.canary_fraction_bp = 5000;
+  sopts.rollout.min_canary_requests = 8;
+  // Keep the breaker out of the story: this scenario is about the VERSION
+  // health gate, not the shard one.
+  sopts.breaker.failure_threshold = 100000;
+  ShardRouter router(sopts);
+  auto sa = SmallSa(2);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const PipelineSpec& target = sa.pipelines()[0];
+  Rng rng(47);
+  const std::string input = sa.SampleInput(rng);
+  auto baseline = router.Predict(target.name, input);
+  CHECK(baseline.ok());
+  CHECK(router.Deploy(target).ok());
+
+  fault::Spec down;
+  down.latency_us = 50;
+  fault::Arm("serving.shard_unresponsive", down);
+
+  // Drive faulting traffic until the controller pulls the canary. Every
+  // request errors (the whole shard is sick) — what matters is that the
+  // canary's share of them trips the version gate.
+  bool rolled_back = false;
+  for (int i = 0; i < 400 && !rolled_back; ++i) {
+    auto r = router.Predict(target.name, input);
+    CHECK(!r.ok());
+    rolled_back = !router.VersionInfo(target.name)->rollout_in_flight;
+  }
+  CHECK_MSG(rolled_back, "400 faulted requests never tripped the rollback");
+  const auto metrics = router.GetMetrics();
+  CHECK_EQ(metrics.auto_rollbacks, uint64_t{1});
+  CHECK_EQ(metrics.rollbacks, uint64_t{1});
+  auto info = router.VersionInfo(target.name);
+  CHECK_EQ(info->active_version, uint64_t{1});  // Stable never moved.
+
+  // Fault cleared: version 1 serves, scored exactly as before the deploy.
+  fault::DisarmAll();
+  auto after = router.Predict(target.name, input);
+  CHECK(after.ok());
+  CHECK_EQ(*after, *baseline);
+}
+
+// store.swap_stall: version reclamation stalls at the head of the epoch
+// sweep. The stall must be CONTROL-PLANE ONLY — Promote blocks, but the
+// data path keeps serving the already-published new version the whole time
+// (the table swap happens before reclamation starts), and the retired
+// version's bytes still leave the process once the stall clears.
+void TestSwapStallServesThrough() {
+  fault::DisarmAll();
+  ShardRouterOptions sopts;
+  sopts.num_shards = 1;
+  sopts.runtime.num_executors = 1;
+  sopts.rollout.canary_fraction_bp = 0;  // Dark deploy: promote is the swap.
+  ShardRouter router(sopts);
+  auto sa = SmallSa(2);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const PipelineSpec& target = sa.pipelines()[0];
+  Rng rng(43);
+  const std::string input = sa.SampleInput(rng);
+  auto baseline = router.Predict(target.name, input);
+  CHECK(baseline.ok());
+  const size_t baseline_bytes = router.GetMetrics().store_bytes;
+  CHECK(router.Deploy(target).ok());
+
+  fault::Spec stall;
+  stall.latency_us = 100'000;
+  stall.budget = 1;
+  fault::Arm("store.swap_stall", stall);
+
+  std::atomic<bool> promoted{false};
+  std::thread promote([&] {
+    CHECK(router.Promote(target.name).ok());
+    promoted.store(true, std::memory_order_release);
+  });
+  // While the promote thread sits in the injected reclamation stall, the
+  // data path must not miss a beat: predictions flow against the new
+  // version with no lock, no stall, no error.
+  uint64_t served_during_stall = 0;
+  while (!promoted.load(std::memory_order_acquire)) {
+    auto got = router.Predict(target.name, input);
+    CHECK(got.ok());
+    CHECK_EQ(*got, *baseline);  // Same spec, same score: never torn.
+    ++served_during_stall;
+  }
+  promote.join();
+  CHECK_MSG(served_during_stall >= 20,
+            "only %llu predicts completed during a 100ms reclamation stall",
+            static_cast<unsigned long long>(served_during_stall));
+  CHECK_EQ(fault::Fires("store.swap_stall"), uint64_t{1});
+  // The stalled reclamation still completed: old version gone, bytes back.
+  CHECK_EQ(router.GetMetrics().store_bytes, baseline_bytes);
+  CHECK_EQ(router.VersionInfo(target.name)->active_version, uint64_t{2});
+  CHECK(router.Predict(target.name, input).ok());
+  fault::DisarmAll();
+}
+
 }  // namespace
 
 int main() {
@@ -525,5 +721,11 @@ int main() {
   std::printf("TestCorruptRecordRejectedWithoutTrip: PASS\n");
   TestSlowKernelExpiresQuanta();
   std::printf("TestSlowKernelExpiresQuanta: PASS\n");
+  TestCompileFailDeployKeepsServing();
+  std::printf("TestCompileFailDeployKeepsServing: PASS\n");
+  TestCanaryAutoRollbackOnFaults();
+  std::printf("TestCanaryAutoRollbackOnFaults: PASS\n");
+  TestSwapStallServesThrough();
+  std::printf("TestSwapStallServesThrough: PASS\n");
   return 0;
 }

@@ -1,5 +1,7 @@
-// Deterministic model-check suite for src/common/lockfree.h and the
-// lock-free circuit breaker in src/serving/health.h.
+// Deterministic model-check suite for src/common/lockfree.h, the lock-free
+// circuit breaker in src/serving/health.h, the RCU snapshot cell in
+// src/common/rcu.h, and the versioned-lifecycle primitives in
+// src/serving/lifecycle_gate.h.
 //
 // Three tiers:
 //  1. Checker self-tests: exhaustive (DFS) litmus runs proving the model
@@ -24,6 +26,8 @@
 #include "src/serving/health.h"
 // The routing-table snapshot cell (epoch-based RCU) — same seam.
 #include "src/common/rcu.h"
+// Versioned-lifecycle primitives (inflight gate + canary split) — same seam.
+#include "src/serving/lifecycle_gate.h"
 
 #include <array>
 #include <cstdio>
@@ -533,6 +537,65 @@ void RcuTwoSwapScenario() {
   }
 }
 
+// VersionGate (src/serving/lifecycle_gate.h), the epoch side of version
+// retirement: a request Enter()s the gate of the version it routed to while
+// the retirer Close()s the gate and AwaitDrain()s before reclaiming the
+// version's plan and ObjectStore blobs. The claim is store-buffering-shaped
+// (like RCU's): the reader's inflight bump and closed-flag check race the
+// retirer's closed store and inflight read on separate locations, so both
+// sides run seq_cst — either the request sees closed and backs out, or the
+// drain sees the bump and waits. Reclamation is modeled by a freed flag; an
+// admitted request observing freed==1 is the use-after-reclaim. Mutations:
+// lc_skip_drain (retirer never waits), lc_drain_inflight (drain's inflight
+// load weakened to relaxed — a stale zero starts reclamation under a live
+// reader), lc_enter_closed (admission's closed check weakened to relaxed —
+// a stale "open" admits a request after the drain already saw zero).
+void VersionSwapScenario() {
+  auto gate = std::make_shared<VersionGate>();
+  auto freed = std::make_shared<mc::Atomic<int>>(0);
+  mc::Go({
+      [gate, freed] {
+        // Retirer: the routing table no longer hands out this version
+        // (modeled by going straight to Close — the scenario's reader
+        // stands for the straggler that routed before the swap).
+        gate->Close();
+        gate->AwaitDrain();
+        (*freed).store(1, mc::kSeqCst);
+      },
+      [gate, freed] {
+        if (gate->Enter()) {
+          mc::Check((*freed).load(mc::kSeqCst) == 0,
+                    "lifecycle: version reclaimed under an admitted request");
+          gate->Exit();
+        }
+      },
+  });
+  if (mc::Pruned() || mc::Failed()) return;
+  mc::Check(gate->Drained(), "lifecycle: closed, exited gate not drained");
+}
+
+// CanarySplit publication, message-passing-shaped: Publish() stores the
+// target version (relaxed) then the fraction (release); Load() acquires the
+// fraction and reads the target relaxed. A reader acting on a nonzero
+// fraction must see the version that fraction was published FOR — routing
+// canary traffic at the new fraction to a stale target would send it to a
+// version whose gate may already be draining. Mutation lc_fraction_publish
+// weakens the fraction store to relaxed, letting the reader pair the new
+// fraction with target 0.
+void CanarySplitScenario() {
+  auto split = std::make_shared<CanarySplit>();
+  mc::Go({
+      [split] { split->Publish(100, 42); },
+      [split] {
+        const CanarySplit::Split s = split->Load();
+        if (s.fraction_bp != 0) {
+          mc::Check(s.target == 42,
+                    "canary: fraction observed without its target version");
+        }
+      },
+  });
+}
+
 // --- Drivers -----------------------------------------------------------------
 
 struct CleanCase {
@@ -558,6 +621,8 @@ const CleanCase kClean[] = {
     {"breaker_probe_abandon", BreakerProbeAbandonScenario, 20},
     {"rcu_snapshot_swap", RcuSwapScenario, 1500},
     {"rcu_two_exchange_straggler", RcuTwoSwapScenario, 1500},
+    {"lifecycle_version_swap", VersionSwapScenario, 1500},
+    {"lifecycle_canary_split", CanarySplitScenario, 1500},
 };
 
 // >= 3 seeded mutations per structure; each weakens one tagged order to
@@ -592,6 +657,11 @@ const MutationCase kMutations[] = {
     // restoring the pre-fix algorithm; only the two-exchange scenario can
     // reach the resulting straggler reclaim.
     {"rcu_skip_validate", RcuTwoSwapScenario},
+    // VersionGate / CanarySplit (src/serving/lifecycle_gate.h).
+    {"lc_skip_drain", VersionSwapScenario},
+    {"lc_drain_inflight", VersionSwapScenario},
+    {"lc_enter_closed", VersionSwapScenario},
+    {"lc_fraction_publish", CanarySplitScenario},
 };
 
 constexpr long kMutationRunCap = 30000;

@@ -96,10 +96,93 @@ void TestStoreSharing() {
             "store %zu vs private %zu", store.TotalBytes(), private_sum);
 }
 
+void TestReleaseAndSweep() {
+  auto sa = SmallSa(8);
+  ObjectStore store;
+  // Two interns of the same content = one resident object with two pins:
+  // the first Release must NOT make it sweepable.
+  auto shared = sa.pipelines()[0].nodes[1].params;  // == pipeline 7's dict.
+  store.Intern(shared);
+  store.Intern(sa.pipelines()[7].nodes[1].params);
+  const uint64_t ck = shared->ContentChecksum();
+  const size_t bytes = store.TotalBytes();
+  CHECK(store.Release(ck));
+  CHECK_EQ(store.Sweep(), size_t{0});  // One pin left: nothing reclaimed.
+  CHECK_EQ(store.TotalBytes(), bytes);
+  // Zero pins: entry stays resident until Sweep (a rolled-back canary can
+  // re-pin with a plain Intern hit), then its bytes leave the accounting.
+  CHECK(store.Release(ck));
+  CHECK_EQ(store.TotalBytes(), bytes);
+  CHECK(store.Lookup(ck) != nullptr);
+  // Re-pin before the sweep: the blob never left, Intern is a hit.
+  const uint64_t hits_before = store.GetStats().hits;
+  store.Intern(shared);
+  CHECK_EQ(store.GetStats().hits, hits_before + 1);
+  CHECK(store.Release(ck));
+  const size_t reclaimed = store.Sweep();
+  CHECK_EQ(reclaimed, shared->HeapBytes());
+  CHECK_EQ(store.TotalBytes(), size_t{0});
+  CHECK_EQ(store.NumObjects(), size_t{0});
+  CHECK(store.Lookup(ck) == nullptr);
+  CHECK(!store.Release(ck));  // Swept: nothing to release.
+  CHECK_EQ(store.GetStats().swept, uint64_t{1});
+
+  // Dedup off: no pins — each Release erases one private copy outright.
+  ObjectStore::Options no_dedup;
+  no_dedup.dedup_enabled = false;
+  ObjectStore private_store(no_dedup);
+  private_store.Intern(shared);
+  private_store.Intern(sa.pipelines()[7].nodes[1].params);
+  CHECK_EQ(private_store.NumObjects(), size_t{2});
+  CHECK(private_store.Release(ck));
+  CHECK_EQ(private_store.NumObjects(), size_t{1});
+  CHECK_EQ(private_store.Sweep(), size_t{0});  // Pinless copies never sweep.
+  CHECK(private_store.Release(ck));
+  CHECK(!private_store.Release(ck));
+  CHECK_EQ(private_store.NumObjects(), size_t{0});
+}
+
+void TestSegmentReleaseDelegation() {
+  // Segment-with-parent accounting across the full pin lifecycle: the pin
+  // lives where the canonical object lives (the parent); the segment books
+  // its local traffic. Mirrors the router's global intern scope, where a
+  // version deployed through shard A's segment must leave the process even
+  // when swept through shard B's.
+  auto sa = SmallSa(8);
+  ObjectStore parent;
+  ObjectStore seg_a(ObjectStore::Options{}, &parent);
+  ObjectStore seg_b(ObjectStore::Options{}, &parent);
+  auto dict = sa.pipelines()[0].nodes[1].params;
+  const uint64_t ck = dict->ContentChecksum();
+  auto a = seg_a.Intern(dict);
+  auto b = seg_b.Intern(sa.pipelines()[7].nodes[1].params);
+  CHECK(a.get() == b.get());  // One canonical copy, parent-resident.
+  // Delegating segments hold nothing; the parent counts one object.
+  CHECK_EQ(seg_a.NumObjects(), size_t{0});
+  CHECK_EQ(seg_a.TotalBytes(), size_t{0});
+  CHECK_EQ(parent.NumObjects(), size_t{1});
+  CHECK_EQ(parent.TotalBytes(), dict->HeapBytes());
+  // Release through EITHER segment drops a parent pin; local stats book
+  // where the release came from.
+  CHECK(seg_b.Release(ck));
+  CHECK_EQ(seg_b.GetStats().releases, uint64_t{1});
+  CHECK_EQ(seg_a.GetStats().releases, uint64_t{0});
+  CHECK_EQ(seg_a.Sweep(), size_t{0});  // seg_a's pin still held.
+  CHECK_EQ(parent.NumObjects(), size_t{1});
+  CHECK(seg_a.Release(ck));
+  // Sweep through a segment delegates to the parent and reclaims there.
+  CHECK_EQ(seg_b.Sweep(), dict->HeapBytes());
+  CHECK_EQ(parent.NumObjects(), size_t{0});
+  CHECK_EQ(parent.TotalBytes(), size_t{0});
+  CHECK_EQ(parent.GetStats().swept, uint64_t{1});
+}
+
 int main() {
   TestInterning();
   TestImageRoundTrip();
   TestStoreSharing();
+  TestReleaseAndSweep();
+  TestSegmentReleaseDelegation();
   std::printf("object_store_test: PASS\n");
   return 0;
 }

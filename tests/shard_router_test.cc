@@ -3,7 +3,10 @@
 // near-uniform spread), sharded-vs-monolith prediction parity, cross-shard
 // GetMetrics aggregation == sum of per-shard snapshots, the per-segment vs
 // router-global intern trade-off, ShardedBackend drop aggregation with
-// retry-after hints, and a FrontEnd round trip over the sharded stack.
+// retry-after hints, a FrontEnd round trip over the sharded stack, and the
+// versioned lifecycle: Deploy/Promote/Rollback with O(changed-params) swaps
+// and post-retire byte reclamation, plus route-under-churn with version
+// swaps and replication flapping racing live predicts (ASan+TSan in CI).
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -625,6 +628,262 @@ void TestRouteUnderChurn() {
   }
 }
 
+// Versioned lifecycle, the full arc: Deploy a v2 whose only change is the
+// linear-weights node, watch the ObjectStore grow by EXACTLY that node's
+// bytes (every shared parameter interns against the resident v1 blob — the
+// O(changed-params) swap), split live traffic across both versions with no
+// request ever observing a torn mix, Promote and verify the old version's
+// bytes leave the process, then Rollback a v3 and verify the store returns
+// to the post-promote baseline to the byte.
+void TestVersionedDeployLifecycle() {
+  auto sa = SmallSa(8);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  sopts.rollout.canary_fraction_bp = 5000;  // 50%: both versions see load.
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const PipelineSpec& v1 = sa.pipelines()[0];
+  const size_t home = router.ShardFor(v1.name);
+
+  // Donor weights for v2/v3: linear nodes from pipelines homed on OTHER
+  // shards, so neither blob is resident in v1's segment before the deploy.
+  std::vector<const PipelineSpec*> donors;
+  for (size_t i = 1; i < sa.pipelines().size() && donors.size() < 2; ++i) {
+    if (router.ShardFor(sa.pipelines()[i].name) != home) {
+      donors.push_back(&sa.pipelines()[i]);
+    }
+  }
+  CHECK_EQ(donors.size(), size_t{2});
+  PipelineSpec v2 = v1;
+  v2.nodes[4].params = donors[0]->nodes[4].params;
+  PipelineSpec v3 = v1;
+  v3.nodes[4].params = donors[1]->nodes[4].params;
+
+  // Ground truth for both versions from monolithic compiles.
+  ObjectStore ref_store;
+  RuntimeOptions ropts;
+  ropts.num_executors = 1;
+  Runtime reference(&ref_store, ropts);
+  FlourContext flour(&ref_store);
+  const Runtime::PlanId ref_v1 =
+      *reference.Register(*Plan(*flour.FromPipeline(v1), "ref_v1"));
+  const Runtime::PlanId ref_v2 =
+      *reference.Register(*Plan(*flour.FromPipeline(v2), "ref_v2"));
+
+  Rng rng(151);
+  std::vector<std::string> inputs;
+  std::vector<float> expect_v1, expect_v2;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(sa.SampleInput(rng));
+    expect_v1.push_back(*reference.Predict(ref_v1, inputs.back()));
+    expect_v2.push_back(*reference.Predict(ref_v2, inputs.back()));
+    auto live = router.Predict(v1.name, inputs.back());
+    CHECK(live.ok());
+    CHECK_EQ(*live, expect_v1.back());
+  }
+  const size_t baseline_bytes = router.GetMetrics().store_bytes;
+
+  // Deploy: the canary registers and the store grows by exactly the
+  // changed node — every other parameter was an intern hit.
+  auto deployed = router.Deploy(v2);
+  CHECK(deployed.ok());
+  CHECK_EQ(*deployed, uint64_t{2});
+  CHECK_EQ(router.GetMetrics().store_bytes,
+           baseline_bytes + v2.nodes[4].params->HeapBytes());
+  // One rollout per plan at a time; unknown plans are rejected.
+  CHECK(!router.Deploy(v2).ok());
+  PipelineSpec ghost = v2;
+  ghost.name = "no-such-plan";
+  CHECK(!router.Deploy(ghost).ok());
+  // No rollout -> nothing to promote or abort (on a DIFFERENT plan).
+  CHECK(!router.Promote(sa.pipelines()[1].name).ok());
+  CHECK(!router.Rollback(sa.pipelines()[1].name).ok());
+  auto info = router.VersionInfo(v1.name);
+  CHECK(info.ok());
+  CHECK_EQ(info->active_version, uint64_t{1});
+  CHECK(info->rollout_in_flight);
+  CHECK_EQ(info->rollout_version, uint64_t{2});
+  CHECK_EQ(info->canary_fraction_bp, uint32_t{5000});
+
+  // Split traffic: every response is EXACTLY v1's or v2's score — a torn
+  // version (v2 weights over v1 dictionaries, or vice versa) would match
+  // neither. Both versions must take load at a 50% split.
+  size_t saw_v1 = 0, saw_v2 = 0;
+  for (int i = 0; i < 400; ++i) {
+    const size_t which = static_cast<size_t>(i) % inputs.size();
+    auto got = router.Predict(v1.name, inputs[which]);
+    CHECK(got.ok());
+    if (*got == expect_v1[which]) {
+      ++saw_v1;
+    } else {
+      CHECK_EQ(*got, expect_v2[which]);
+      ++saw_v2;
+    }
+  }
+  CHECK_MSG(saw_v1 > 50 && saw_v2 > 50,
+            "50%% split routed %zu/%zu stable/canary", saw_v1, saw_v2);
+  info = router.VersionInfo(v1.name);
+  CHECK_EQ(info->canary_routed, static_cast<uint64_t>(saw_v2));
+
+  // Promote: v2 becomes the version in one swap; v1's registration retires
+  // and its now-unshared weights are swept — bytes return to baseline (the
+  // retired and promoted linear nodes are the same shape, so the footprint
+  // is byte-identical).
+  CHECK(router.Promote(v1.name).ok());
+  CHECK_EQ(v1.nodes[4].params->HeapBytes(), v2.nodes[4].params->HeapBytes());
+  CHECK_EQ(router.GetMetrics().store_bytes, baseline_bytes);
+  info = router.VersionInfo(v1.name);
+  CHECK_EQ(info->active_version, uint64_t{2});
+  CHECK(!info->rollout_in_flight);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto got = router.Predict(v1.name, inputs[i]);
+    CHECK(got.ok());
+    CHECK_EQ(*got, expect_v2[i]);
+  }
+
+  // Rollback: v3's canary bytes leave the process, v2 never moves.
+  CHECK(router.Deploy(v3).ok());
+  CHECK(router.GetMetrics().store_bytes > baseline_bytes);
+  for (int i = 0; i < 40; ++i) {
+    CHECK(router.Predict(v1.name, inputs[i % inputs.size()]).ok());
+  }
+  CHECK(router.Rollback(v1.name).ok());
+  CHECK_EQ(router.GetMetrics().store_bytes, baseline_bytes);
+  info = router.VersionInfo(v1.name);
+  CHECK_EQ(info->active_version, uint64_t{2});
+  CHECK(!info->rollout_in_flight);
+  CHECK_EQ(info->next_version, uint64_t{4});
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto got = router.Predict(v1.name, inputs[i]);
+    CHECK(got.ok());
+    CHECK_EQ(*got, expect_v2[i]);
+  }
+  const ShardedMetrics metrics = router.GetMetrics();
+  CHECK_EQ(metrics.deploys, uint64_t{2});
+  CHECK_EQ(metrics.promotes, uint64_t{1});
+  CHECK_EQ(metrics.rollbacks, uint64_t{1});
+  CHECK_EQ(metrics.auto_rollbacks, uint64_t{0});
+}
+
+// Version swaps AND hot-plan replication flapping racing live predicts:
+// one thread Deploy/Promote/Rollback-cycles the plan (each promote
+// epoch-reclaims the outgoing version under traffic), another grows and
+// shrinks its replica set, while sync and async predictors hammer it.
+// Every version is compiled from the SAME spec, so any request that
+// observed a torn or reclaimed version would misscore or fail — the test
+// demands exactly-once completion with the exact score, always. Run under
+// ASan+TSan in CI.
+void TestRouteUnderVersionChurn() {
+  auto sa = SmallSa(4);
+  ShardRouterOptions sopts;
+  sopts.num_shards = 4;
+  sopts.runtime.num_executors = 1;
+  sopts.replication.enabled = true;
+  sopts.replication.max_replicas_per_plan = 3;
+  sopts.rollout.canary_fraction_bp = 5000;
+  ShardRouter router(sopts);
+  for (const auto& spec : sa.pipelines()) {
+    CHECK(router.Place(spec).ok());
+  }
+  const PipelineSpec& churned = sa.pipelines()[0];
+
+  Rng rng(161);
+  std::vector<std::string> inputs;
+  std::vector<float> expected;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(sa.SampleInput(rng));
+    auto score = router.Predict(churned.name, inputs.back());
+    CHECK(score.ok());
+    expected.push_back(*score);
+  }
+  const size_t baseline_bytes = router.GetMetrics().store_bytes;
+
+  constexpr int kPredictThreads = 4;
+  constexpr int kPredictsPerThread = 250;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_predicts{0};
+  std::atomic<uint64_t> swaps{0};
+  std::thread lifecycle([&] {
+    // Deploy -> (mostly) Promote, sometimes Rollback, as fast as the
+    // control plane allows; every cycle epoch-reclaims a version while the
+    // predictors are mid-flight.
+    uint64_t cycle = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      CHECK(router.Deploy(churned).ok());
+      if (++cycle % 4 == 0) {
+        CHECK(router.Rollback(churned.name).ok());
+      } else {
+        CHECK(router.Promote(churned.name).ok());
+      }
+      swaps.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread flapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      CHECK(router.Replicate(churned.name, 3).ok());
+      CHECK(router.Replicate(churned.name, 1).ok());
+    }
+  });
+  std::vector<std::thread> predictors;
+  for (int t = 0; t < kPredictThreads; ++t) {
+    predictors.emplace_back([&, t] {
+      std::atomic<int> pending{0};
+      for (int i = 0; i < kPredictsPerThread; ++i) {
+        const size_t which = static_cast<size_t>(t + i) % inputs.size();
+        if (i % 4 == 3) {
+          // Async: the gate exit rides the executor-side completion.
+          pending.fetch_add(1);
+          Status st = router.PredictAsync(
+              churned.name, inputs[which],
+              [&, which](Result<float> r) {
+                CHECK(r.ok());
+                CHECK_EQ(*r, expected[which]);
+                ok_predicts.fetch_add(1, std::memory_order_relaxed);
+                pending.fetch_sub(1);
+              });
+          CHECK(st.ok());
+        } else {
+          auto got = router.Predict(churned.name, inputs[which]);
+          CHECK(got.ok());
+          CHECK_EQ(*got, expected[which]);
+          ok_predicts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      while (pending.load() > 0) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& thread : predictors) {
+    thread.join();
+  }
+  stop.store(true);
+  lifecycle.join();
+  flapper.join();
+  CHECK_MSG(swaps.load() >= 2, "churn thread completed %llu swaps",
+            static_cast<unsigned long long>(swaps.load()));
+  // Exactly-once completion, exact scores, throughout the churn.
+  CHECK_EQ(ok_predicts.load(),
+           static_cast<uint64_t>(kPredictThreads * kPredictsPerThread));
+
+  // Settle to a clean single-replica state: one last Deploy+Promote retires
+  // every replica of the final churn-era version, so resident bytes must
+  // return to the pre-churn baseline exactly (same spec each version — the
+  // whole churn was a zero-byte swap repeated).
+  CHECK(router.Deploy(churned).ok());
+  CHECK(router.Promote(churned.name).ok());
+  CHECK_EQ(router.GetMetrics().store_bytes, baseline_bytes);
+  auto info = router.VersionInfo(churned.name);
+  CHECK(info.ok());
+  CHECK(!info->rollout_in_flight);
+  auto final_score = router.Predict(churned.name, inputs[0]);
+  CHECK(final_score.ok());
+  CHECK_EQ(*final_score, expected[0]);
+}
+
 }  // namespace
 
 int main() {
@@ -639,6 +898,8 @@ int main() {
   TestReplicaParity();
   TestHotDetectorReplicatesHead();
   TestRouteUnderChurn();
+  TestVersionedDeployLifecycle();
+  TestRouteUnderVersionChurn();
   std::printf("shard_router_test: PASS\n");
   return 0;
 }
